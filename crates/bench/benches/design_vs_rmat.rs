@@ -1,0 +1,48 @@
+//! The design-time comparison behind the paper's motivation: exact Kronecker
+//! design search versus the R-MAT trial-and-error loop, at matching edge
+//! targets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use kron_bignum::BigUint;
+use kron_core::{DesignSearch, DesignTargets};
+use kron_rmat::{TrialAndErrorDesigner, TrialTargets};
+
+fn bench_design_vs_rmat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("design_vs_rmat");
+    group.sample_size(10);
+
+    for &target in &[50_000u64, 250_000] {
+        group.bench_with_input(
+            BenchmarkId::new("exact_design_search", target),
+            &target,
+            |b, &target| {
+                let search = DesignSearch::default();
+                b.iter(|| {
+                    let mut targets = DesignTargets::edges(BigUint::from(target));
+                    targets.max_constituents = 5;
+                    search.search(&targets, 1).expect("search succeeds").len()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("rmat_trial_and_error", target),
+            &target,
+            |b, &target| {
+                b.iter(|| {
+                    TrialAndErrorDesigner::new(1)
+                        .run(&TrialTargets {
+                            unique_edges: target,
+                            edge_tolerance: 0.05,
+                            max_iterations: 10,
+                        })
+                        .iteration_count()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_design_vs_rmat);
+criterion_main!(benches);

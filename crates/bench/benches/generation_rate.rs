@@ -1,0 +1,55 @@
+//! Criterion benchmark behind Figure 3: edge-generation throughput as a
+//! function of worker count, for both the block-materialising and the
+//! streaming generator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use kron_bench::paper;
+use kron_core::{KroneckerDesign, SelfLoop};
+use kron_gen::{count_edges_streaming, GeneratorConfig, ParallelGenerator};
+
+fn design() -> KroneckerDesign {
+    KroneckerDesign::from_star_points(paper::MACHINE_SCALE, SelfLoop::None).expect("valid design")
+}
+
+fn bench_generation_rate(c: &mut Criterion) {
+    let design = design();
+    let edges = design.edges().to_u64().expect("machine scale");
+    let mut group = c.benchmark_group("generation_rate");
+    group.throughput(Throughput::Elements(edges));
+    group.sample_size(10);
+
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("materialised", workers),
+            &workers,
+            |b, &workers| {
+                let generator = ParallelGenerator::new(GeneratorConfig {
+                    workers,
+                    max_c_edges: 200_000,
+                    max_total_edges: 60_000_000,
+                });
+                b.iter(|| {
+                    generator
+                        .generate_with_split(&design, paper::MACHINE_SCALE_SPLIT)
+                        .expect("generation succeeds")
+                        .edge_count()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("streaming", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    count_edges_streaming(&design, paper::MACHINE_SCALE_SPLIT, workers, 60_000_000)
+                        .expect("streaming succeeds")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation_rate);
+criterion_main!(benches);

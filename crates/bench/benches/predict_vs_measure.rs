@@ -1,0 +1,48 @@
+//! The paper's core value proposition, timed: computing a graph's exact
+//! properties analytically (never building the graph) versus realising the
+//! graph and measuring the same properties.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use kron_core::validate::measure_properties;
+use kron_core::{KroneckerDesign, SelfLoop};
+
+fn bench_predict_vs_measure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predict_vs_measure");
+    group.sample_size(10);
+
+    let cases: &[(&str, &[u64])] = &[
+        ("small", &[3, 4, 5]),
+        ("medium", &[3, 4, 5, 9]),
+        ("large", &[3, 4, 5, 9, 16]),
+    ];
+    for &(label, points) in cases {
+        let design =
+            KroneckerDesign::from_star_points(points, SelfLoop::Centre).expect("valid design");
+
+        group.bench_with_input(BenchmarkId::new("analytic_prediction", label), &(), |b, _| {
+            b.iter(|| design.properties());
+        });
+        group.bench_with_input(BenchmarkId::new("realize_and_measure", label), &(), |b, _| {
+            b.iter(|| {
+                let graph = design.realize(60_000_000).expect("fits in memory");
+                measure_properties(&graph).expect("measurable")
+            });
+        });
+    }
+
+    // Prediction also works at scales that cannot be realised at all; time it
+    // for the paper's decetta-scale design.
+    let decetta = KroneckerDesign::from_star_points(
+        &[3, 4, 5, 7, 11, 9, 16, 25, 49, 81, 121, 256, 625, 2401, 14641],
+        SelfLoop::Leaf,
+    )
+    .expect("valid design");
+    group.bench_function("analytic_prediction/decetta_scale", |b| {
+        b.iter(|| decetta.properties());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_predict_vs_measure);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Triangle-counting ablation: the paper's linear-algebra formula
+//! `1ᵀ((A·A) ⊗ A)1 / 6` (accumulator-based SpGEMM) versus the ordered
+//! merge-based counter, on realised Kronecker graphs of increasing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use kron_core::{KroneckerDesign, SelfLoop};
+use kron_sparse::triangles::{count_triangles, count_triangles_merge, count_triangles_oriented};
+use kron_sparse::{CsrMatrix, PlusTimes};
+
+fn realised_csr(points: &[u64]) -> CsrMatrix<u64> {
+    let design = KroneckerDesign::from_star_points(points, SelfLoop::Centre).expect("valid design");
+    let graph = design.realize(10_000_000).expect("fits in memory");
+    CsrMatrix::from_coo::<PlusTimes>(&graph).expect("fits in memory")
+}
+
+fn bench_triangle_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("triangle_count");
+    group.sample_size(10);
+
+    for points in [&[3u64, 4, 5][..], &[3, 4, 5, 9], &[3, 4, 5, 9, 16]] {
+        let csr = realised_csr(points);
+        group.throughput(Throughput::Elements(csr.nnz() as u64));
+        let label = format!("{points:?}");
+
+        // The A·A formula materialises quadratically dense hub rows, so it is
+        // only benchmarked at the sizes where that stays in memory.
+        if points.len() <= 4 {
+            group.bench_with_input(BenchmarkId::new("spgemm_formula", &label), &(), |b, _| {
+                b.iter(|| count_triangles(&csr).expect("countable"));
+            });
+            group.bench_with_input(BenchmarkId::new("ordered_merge", &label), &(), |b, _| {
+                b.iter(|| count_triangles_merge(&csr).expect("countable"));
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("degree_ordered", &label), &(), |b, _| {
+            b.iter(|| count_triangles_oriented(&csr).expect("countable"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_triangle_count);
+criterion_main!(benches);

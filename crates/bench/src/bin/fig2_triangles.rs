@@ -1,0 +1,40 @@
+//! Figure 2: controlling the triangle count with self-loop placement.
+//!
+//! Top: self-loops on the centre vertices of the m̂={5,3} stars give a
+//! product with 15 triangles.  Bottom: self-loops on a leaf vertex give a
+//! product with a single triangle (after the final self-loop is removed).
+
+use kron_bench::{design, figure_header};
+use kron_bignum::BigUint;
+use kron_core::validate::measure_properties;
+use kron_core::SelfLoop;
+
+fn main() {
+    figure_header("Figure 2", "Triangle control via self-loop placement (stars m̂ = 5, 3)");
+    println!(
+        "{:<28} {:>10} {:>10} {:>12} {:>14}",
+        "construction", "vertices", "edges", "triangles", "measured tri"
+    );
+
+    for (label, self_loop) in [
+        ("no self-loops (baseline)", SelfLoop::None),
+        ("centre loops (Case 1)", SelfLoop::Centre),
+        ("leaf loops (Case 2)", SelfLoop::Leaf),
+    ] {
+        let d = design(kron_bench::paper::FIG1, self_loop);
+        let graph = d.realize(10_000).expect("tiny graph");
+        let measured = measure_properties(&graph).expect("measurable");
+        println!(
+            "{:<28} {:>10} {:>10} {:>12} {:>14}",
+            label,
+            d.vertices().to_string(),
+            d.edges().to_string(),
+            d.triangles().unwrap().to_string(),
+            measured.triangles.clone().unwrap_or_else(BigUint::zero).to_string(),
+        );
+        assert_eq!(Some(d.triangles().unwrap()), measured.triangles);
+    }
+
+    println!("\npaper values: top construction 15 triangles, bottom construction 1 triangle");
+    println!("Figure 2 reproduced: predicted and measured triangle counts agree exactly.");
+}

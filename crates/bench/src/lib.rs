@@ -1,0 +1,126 @@
+//! # kron-bench
+//!
+//! Shared harness code for the per-figure reproduction binaries and the
+//! Criterion benchmarks.  Each binary in `src/bin/` regenerates the series or
+//! rows of one figure of Kepner et al. (2018); the helpers here keep their
+//! output format consistent and provide the scaled-down configurations used
+//! when a figure's full-scale experiment cannot fit on one machine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use kron_bignum::BigUint;
+use kron_core::{DegreeDistribution, KroneckerDesign, SelfLoop};
+use kron_gen::{GeneratorConfig, ParallelGenerator};
+
+/// The star sets used across the paper's evaluation section.
+pub mod paper {
+    /// Figure 1: two bipartite stars.
+    pub const FIG1: &[u64] = &[5, 3];
+    /// Figures 3 and 4: the trillion-edge construction
+    /// (`B = {3,4,5,9,16,25}`, `C = {81,256}`).
+    pub const FIG3_4: &[u64] = &[3, 4, 5, 9, 16, 25, 81, 256];
+    /// Index at which Figures 3/4 split into `B ⊗ C`.
+    pub const FIG3_4_SPLIT: usize = 6;
+    /// Figures 5 and 6: the quadrillion-edge construction.
+    pub const FIG5_6: &[u64] = &[3, 4, 5, 9, 16, 25, 81, 256, 625];
+    /// Figure 7: the decetta-scale construction.
+    pub const FIG7: &[u64] =
+        &[3, 4, 5, 7, 11, 9, 16, 25, 49, 81, 121, 256, 625, 2401, 14641];
+    /// Machine-scale stand-in with the same structure as Figures 3/4, used
+    /// whenever a figure requires actually generating edges.
+    pub const MACHINE_SCALE: &[u64] = &[3, 4, 5, 9, 16];
+    /// Split index for the machine-scale stand-in.
+    pub const MACHINE_SCALE_SPLIT: usize = 2;
+}
+
+/// Print a figure header in a consistent format.
+pub fn figure_header(figure: &str, description: &str) {
+    println!("==================================================================");
+    println!("{figure}: {description}");
+    println!("==================================================================");
+}
+
+/// Print a `(degree, count)` series as the log-log rows the paper plots,
+/// decimating to at most `max_rows` rows.
+pub fn print_distribution_series(dist: &DegreeDistribution, max_rows: usize) {
+    let pairs = dist.to_pairs();
+    let step = (pairs.len() / max_rows.max(1)).max(1);
+    println!("{:>24} {:>24} {:>12} {:>12}", "degree d", "count n(d)", "log10 d", "log10 n");
+    for (d, n) in pairs.iter().step_by(step) {
+        println!(
+            "{:>24} {:>24} {:>12.4} {:>12.4}",
+            truncate_decimal(d),
+            truncate_decimal(n),
+            d.log10().unwrap_or(0.0),
+            n.log10().unwrap_or(0.0),
+        );
+    }
+    println!("({} exact support points total)", pairs.len());
+}
+
+/// Render a potentially enormous integer compactly: full decimal up to 24
+/// digits, scientific beyond.
+pub fn truncate_decimal(value: &BigUint) -> String {
+    let s = value.to_string();
+    if s.len() <= 24 {
+        s
+    } else {
+        kron_bignum::scientific(value)
+    }
+}
+
+/// A standard machine-scale generator used by the generation figures.
+pub fn machine_generator(workers: usize) -> ParallelGenerator {
+    ParallelGenerator::new(GeneratorConfig {
+        workers,
+        max_c_edges: 200_000,
+        max_total_edges: 60_000_000,
+    })
+}
+
+/// Build one of the paper's designs.
+pub fn design(points: &[u64], self_loop: SelfLoop) -> KroneckerDesign {
+    KroneckerDesign::from_star_points(points, self_loop).expect("paper star sets are valid")
+}
+
+/// Measure the wall-clock edge generation rate (edges/second) of the
+/// machine-scale design at a given worker count, using streaming generation
+/// so the measurement is not dominated by allocation.
+pub fn measure_generation_rate(workers: usize, points: &[u64], split: usize) -> (u64, f64) {
+    let design = design(points, SelfLoop::None);
+    let started = std::time::Instant::now();
+    let edges = kron_gen::count_edges_streaming(&design, split, workers, 60_000_000)
+        .expect("machine-scale design fits in memory");
+    let seconds = started.elapsed().as_secs_f64();
+    (edges, edges as f64 / seconds.max(1e-9))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants_are_valid_designs() {
+        assert_eq!(design(paper::FIG1, SelfLoop::None).vertices(), BigUint::from(24u64));
+        assert_eq!(
+            design(paper::FIG3_4, SelfLoop::Centre).edges().to_string(),
+            "1853002140758"
+        );
+        assert_eq!(design(paper::FIG7, SelfLoop::Leaf).triangles().unwrap().to_string(), "178940587");
+    }
+
+    #[test]
+    fn truncation_switches_to_scientific() {
+        assert_eq!(truncate_decimal(&BigUint::from(42u64)), "42");
+        let huge: BigUint = "2705963586782877716483871216764".parse().unwrap();
+        assert!(truncate_decimal(&huge).contains('e'));
+    }
+
+    #[test]
+    fn machine_scale_rate_measurement_runs() {
+        let (edges, rate) = measure_generation_rate(2, paper::MACHINE_SCALE, paper::MACHINE_SCALE_SPLIT);
+        assert_eq!(edges, 276_480);
+        assert!(rate > 0.0);
+    }
+}

@@ -1,0 +1,375 @@
+//! Exact rational numbers.
+//!
+//! [`BigRatio`] is a normalised signed rational (numerator [`BigInt`],
+//! strictly-positive denominator [`BigUint`]).  The graph designer uses it
+//! for quantities that are only integral after combining several terms, e.g.
+//! the paper's corrected triangle count `N_tri(A) - m_A/2 + 1/3` and for
+//! power-law exponents expressed as ratios of logarithms.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::bigint::BigInt;
+use crate::biguint::BigUint;
+
+/// An exact rational number in lowest terms with a positive denominator.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BigRatio {
+    numerator: BigInt,
+    denominator: BigUint,
+}
+
+impl BigRatio {
+    /// The value zero.
+    pub fn zero() -> Self {
+        BigRatio { numerator: BigInt::zero(), denominator: BigUint::one() }
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        BigRatio { numerator: BigInt::one(), denominator: BigUint::one() }
+    }
+
+    /// Construct `numerator / denominator`, reducing to lowest terms.
+    ///
+    /// # Panics
+    /// Panics if `denominator` is zero.
+    pub fn new(numerator: BigInt, denominator: BigUint) -> Self {
+        assert!(!denominator.is_zero(), "BigRatio denominator must be non-zero");
+        if numerator.is_zero() {
+            return BigRatio::zero();
+        }
+        let g = numerator.magnitude().gcd(&denominator);
+        let num_mag = numerator.magnitude().div_rem(&g).0;
+        let den = denominator.div_rem(&g).0;
+        BigRatio {
+            numerator: BigInt::from_sign_magnitude(numerator.sign(), num_mag),
+            denominator: den,
+        }
+    }
+
+    /// Construct from an integer.
+    pub fn from_int(value: impl Into<BigInt>) -> Self {
+        BigRatio { numerator: value.into(), denominator: BigUint::one() }
+    }
+
+    /// The (signed) numerator in lowest terms.
+    pub fn numerator(&self) -> &BigInt {
+        &self.numerator
+    }
+
+    /// The (positive) denominator in lowest terms.
+    pub fn denominator(&self) -> &BigUint {
+        &self.denominator
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.numerator.is_zero()
+    }
+
+    /// Returns `true` if the value is a (signed) integer.
+    pub fn is_integer(&self) -> bool {
+        self.denominator.is_one()
+    }
+
+    /// Returns `true` if the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.numerator.is_negative()
+    }
+
+    /// The exact integer value, if the ratio is integral.
+    pub fn to_integer(&self) -> Option<BigInt> {
+        if self.is_integer() {
+            Some(self.numerator.clone())
+        } else {
+            None
+        }
+    }
+
+    /// The exact non-negative integer value, if integral and non-negative.
+    pub fn to_biguint(&self) -> Option<BigUint> {
+        self.to_integer().and_then(|i| i.to_biguint())
+    }
+
+    /// Floor of the ratio as a [`BigInt`].
+    pub fn floor(&self) -> BigInt {
+        let den = BigInt::from(self.denominator.clone());
+        let (q, r) = self.numerator.div_rem(&den);
+        if r.is_zero() || !self.numerator.is_negative() {
+            q
+        } else {
+            q - BigInt::one()
+        }
+    }
+
+    /// Approximate `f64` value.
+    pub fn to_f64(&self) -> f64 {
+        self.numerator.to_f64() / self.denominator.to_f64()
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics when the value is zero.
+    pub fn recip(&self) -> BigRatio {
+        assert!(!self.is_zero(), "cannot invert zero");
+        let num = BigInt::from_sign_magnitude(self.numerator.sign(), self.denominator.clone());
+        BigRatio::new(num, self.numerator.magnitude().clone())
+    }
+}
+
+impl From<BigUint> for BigRatio {
+    fn from(value: BigUint) -> Self {
+        BigRatio::from_int(BigInt::from(value))
+    }
+}
+
+impl From<BigInt> for BigRatio {
+    fn from(value: BigInt) -> Self {
+        BigRatio::from_int(value)
+    }
+}
+
+impl From<u64> for BigRatio {
+    fn from(value: u64) -> Self {
+        BigRatio::from_int(BigInt::from(value))
+    }
+}
+
+impl From<i64> for BigRatio {
+    fn from(value: i64) -> Self {
+        BigRatio::from_int(BigInt::from(value))
+    }
+}
+
+impl Add for &BigRatio {
+    type Output = BigRatio;
+    fn add(self, rhs: &BigRatio) -> BigRatio {
+        let num = &self.numerator * &BigInt::from(rhs.denominator.clone())
+            + &rhs.numerator * &BigInt::from(self.denominator.clone());
+        let den = &self.denominator * &rhs.denominator;
+        BigRatio::new(num, den)
+    }
+}
+
+impl Add for BigRatio {
+    type Output = BigRatio;
+    fn add(self, rhs: BigRatio) -> BigRatio {
+        &self + &rhs
+    }
+}
+
+impl Sub for &BigRatio {
+    type Output = BigRatio;
+    fn sub(self, rhs: &BigRatio) -> BigRatio {
+        self + &(-rhs.clone())
+    }
+}
+
+impl Sub for BigRatio {
+    type Output = BigRatio;
+    fn sub(self, rhs: BigRatio) -> BigRatio {
+        &self - &rhs
+    }
+}
+
+impl Mul for &BigRatio {
+    type Output = BigRatio;
+    fn mul(self, rhs: &BigRatio) -> BigRatio {
+        let num = &self.numerator * &rhs.numerator;
+        let den = &self.denominator * &rhs.denominator;
+        BigRatio::new(num, den)
+    }
+}
+
+impl Mul for BigRatio {
+    type Output = BigRatio;
+    fn mul(self, rhs: BigRatio) -> BigRatio {
+        &self * &rhs
+    }
+}
+
+impl Div for &BigRatio {
+    type Output = BigRatio;
+    // Division by a rational is multiplication by its reciprocal; clippy's
+    // suspicious-arithmetic lint cannot see that this is intentional.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn div(self, rhs: &BigRatio) -> BigRatio {
+        self * &rhs.recip()
+    }
+}
+
+impl Div for BigRatio {
+    type Output = BigRatio;
+    fn div(self, rhs: BigRatio) -> BigRatio {
+        &self / &rhs
+    }
+}
+
+impl Neg for BigRatio {
+    type Output = BigRatio;
+    fn neg(self) -> BigRatio {
+        BigRatio { numerator: -self.numerator, denominator: self.denominator }
+    }
+}
+
+impl PartialOrd for BigRatio {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigRatio {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b vs c/d  ==  a*d vs c*b  (denominators positive).
+        let lhs = &self.numerator * &BigInt::from(other.denominator.clone());
+        let rhs = &other.numerator * &BigInt::from(self.denominator.clone());
+        lhs.cmp(&rhs)
+    }
+}
+
+impl fmt::Display for BigRatio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_integer() {
+            write!(f, "{}", self.numerator)
+        } else {
+            write!(f, "{}/{}", self.numerator, self.denominator)
+        }
+    }
+}
+
+impl fmt::Debug for BigRatio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigRatio({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ratio(n: i64, d: u64) -> BigRatio {
+        BigRatio::new(BigInt::from(n), BigUint::from(d))
+    }
+
+    #[test]
+    fn construction_reduces_to_lowest_terms() {
+        let r = ratio(6, 8);
+        assert_eq!(r.numerator(), &BigInt::from(3));
+        assert_eq!(r.denominator(), &BigUint::from(4u64));
+        assert_eq!(ratio(0, 17), BigRatio::zero());
+        assert_eq!(ratio(-6, 8), ratio(-3, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_denominator_panics() {
+        let _ = BigRatio::new(BigInt::one(), BigUint::zero());
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(ratio(1, 2) + ratio(1, 3), ratio(5, 6));
+        assert_eq!(ratio(1, 2) - ratio(1, 3), ratio(1, 6));
+        assert_eq!(ratio(2, 3) * ratio(3, 4), ratio(1, 2));
+        assert_eq!(ratio(2, 3) / ratio(4, 3), ratio(1, 2));
+        assert_eq!(-ratio(2, 3), ratio(-2, 3));
+    }
+
+    #[test]
+    fn triangle_correction_shape_is_integral() {
+        // Same shape as the paper's Case-1 correction (sixths minus halves
+        // plus thirds): 94/6 - 8/2 + 4/3 = 13 exactly.
+        let total = BigRatio::new(BigInt::from(94), BigUint::from(6u64))
+            - BigRatio::new(BigInt::from(8), BigUint::from(2u64))
+            + BigRatio::new(BigInt::from(4), BigUint::from(3u64));
+        assert!(total.is_integer());
+        assert_eq!(total.to_integer(), Some(BigInt::from(13)));
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(ratio(1, 3) < ratio(1, 2));
+        assert!(ratio(-1, 2) < ratio(-1, 3));
+        assert!(ratio(2, 4) == ratio(1, 2));
+        assert!(ratio(7, 1) > ratio(13, 2));
+    }
+
+    #[test]
+    fn floor_behaviour() {
+        assert_eq!(ratio(7, 2).floor(), BigInt::from(3));
+        assert_eq!(ratio(-7, 2).floor(), BigInt::from(-4));
+        assert_eq!(ratio(6, 2).floor(), BigInt::from(3));
+        assert_eq!(ratio(-6, 2).floor(), BigInt::from(-3));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(ratio(6, 2).to_integer(), Some(BigInt::from(3)));
+        assert_eq!(ratio(7, 2).to_integer(), None);
+        assert_eq!(ratio(6, 2).to_biguint(), Some(BigUint::from(3u64)));
+        assert_eq!(ratio(-6, 2).to_biguint(), None);
+        assert!((ratio(1, 4).to_f64() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recip() {
+        assert_eq!(ratio(2, 3).recip(), ratio(3, 2));
+        assert_eq!(ratio(-2, 3).recip(), ratio(-3, 2));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ratio(3, 1).to_string(), "3");
+        assert_eq!(ratio(-5, 6).to_string(), "-5/6");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_ratio() -> impl Strategy<Value = BigRatio> {
+        (any::<i64>(), 1u64..u64::MAX).prop_map(|(n, d)| {
+            BigRatio::new(BigInt::from(n), BigUint::from(d))
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn add_commutes(a in arb_ratio(), b in arb_ratio()) {
+            prop_assert_eq!(&a + &b, &b + &a);
+        }
+
+        #[test]
+        fn sub_self_zero(a in arb_ratio()) {
+            prop_assert_eq!(&a - &a, BigRatio::zero());
+        }
+
+        #[test]
+        fn mul_by_recip_is_one(a in arb_ratio()) {
+            prop_assume!(!a.is_zero());
+            prop_assert_eq!(&a * &a.recip(), BigRatio::one());
+        }
+
+        #[test]
+        fn floor_le_value(a in arb_ratio()) {
+            let fl = BigRatio::from_int(a.floor());
+            prop_assert!(fl <= a);
+            let fl_plus_one = fl + BigRatio::one();
+            prop_assert!(fl_plus_one > a);
+        }
+
+        #[test]
+        fn normalised_gcd_is_one(a in arb_ratio()) {
+            prop_assume!(!a.is_zero());
+            let g = a.numerator().magnitude().gcd(a.denominator());
+            prop_assert!(g.is_one());
+        }
+    }
+}

@@ -1,0 +1,484 @@
+//! Kronecker graph designs: exact properties before generation.
+//!
+//! A [`KroneckerDesign`] is an ordered list of constituent matrices
+//! `A_1, …, A_N`; the designed graph is `A = A_1 ⊗ A_2 ⊗ … ⊗ A_N`, with the
+//! single surviving self-loop removed when the triangle-control construction
+//! is used.  Every property the paper derives is available *without*
+//! materialising `A`:
+//!
+//! | property | formula |
+//! |---|---|
+//! | vertices | `∏ m_k` |
+//! | edges | `∏ nnz(A_k)` (− 1 after self-loop removal) |
+//! | degree distribution | `⊗_k n_k(d)` (adjusted at the self-loop vertex) |
+//! | triangles | `(∏ raw_k − 3·D + 2) / 6` with `D = ∏ loop-vertex degrees` |
+//!
+//! where `raw_k = 1ᵀ((A_k·A_k) ⊗ A_k)1`.  When no constituent carries a
+//! self-loop the triangle count is simply `∏ raw_k / 6` (zero for star
+//! designs).
+
+use serde::{Deserialize, Serialize};
+
+use kron_bignum::{product_of, BigUint};
+use kron_sparse::kron::kron_chain;
+use kron_sparse::select::strip_diagonal;
+use kron_sparse::{CooMatrix, PlusTimes};
+
+use crate::constituent::Constituent;
+use crate::degree::DegreeDistribution;
+use crate::error::CoreError;
+use crate::properties::GraphProperties;
+use crate::star::SelfLoop;
+
+/// An immutable Kronecker graph design.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KroneckerDesign {
+    constituents: Vec<Constituent>,
+}
+
+impl KroneckerDesign {
+    /// Create a design from an ordered list of constituents.
+    pub fn new(constituents: Vec<Constituent>) -> Result<Self, CoreError> {
+        if constituents.is_empty() {
+            return Err(CoreError::EmptyDesign);
+        }
+        Ok(KroneckerDesign { constituents })
+    }
+
+    /// Create a design of star constituents with the given numbers of points,
+    /// all carrying the same self-loop placement.  This is the construction
+    /// used for every graph in the paper's evaluation.
+    pub fn from_star_points(points: &[u64], self_loop: SelfLoop) -> Result<Self, CoreError> {
+        if points.is_empty() {
+            return Err(CoreError::EmptyDesign);
+        }
+        let constituents = points
+            .iter()
+            .map(|&p| Constituent::star(p, self_loop))
+            .collect::<Result<Vec<_>, _>>()?;
+        KroneckerDesign::new(constituents)
+    }
+
+    /// The constituents, in Kronecker-product order.
+    pub fn constituents(&self) -> &[Constituent] {
+        &self.constituents
+    }
+
+    /// Number of constituents `N`.
+    pub fn len(&self) -> usize {
+        self.constituents.len()
+    }
+
+    /// Designs are never empty, but clippy likes the pair.
+    pub fn is_empty(&self) -> bool {
+        self.constituents.is_empty()
+    }
+
+    /// Exact number of vertices, `∏ m_k`.
+    pub fn vertices(&self) -> BigUint {
+        product_of(self.constituents.iter().map(|c| c.vertices()))
+    }
+
+    /// Exact number of stored entries of the raw product, `∏ nnz(A_k)`,
+    /// before any self-loop removal.
+    pub fn nnz_with_loops(&self) -> BigUint {
+        product_of(self.constituents.iter().map(|c| c.nnz()))
+    }
+
+    /// Exact number of self-loops in the raw product, `∏ loops(A_k)`.
+    pub fn product_self_loops(&self) -> BigUint {
+        product_of(self.constituents.iter().map(|c| c.self_loop_count()))
+    }
+
+    /// Whether the design uses the paper's triangle-control construction:
+    /// every constituent carries exactly one self-loop, so the product has
+    /// exactly one, which is removed from the final graph.
+    pub fn has_removable_self_loop(&self) -> bool {
+        self.constituents.iter().all(|c| c.self_loop_count() == 1)
+    }
+
+    /// Degree (including the loop) of the product vertex carrying the single
+    /// removable self-loop: `D = ∏ d_loop(A_k)`.
+    pub fn self_loop_vertex_degree(&self) -> Option<BigUint> {
+        if !self.has_removable_self_loop() {
+            return None;
+        }
+        let mut product = BigUint::one();
+        for c in &self.constituents {
+            product *= BigUint::from(c.self_loop_degree()?);
+        }
+        Some(product)
+    }
+
+    /// Exact number of edges (stored adjacency entries) of the final graph:
+    /// `∏ nnz(A_k)`, minus one when the removable self-loop is taken out.
+    pub fn edges(&self) -> BigUint {
+        let raw = self.nnz_with_loops();
+        if self.has_removable_self_loop() {
+            raw - BigUint::one()
+        } else {
+            raw
+        }
+    }
+
+    /// Number of self-loops remaining in the final graph (after the removal
+    /// step when it applies).
+    pub fn remaining_self_loops(&self) -> BigUint {
+        let raw = self.product_self_loops();
+        if self.has_removable_self_loop() {
+            raw - BigUint::one()
+        } else {
+            raw
+        }
+    }
+
+    /// The exact degree distribution of the final graph.
+    pub fn degree_distribution(&self) -> DegreeDistribution {
+        let per_constituent: Vec<DegreeDistribution> =
+            self.constituents.iter().map(|c| c.degree_distribution().clone()).collect();
+        let mut dist = DegreeDistribution::kron_all(&per_constituent);
+        if let Some(loop_degree) = self.self_loop_vertex_degree() {
+            dist.remove_self_loop_at(&loop_degree);
+        }
+        dist
+    }
+
+    /// Exact number of triangles of the final graph.
+    ///
+    /// * no self-loops anywhere → `∏ raw_k / 6`;
+    /// * exactly one removable self-loop → `(∏ raw_k − 3·D + 2) / 6` where
+    ///   `D` is [`Self::self_loop_vertex_degree`] (this single formula covers
+    ///   the paper's Case 1 `D = m_A` and Case 2 `D = 2^N`);
+    /// * anything else → [`CoreError::UnsupportedTriangleStructure`].
+    pub fn triangles(&self) -> Result<BigUint, CoreError> {
+        let raw_product = product_of(self.constituents.iter().map(|c| c.triangle_raw_sum()));
+        let loops = self.product_self_loops();
+        if loops.is_zero() {
+            let (q, r) = raw_product.div_rem_u64(6);
+            debug_assert_eq!(r, 0, "raw triangle sum of a loop-free product must divide by 6");
+            return Ok(q);
+        }
+        if self.has_removable_self_loop() {
+            let d = self
+                .self_loop_vertex_degree()
+                .expect("removable self-loop implies a well-defined loop vertex degree");
+            // corrected = (∏ raw_k − 3·D + 2) / 6, exactly.
+            let numerator = raw_product + BigUint::from(2u64) - BigUint::from(3u64) * d;
+            let (q, r) = numerator.div_rem_u64(6);
+            debug_assert_eq!(r, 0, "triangle correction must be an exact integer");
+            return Ok(q);
+        }
+        Err(CoreError::UnsupportedTriangleStructure { product_self_loops: loops.to_string() })
+    }
+
+    /// The full exact property sheet of the designed graph.
+    pub fn properties(&self) -> GraphProperties {
+        GraphProperties {
+            vertices: self.vertices(),
+            edges: self.edges(),
+            triangles: self.triangles().ok(),
+            self_loops: self.remaining_self_loops(),
+            degree_distribution: self.degree_distribution(),
+        }
+    }
+
+    /// Split the design after `split_index` constituents into the `(B, C)`
+    /// pair used by the paper's parallel generator: `A = B ⊗ C`.
+    pub fn split(&self, split_index: usize) -> Result<(KroneckerDesign, KroneckerDesign), CoreError> {
+        if split_index == 0 || split_index >= self.constituents.len() {
+            return Err(CoreError::DesignNotFound {
+                message: format!(
+                    "split index {split_index} must be in 1..{} so both factors are non-empty",
+                    self.constituents.len()
+                ),
+            });
+        }
+        let b = KroneckerDesign::new(self.constituents[..split_index].to_vec())?;
+        let c = KroneckerDesign::new(self.constituents[split_index..].to_vec())?;
+        Ok((b, c))
+    }
+
+    /// Materialise the final adjacency matrix.
+    ///
+    /// Refuses (with [`CoreError::TooLargeToRealise`]) when the edge count
+    /// exceeds `max_edges`, because at that point the analytic API is the
+    /// right tool.
+    pub fn realize(&self, max_edges: u64) -> Result<CooMatrix<u64>, CoreError> {
+        let edges = self.edges();
+        let vertices = self.vertices();
+        if edges > BigUint::from(max_edges) || vertices.to_u64().is_none() {
+            return Err(CoreError::TooLargeToRealise {
+                vertices: vertices.to_string(),
+                edges: edges.to_string(),
+            });
+        }
+        let product = self.realize_raw(max_edges)?;
+        if self.has_removable_self_loop() {
+            // The product has exactly one diagonal entry; stripping the
+            // diagonal removes precisely that entry.
+            Ok(strip_diagonal(&product))
+        } else {
+            Ok(product)
+        }
+    }
+
+    /// Materialise the *raw* Kronecker product `⊗_k A_k` without the final
+    /// self-loop removal.  This is the form the parallel generator's factors
+    /// need (removing per-factor loops before multiplying would change the
+    /// product).
+    pub fn realize_raw(&self, max_edges: u64) -> Result<CooMatrix<u64>, CoreError> {
+        let raw_edges = self.nnz_with_loops();
+        let vertices = self.vertices();
+        if raw_edges > BigUint::from(max_edges) || vertices.to_u64().is_none() {
+            return Err(CoreError::TooLargeToRealise {
+                vertices: vertices.to_string(),
+                edges: raw_edges.to_string(),
+            });
+        }
+        let matrices: Vec<CooMatrix<u64>> =
+            self.constituents.iter().map(|c| c.adjacency()).collect();
+        Ok(kron_chain::<u64, PlusTimes>(&matrices)?)
+    }
+
+    /// Convenience: the star-point list of a pure star design, if it is one.
+    pub fn star_points(&self) -> Option<Vec<u64>> {
+        self.constituents.iter().map(|c| c.as_star().map(|s| s.points())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kron_sparse::reduce::degree_distribution as measured_distribution;
+    use kron_sparse::select::{empty_vertices, self_loop_count};
+    use kron_sparse::triangles::count_triangles_coo;
+
+    fn big(s: &str) -> BigUint {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn empty_design_rejected() {
+        assert!(KroneckerDesign::from_star_points(&[], SelfLoop::None).is_err());
+        assert!(KroneckerDesign::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn figure1_design_counts() {
+        // Stars m̂ = {5, 3}: 24 vertices, 60 edges, 0 triangles, n(d) = 15/d.
+        let design = KroneckerDesign::from_star_points(&[5, 3], SelfLoop::None).unwrap();
+        assert_eq!(design.vertices(), BigUint::from(24u64));
+        assert_eq!(design.edges(), BigUint::from(60u64));
+        assert_eq!(design.triangles().unwrap(), BigUint::zero());
+        assert_eq!(design.product_self_loops(), BigUint::zero());
+        let dist = design.degree_distribution();
+        assert_eq!(dist.count(&BigUint::from(1u64)), BigUint::from(15u64));
+        assert_eq!(dist.count(&BigUint::from(3u64)), BigUint::from(5u64));
+        assert_eq!(dist.count(&BigUint::from(5u64)), BigUint::from(3u64));
+        assert_eq!(dist.count(&BigUint::from(15u64)), BigUint::from(1u64));
+        assert_eq!(dist.perfect_power_law_constant(), Some(BigUint::from(15u64)));
+    }
+
+    #[test]
+    fn figure2_top_triangle_count() {
+        // Centre loops on stars m̂ = {5, 3}: 15 triangles (paper Figure 2 top).
+        let design = KroneckerDesign::from_star_points(&[5, 3], SelfLoop::Centre).unwrap();
+        assert_eq!(design.triangles().unwrap(), BigUint::from(15u64));
+        assert_eq!(design.self_loop_vertex_degree(), Some(BigUint::from(24u64)));
+        assert_eq!(design.edges(), BigUint::from(11 * 7 - 1u64));
+    }
+
+    #[test]
+    fn figure2_bottom_triangle_count() {
+        // Leaf loops on stars m̂ = {5, 3}: 1 triangle after loop removal.
+        let design = KroneckerDesign::from_star_points(&[5, 3], SelfLoop::Leaf).unwrap();
+        assert_eq!(design.triangles().unwrap(), BigUint::from(1u64));
+        assert_eq!(design.self_loop_vertex_degree(), Some(BigUint::from(4u64)));
+    }
+
+    #[test]
+    fn figure4_trillion_edge_design_exact_numbers() {
+        // B = m̂{3,4,5,9,16,25} + centre loops, C = m̂{81,256} + centre loops.
+        // The paper reports exactly 11,177,649,600 vertices,
+        // 1,853,002,140,758 edges and 6,777,007,252,427 triangles.
+        let design = KroneckerDesign::from_star_points(
+            &[3, 4, 5, 9, 16, 25, 81, 256],
+            SelfLoop::Centre,
+        )
+        .unwrap();
+        assert_eq!(design.vertices(), big("11177649600"));
+        assert_eq!(design.edges(), big("1853002140758"));
+        assert_eq!(design.triangles().unwrap(), big("6777007252427"));
+        let dist = design.degree_distribution();
+        assert_eq!(dist.total_vertices(), big("11177649600"));
+        // Degree sum counts each edge endpoint once (row-nnz convention).
+        assert_eq!(dist.total_edge_endpoints(), big("1853002140758"));
+    }
+
+    #[test]
+    fn figure3_trillion_edge_loop_free_design() {
+        // Same stars without self-loops: 11,177,649,600 vertices and
+        // 1,146,617,856,000 edges with zero triangles.
+        let design =
+            KroneckerDesign::from_star_points(&[3, 4, 5, 9, 16, 25, 81, 256], SelfLoop::None)
+                .unwrap();
+        assert_eq!(design.vertices(), big("11177649600"));
+        assert_eq!(design.edges(), big("1146617856000"));
+        assert_eq!(design.triangles().unwrap(), BigUint::zero());
+        // n(d)·d = ∏ m̂_k = 3·4·5·9·16·25·81·256 for every support point.
+        assert_eq!(
+            design.degree_distribution().perfect_power_law_constant(),
+            Some(big("4478976000")),
+        );
+    }
+
+    #[test]
+    fn figure5_and_6_quadrillion_designs() {
+        let points = [3u64, 4, 5, 9, 16, 25, 81, 256, 625];
+        let plain = KroneckerDesign::from_star_points(&points, SelfLoop::None).unwrap();
+        assert_eq!(plain.vertices(), big("6997208649600"));
+        assert_eq!(plain.edges(), big("1433272320000000"));
+        assert_eq!(plain.triangles().unwrap(), BigUint::zero());
+
+        let looped = KroneckerDesign::from_star_points(&points, SelfLoop::Centre).unwrap();
+        assert_eq!(looped.vertices(), big("6997208649600"));
+        assert_eq!(looped.edges(), big("2318105678089508"));
+        // The paper's Figure 6 caption reports 12,720,651,636,552,426
+        // triangles; the exact integer value of the paper's own formula is
+        // ...427 (the caption value sits just above 2^53, so it was almost
+        // certainly rounded through a double).  See EXPERIMENTS.md.
+        assert_eq!(looped.triangles().unwrap(), big("12720651636552427"));
+    }
+
+    #[test]
+    fn figure7_decetta_design() {
+        let points =
+            [3u64, 4, 5, 7, 11, 9, 16, 25, 49, 81, 121, 256, 625, 2401, 14641];
+        let design = KroneckerDesign::from_star_points(&points, SelfLoop::Leaf).unwrap();
+        assert_eq!(design.vertices(), big("144111718793178936483840000"));
+        assert_eq!(design.edges(), big("2705963586782877716483871216764"));
+        assert_eq!(design.triangles().unwrap(), big("178940587"));
+    }
+
+    #[test]
+    fn properties_sheet_round_trip() {
+        let design = KroneckerDesign::from_star_points(&[3, 4, 5], SelfLoop::Centre).unwrap();
+        let props = design.properties();
+        assert_eq!(props.vertices, design.vertices());
+        assert_eq!(props.edges, design.edges());
+        assert_eq!(props.triangles, Some(design.triangles().unwrap()));
+        assert_eq!(props.self_loops, BigUint::zero());
+        assert!(props.edge_vertex_ratio() > 1.0);
+    }
+
+    #[test]
+    fn realized_graph_matches_predictions() {
+        for self_loop in [SelfLoop::None, SelfLoop::Centre, SelfLoop::Leaf] {
+            let design = KroneckerDesign::from_star_points(&[3, 4, 5], self_loop).unwrap();
+            let graph = design.realize(1_000_000).unwrap();
+            assert_eq!(BigUint::from(graph.nrows()), design.vertices());
+            assert_eq!(BigUint::from(graph.nnz() as u64), design.edges());
+            assert_eq!(self_loop_count(&graph) as u64, 0);
+            assert!(empty_vertices(&graph).is_empty(), "no empty vertices ({self_loop:?})");
+            assert_eq!(
+                BigUint::from(count_triangles_coo(&graph).unwrap()),
+                design.triangles().unwrap(),
+                "triangle mismatch for {self_loop:?}"
+            );
+            let measured = DegreeDistribution::from_histogram(&measured_distribution(&graph));
+            assert_eq!(measured, design.degree_distribution(), "distribution ({self_loop:?})");
+        }
+    }
+
+    #[test]
+    fn split_produces_b_and_c_factors() {
+        let design = KroneckerDesign::from_star_points(&[3, 4, 5, 9, 16, 25, 81, 256], SelfLoop::None)
+            .unwrap();
+        let (b, c) = design.split(6).unwrap();
+        assert_eq!(b.vertices(), BigUint::from(530_400u64));
+        assert_eq!(b.edges(), BigUint::from(13_824_000u64));
+        assert_eq!(c.vertices(), BigUint::from(21_074u64));
+        assert_eq!(c.edges(), BigUint::from(82_944u64));
+        assert_eq!(b.vertices() * c.vertices(), design.vertices());
+        assert_eq!(b.edges() * c.edges(), design.edges());
+        assert!(design.split(0).is_err());
+        assert!(design.split(8).is_err());
+    }
+
+    #[test]
+    fn realize_refuses_huge_designs() {
+        let design = KroneckerDesign::from_star_points(&[81, 256, 625], SelfLoop::None).unwrap();
+        assert!(matches!(design.realize(10_000), Err(CoreError::TooLargeToRealise { .. })));
+    }
+
+    #[test]
+    fn star_points_accessor() {
+        let design = KroneckerDesign::from_star_points(&[3, 4, 5], SelfLoop::None).unwrap();
+        assert_eq!(design.star_points(), Some(vec![3, 4, 5]));
+    }
+
+    #[test]
+    fn triangles_unsupported_for_multi_loop_constituents() {
+        use kron_sparse::CooMatrix;
+        let two_loops =
+            CooMatrix::from_edges(2, 2, vec![(0, 0), (1, 1), (0, 1), (1, 0)]).unwrap();
+        let c = crate::constituent::Constituent::from_matrix(two_loops, 0).unwrap();
+        let design = KroneckerDesign::new(vec![c]).unwrap();
+        assert!(matches!(
+            design.triangles(),
+            Err(CoreError::UnsupportedTriangleStructure { .. })
+        ));
+        assert!(design.properties().triangles.is_none());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use kron_sparse::reduce::degree_distribution as measured_distribution;
+    use kron_sparse::triangles::count_triangles_coo;
+    use proptest::prelude::*;
+
+    fn arb_self_loop() -> impl Strategy<Value = SelfLoop> {
+        prop_oneof![Just(SelfLoop::None), Just(SelfLoop::Centre), Just(SelfLoop::Leaf)]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn predictions_match_realisation(points in proptest::collection::vec(1u64..7, 1..4),
+                                         self_loop in arb_self_loop()) {
+            let design = KroneckerDesign::from_star_points(&points, self_loop).unwrap();
+            let graph = design.realize(2_000_000).unwrap();
+            prop_assert_eq!(BigUint::from(graph.nnz() as u64), design.edges());
+            prop_assert_eq!(BigUint::from(graph.nrows()), design.vertices());
+            prop_assert_eq!(
+                BigUint::from(count_triangles_coo(&graph).unwrap()),
+                design.triangles().unwrap()
+            );
+            let measured = DegreeDistribution::from_histogram(&measured_distribution(&graph));
+            prop_assert_eq!(measured, design.degree_distribution());
+        }
+
+        #[test]
+        fn split_factors_multiply(points in proptest::collection::vec(1u64..9, 2..6),
+                                  self_loop in arb_self_loop()) {
+            let design = KroneckerDesign::from_star_points(&points, self_loop).unwrap();
+            for split in 1..points.len() {
+                let (b, c) = design.split(split).unwrap();
+                prop_assert_eq!(b.vertices() * c.vertices(), design.vertices());
+                prop_assert_eq!(b.nnz_with_loops() * c.nnz_with_loops(), design.nnz_with_loops());
+            }
+        }
+
+        #[test]
+        fn degree_distribution_is_consistent(points in proptest::collection::vec(1u64..20, 1..6),
+                                             self_loop in arb_self_loop()) {
+            let design = KroneckerDesign::from_star_points(&points, self_loop).unwrap();
+            let dist = design.degree_distribution();
+            prop_assert_eq!(dist.total_vertices(), design.vertices());
+            prop_assert_eq!(dist.total_edge_endpoints(), design.edges());
+        }
+    }
+}

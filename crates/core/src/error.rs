@@ -1,0 +1,97 @@
+//! Error type for the design layer.
+
+use kron_sparse::SparseError;
+use std::fmt;
+
+/// Errors produced while designing, realising, or validating Kronecker graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A design was empty (no constituent matrices).
+    EmptyDesign,
+    /// A constituent matrix was rejected (must be square, non-empty, …).
+    InvalidConstituent {
+        /// Position of the offending constituent in the design.
+        index: usize,
+        /// Explanation of the problem.
+        message: String,
+    },
+    /// A star parameter was invalid (e.g. `m̂ = 0`).
+    InvalidStar {
+        /// The offending number of star points.
+        points: u64,
+        /// Explanation of the problem.
+        message: String,
+    },
+    /// The requested operation needs the graph to be materialised but it is
+    /// too large for memory.
+    TooLargeToRealise {
+        /// Number of vertices of the requested graph (decimal string).
+        vertices: String,
+        /// Number of edges of the requested graph (decimal string).
+        edges: String,
+    },
+    /// A design search failed to find a design meeting the targets.
+    DesignNotFound {
+        /// Explanation of what was searched and why it failed.
+        message: String,
+    },
+    /// Exact triangle counting is only defined for designs whose product has
+    /// zero self-loops or exactly one removable self-loop (the paper's
+    /// Case 0 / Case 1 / Case 2 constructions).
+    UnsupportedTriangleStructure {
+        /// Number of self-loops in the product graph (decimal string).
+        product_self_loops: String,
+    },
+    /// An underlying sparse-matrix error.
+    Sparse(SparseError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::EmptyDesign => write!(f, "design has no constituent matrices"),
+            CoreError::InvalidConstituent { index, message } => {
+                write!(f, "invalid constituent #{index}: {message}")
+            }
+            CoreError::InvalidStar { points, message } => {
+                write!(f, "invalid star with {points} points: {message}")
+            }
+            CoreError::TooLargeToRealise { vertices, edges } => write!(
+                f,
+                "graph with {vertices} vertices / {edges} edges is too large to materialise; \
+                 use the analytic property API instead"
+            ),
+            CoreError::DesignNotFound { message } => write!(f, "design search failed: {message}"),
+            CoreError::UnsupportedTriangleStructure { product_self_loops } => write!(
+                f,
+                "exact triangle count needs 0 or 1 self-loops in the product, found {product_self_loops}"
+            ),
+            CoreError::Sparse(e) => write!(f, "sparse kernel error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<SparseError> for CoreError {
+    fn from(err: SparseError) -> Self {
+        CoreError::Sparse(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(CoreError::EmptyDesign.to_string().contains("no constituent"));
+        let e = CoreError::InvalidStar { points: 0, message: "need at least one point".into() };
+        assert!(e.to_string().contains("0 points"));
+        let e = CoreError::TooLargeToRealise { vertices: "10".into(), edges: "20".into() };
+        assert!(e.to_string().contains("too large"));
+        let e: CoreError = SparseError::Io("boom".into()).into();
+        assert!(matches!(e, CoreError::Sparse(_)));
+        assert!(e.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,166 @@
+//! Exact graph property summaries.
+//!
+//! [`GraphProperties`] is the designer's "data sheet" for a graph: every
+//! quantity the paper predicts before generation, in exact integer form, plus
+//! the derived power-law diagnostics.  It is produced analytically by
+//! [`crate::design::KroneckerDesign::properties`] and empirically by
+//! [`crate::validate::measure_properties`], and the two are compared
+//! field-by-field during validation.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use kron_bignum::{grouped, BigUint};
+
+use crate::degree::DegreeDistribution;
+
+/// Exact properties of a (possibly enormous) graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphProperties {
+    /// Number of vertices.
+    pub vertices: BigUint,
+    /// Number of edges (stored adjacency entries after any self-loop removal).
+    pub edges: BigUint,
+    /// Number of triangles, when the design supports exact counting.
+    pub triangles: Option<BigUint>,
+    /// Number of self-loops remaining in the graph.
+    pub self_loops: BigUint,
+    /// The full exact degree distribution.
+    pub degree_distribution: DegreeDistribution,
+}
+
+impl GraphProperties {
+    /// Largest vertex degree (zero for an empty graph).
+    pub fn max_degree(&self) -> BigUint {
+        self.degree_distribution.max_degree().cloned().unwrap_or_else(BigUint::zero)
+    }
+
+    /// Smallest vertex degree present (zero for an empty graph).
+    pub fn min_degree(&self) -> BigUint {
+        self.degree_distribution.min_degree().cloned().unwrap_or_else(BigUint::zero)
+    }
+
+    /// Number of distinct degrees in the distribution.
+    pub fn distinct_degrees(&self) -> usize {
+        self.degree_distribution.support_size()
+    }
+
+    /// Edge-to-vertex ratio as `f64` (the paper reports e.g. "ratio: 165.78"
+    /// in Figure 4).
+    pub fn edge_vertex_ratio(&self) -> f64 {
+        if self.vertices.is_zero() {
+            return 0.0;
+        }
+        self.edges.to_f64() / self.vertices.to_f64()
+    }
+
+    /// Constant `c` of the exact power law `n(d) = c/d`, when every support
+    /// point lies on one.
+    pub fn perfect_power_law_constant(&self) -> Option<BigUint> {
+        self.degree_distribution.perfect_power_law_constant()
+    }
+
+    /// Least-squares power-law slope fit of the degree distribution.
+    pub fn alpha(&self) -> Option<f64> {
+        self.degree_distribution.fit_alpha()
+    }
+
+    /// `true` when the two property sets agree exactly on every field the
+    /// paper validates: vertices, edges, triangles, and the complete degree
+    /// distribution.
+    pub fn exactly_matches(&self, other: &GraphProperties) -> bool {
+        self.vertices == other.vertices
+            && self.edges == other.edges
+            && self.triangles == other.triangles
+            && self.self_loops == other.self_loops
+            && self.degree_distribution == other.degree_distribution
+    }
+}
+
+impl fmt::Display for GraphProperties {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "vertices:  {}", grouped(&self.vertices.to_string()))?;
+        writeln!(f, "edges:     {}", grouped(&self.edges.to_string()))?;
+        match &self.triangles {
+            Some(t) => writeln!(f, "triangles: {}", grouped(&t.to_string()))?,
+            None => writeln!(f, "triangles: (not exactly computable for this design)")?,
+        }
+        writeln!(f, "self-loops: {}", self.self_loops)?;
+        writeln!(f, "max degree: {}", grouped(&self.max_degree().to_string()))?;
+        writeln!(f, "distinct degrees: {}", self.distinct_degrees())?;
+        write!(f, "edges/vertex: {:.4}", self.edge_vertex_ratio())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dist(pairs: &[(u64, u64)]) -> DegreeDistribution {
+        DegreeDistribution::from_pairs(
+            pairs.iter().map(|&(d, n)| (BigUint::from(d), BigUint::from(n))),
+        )
+    }
+
+    fn sample() -> GraphProperties {
+        GraphProperties {
+            vertices: BigUint::from(24u64),
+            edges: BigUint::from(60u64),
+            triangles: Some(BigUint::zero()),
+            self_loops: BigUint::zero(),
+            degree_distribution: dist(&[(1, 15), (3, 5), (5, 3), (15, 1)]),
+        }
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let p = sample();
+        assert_eq!(p.max_degree(), BigUint::from(15u64));
+        assert_eq!(p.min_degree(), BigUint::from(1u64));
+        assert_eq!(p.distinct_degrees(), 4);
+        assert!((p.edge_vertex_ratio() - 2.5).abs() < 1e-12);
+        assert_eq!(p.perfect_power_law_constant(), Some(BigUint::from(15u64)));
+        assert!(p.alpha().unwrap() > 0.9);
+    }
+
+    #[test]
+    fn exact_match_is_field_by_field() {
+        let a = sample();
+        let mut b = sample();
+        assert!(a.exactly_matches(&b));
+        b.edges = BigUint::from(61u64);
+        assert!(!a.exactly_matches(&b));
+        let mut c = sample();
+        c.triangles = None;
+        assert!(!a.exactly_matches(&c));
+    }
+
+    #[test]
+    fn display_contains_grouped_numbers() {
+        let p = GraphProperties {
+            vertices: BigUint::from(11_177_649_600u64),
+            edges: BigUint::from(1_853_002_140_758u64),
+            triangles: Some(BigUint::from(6_777_007_252_427u64)),
+            self_loops: BigUint::zero(),
+            degree_distribution: dist(&[(1, 10), (10, 1)]),
+        };
+        let text = p.to_string();
+        assert!(text.contains("11,177,649,600"));
+        assert!(text.contains("1,853,002,140,758"));
+        assert!(text.contains("6,777,007,252,427"));
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let p = GraphProperties {
+            vertices: BigUint::zero(),
+            edges: BigUint::zero(),
+            triangles: None,
+            self_loops: BigUint::zero(),
+            degree_distribution: DegreeDistribution::new(),
+        };
+        assert_eq!(p.edge_vertex_ratio(), 0.0);
+        assert_eq!(p.max_degree(), BigUint::zero());
+        assert!(p.to_string().contains("not exactly computable"));
+    }
+}

@@ -1,0 +1,175 @@
+//! Per-worker graph blocks.
+//!
+//! A [`GraphBlock`] is one worker's share of the generated graph: the
+//! Kronecker product of the worker's slice of `B`'s triples with the whole of
+//! `C`.  Row and column indices are *global* (indices into the full designed
+//! graph), so the union of all blocks is exactly the designed adjacency
+//! matrix; the block also records which `B` columns it covers, which is the
+//! paper's "subtract the minimum column index" local form.
+
+use serde::{Deserialize, Serialize};
+
+use kron_sparse::CooMatrix;
+
+/// One worker's block of a distributed Kronecker graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphBlock {
+    /// Worker identifier `p ∈ 0..N_p`.
+    pub worker: usize,
+    /// The block's edges with global row/column indices.
+    pub edges: CooMatrix<u64>,
+    /// Smallest global `B` column index covered by this worker (the paper's
+    /// per-processor column offset), if the worker received any triples.
+    pub b_col_offset: Option<u64>,
+    /// Number of `B` triples this worker expanded.
+    pub b_triples: usize,
+}
+
+impl GraphBlock {
+    /// Generate the block for `worker` from its slice of `B` triples and the
+    /// replicated factor `C`.
+    ///
+    /// `a_rows`/`a_cols` are the dimensions of the full product graph; every
+    /// produced index is within them by construction.
+    pub fn generate(
+        worker: usize,
+        b_triples: &[(u64, u64, u64)],
+        c: &CooMatrix<u64>,
+        a_rows: u64,
+        a_cols: u64,
+    ) -> Self {
+        let mut edges = CooMatrix::with_capacity(a_rows, a_cols, b_triples.len() * c.nnz());
+        for &(rb, cb, vb) in b_triples {
+            for (rc, cc, vc) in c.iter() {
+                edges
+                    .push(rb * c.nrows() + rc, cb * c.ncols() + cc, vb * vc)
+                    .expect("kron indices are within the product dimensions");
+            }
+        }
+        let b_col_offset = b_triples.iter().map(|&(_, c, _)| c).min();
+        GraphBlock { worker, edges, b_col_offset, b_triples: b_triples.len() }
+    }
+
+    /// Number of edges stored in this block.
+    pub fn edge_count(&self) -> usize {
+        self.edges.nnz()
+    }
+
+    /// Number of self-loop (diagonal) entries in this block.
+    pub fn self_loop_count(&self) -> usize {
+        self.edges.iter().filter(|&(r, c, _)| r == c).count()
+    }
+
+    /// Remove a single entry at `(row, col)` if present; returns whether an
+    /// entry was removed.  Used to delete the one surviving self-loop of the
+    /// triangle-control construction from whichever block holds it.
+    pub fn remove_entry(&mut self, row: u64, col: u64) -> bool {
+        let before = self.edges.nnz();
+        self.edges = self.edges.filter(|r, c, _| !(r == row && c == col));
+        self.edges.nnz() != before
+    }
+
+    /// The paper's local form of the block: column indices shifted down so
+    /// each worker's matrix starts at local column zero (the "subtract the
+    /// minimum column index" step of §V).
+    pub fn local_edges(&self) -> CooMatrix<u64> {
+        let min_col = self.edges.col_indices().iter().min().copied().unwrap_or(0);
+        let mut local = CooMatrix::new(
+            self.edges.nrows(),
+            self.edges.ncols() - min_col,
+        );
+        for (r, c, v) in self.edges.iter() {
+            local.push(r, c - min_col, v).expect("shifted column stays in bounds");
+        }
+        local
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kron_sparse::{kron_coo, PlusTimes};
+
+    fn star(points: u64) -> CooMatrix<u64> {
+        let mut edges = Vec::new();
+        for leaf in 1..=points {
+            edges.push((0, leaf));
+            edges.push((leaf, 0));
+        }
+        CooMatrix::from_edges(points + 1, points + 1, edges).unwrap()
+    }
+
+    #[test]
+    fn single_block_equals_full_kron() {
+        let b = star(4);
+        let c = star(3);
+        let triples: Vec<(u64, u64, u64)> = crate::partition::csc_ordered_triples(&b);
+        let block = GraphBlock::generate(0, &triples, &c, 20, 20);
+        let mut expected = kron_coo::<u64, PlusTimes>(&b, &c).unwrap();
+        let mut produced = block.edges.clone();
+        expected.sort();
+        produced.sort();
+        assert_eq!(produced, expected);
+        assert_eq!(block.b_triples, b.nnz());
+        assert_eq!(block.b_col_offset, Some(0));
+    }
+
+    #[test]
+    fn blocks_union_to_full_graph_without_overlap() {
+        let b = star(5);
+        let c = star(2);
+        let triples = crate::partition::csc_ordered_triples(&b);
+        let part = crate::partition::Partition::even(triples.len(), 3);
+        let mut union = CooMatrix::new(18, 18);
+        let mut total = 0usize;
+        for w in 0..3 {
+            let block = GraphBlock::generate(w, &triples[part.range(w)], &c, 18, 18);
+            total += block.edge_count();
+            union.append(&block.edges).unwrap();
+        }
+        assert_eq!(total, b.nnz() * c.nnz());
+        let mut expected = kron_coo::<u64, PlusTimes>(&b, &c).unwrap();
+        expected.sort();
+        union.sort();
+        assert_eq!(union, expected);
+    }
+
+    #[test]
+    fn empty_slice_produces_empty_block() {
+        let c = star(2);
+        let block = GraphBlock::generate(7, &[], &c, 10, 10);
+        assert_eq!(block.edge_count(), 0);
+        assert_eq!(block.b_col_offset, None);
+        assert_eq!(block.worker, 7);
+        assert_eq!(block.local_edges().nnz(), 0);
+    }
+
+    #[test]
+    fn self_loop_detection_and_removal() {
+        // B and C each carry one self-loop at vertex 0; the product block has
+        // exactly one diagonal entry at (0, 0).
+        let mut b = star(2);
+        b.push(0, 0, 1).unwrap();
+        let mut c = star(2);
+        c.push(0, 0, 1).unwrap();
+        let triples = crate::partition::csc_ordered_triples(&b);
+        let mut block = GraphBlock::generate(0, &triples, &c, 9, 9);
+        assert_eq!(block.self_loop_count(), 1);
+        assert!(block.remove_entry(0, 0));
+        assert_eq!(block.self_loop_count(), 0);
+        assert!(!block.remove_entry(0, 0));
+    }
+
+    #[test]
+    fn local_edges_shift_to_zero() {
+        let b = star(3);
+        let c = star(2);
+        let triples = crate::partition::csc_ordered_triples(&b);
+        // Take only the triples in B's last column (column 3).
+        let last_col: Vec<_> = triples.iter().copied().filter(|&(_, col, _)| col == 3).collect();
+        let block = GraphBlock::generate(1, &last_col, &c, 12, 12);
+        let local = block.local_edges();
+        assert_eq!(local.col_indices().iter().min().copied(), Some(0));
+        assert_eq!(local.nnz(), block.edge_count());
+    }
+}

@@ -1,0 +1,306 @@
+//! The communication-free parallel generator.
+//!
+//! [`ParallelGenerator`] turns a [`KroneckerDesign`] into a
+//! [`DistributedGraph`]: one [`GraphBlock`] per worker, generated entirely
+//! independently on the rayon thread pool, with the single self-loop of the
+//! triangle-control construction removed afterwards.  The union of the
+//! blocks is exactly the designed graph.
+
+use std::time::Instant;
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use kron_bignum::BigUint;
+use kron_core::{CoreError, GraphProperties, KroneckerDesign};
+use kron_sparse::CooMatrix;
+
+use crate::block::GraphBlock;
+use crate::partition::{csc_ordered_triples, Partition};
+use crate::split::{choose_split, SplitPlan};
+use crate::stats::GenerationStats;
+
+/// Configuration of a parallel generation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Number of workers ("processors" in the paper's terminology).
+    pub workers: usize,
+    /// Memory budget for the replicated `C` factor, in stored entries.
+    pub max_c_edges: u64,
+    /// Safety cap on the total number of edges that may be materialised.
+    pub max_total_edges: u64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig { workers: 4, max_c_edges: 1 << 20, max_total_edges: 50_000_000 }
+    }
+}
+
+/// A generated graph distributed across per-worker blocks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DistributedGraph {
+    /// Per-worker blocks (always `config.workers` of them, possibly empty).
+    pub blocks: Vec<GraphBlock>,
+    /// Number of rows/columns of the full graph.
+    pub vertices: u64,
+    /// The split plan that produced the blocks.
+    pub split: SplitPlan,
+    /// Exact predicted properties of the design the blocks realise.
+    pub predicted: GraphProperties,
+    /// Timing and balance statistics of the generation run.
+    pub stats: GenerationStats,
+}
+
+impl DistributedGraph {
+    /// Total number of edges stored across all blocks.
+    pub fn edge_count(&self) -> u64 {
+        self.blocks.iter().map(|b| b.edge_count() as u64).sum()
+    }
+
+    /// Assemble the full adjacency matrix (tests and small graphs only).
+    pub fn assemble(&self) -> CooMatrix<u64> {
+        let mut all = CooMatrix::new(self.vertices, self.vertices);
+        for block in &self.blocks {
+            all.append(&block.edges).expect("blocks share the full graph dimensions");
+        }
+        all
+    }
+
+    /// Per-worker edge counts.
+    pub fn edges_per_worker(&self) -> Vec<u64> {
+        self.blocks.iter().map(|b| b.edge_count() as u64).collect()
+    }
+}
+
+/// The parallel Kronecker graph generator.
+#[derive(Debug, Clone, Default)]
+pub struct ParallelGenerator {
+    config: GeneratorConfig,
+}
+
+impl ParallelGenerator {
+    /// Create a generator with the given configuration.
+    pub fn new(config: GeneratorConfig) -> Self {
+        ParallelGenerator { config }
+    }
+
+    /// The generator's configuration.
+    pub fn config(&self) -> &GeneratorConfig {
+        &self.config
+    }
+
+    /// Generate the designed graph as a set of per-worker blocks.
+    ///
+    /// The split into `B ⊗ C` is chosen automatically (see
+    /// [`choose_split`]); use [`ParallelGenerator::generate_with_split`] to
+    /// control it explicitly.
+    pub fn generate(&self, design: &KroneckerDesign) -> Result<DistributedGraph, CoreError> {
+        let plan = choose_split(design, self.config.max_c_edges, self.config.workers as u64)
+            .or_else(|_| choose_split(design, self.config.max_c_edges, 1))?;
+        self.generate_with_split(design, plan.split_index)
+    }
+
+    /// Generate using an explicit split index (`B` = first `split_index`
+    /// constituents, `C` = the rest).
+    pub fn generate_with_split(
+        &self,
+        design: &KroneckerDesign,
+        split_index: usize,
+    ) -> Result<DistributedGraph, CoreError> {
+        if self.config.workers == 0 {
+            return Err(CoreError::DesignNotFound {
+                message: "generator needs at least one worker".into(),
+            });
+        }
+        let total_edges = design.nnz_with_loops();
+        if total_edges > BigUint::from(self.config.max_total_edges) {
+            return Err(CoreError::TooLargeToRealise {
+                vertices: design.vertices().to_string(),
+                edges: total_edges.to_string(),
+            });
+        }
+        let vertices = design
+            .vertices()
+            .to_u64()
+            .ok_or_else(|| CoreError::TooLargeToRealise {
+                vertices: design.vertices().to_string(),
+                edges: total_edges.to_string(),
+            })?;
+
+        let (b_design, c_design) = design.split(split_index)?;
+        // Both factors must keep their self-loops so that the product of the
+        // blocks is exactly the designed raw product; the single surviving
+        // product self-loop is removed after generation.
+        let b = b_design.realize_raw(self.config.max_total_edges)?;
+        let c = c_design.realize_raw(self.config.max_total_edges)?;
+
+        let triples = csc_ordered_triples(&b);
+        let partition = Partition::even(triples.len(), self.config.workers);
+        let split_plan = SplitPlan {
+            split_index,
+            b_nnz: b_design.nnz_with_loops(),
+            c_nnz: c_design.nnz_with_loops(),
+            c_vertices: c_design.vertices(),
+        };
+
+        let started = Instant::now();
+        let mut blocks: Vec<GraphBlock> = (0..self.config.workers)
+            .into_par_iter()
+            .map(|worker| {
+                GraphBlock::generate(
+                    worker,
+                    &triples[partition.range(worker)],
+                    &c,
+                    vertices,
+                    vertices,
+                )
+            })
+            .collect();
+        let elapsed = started.elapsed();
+
+        // Remove the single surviving self-loop of the triangle-control
+        // construction from whichever block contains it.
+        if design.has_removable_self_loop() {
+            let loop_vertex = self_loop_vertex_index(design);
+            let removed = blocks
+                .iter_mut()
+                .any(|block| block.remove_entry(loop_vertex, loop_vertex));
+            debug_assert!(removed, "the product must contain exactly one self-loop");
+        }
+
+        let stats = GenerationStats::new(
+            blocks.iter().map(|b| b.edge_count() as u64).collect(),
+            elapsed,
+        );
+        Ok(DistributedGraph {
+            blocks,
+            vertices,
+            split: split_plan,
+            predicted: design.properties(),
+            stats,
+        })
+    }
+}
+
+/// Global index of the product vertex that carries the single self-loop of a
+/// triangle-control design: the mixed-radix combination of each
+/// constituent's self-loop vertex index.
+fn self_loop_vertex_index(design: &KroneckerDesign) -> u64 {
+    let mut index = 0u64;
+    for constituent in design.constituents() {
+        let local = constituent
+            .adjacency()
+            .iter()
+            .find(|&(r, c, _)| r == c)
+            .map(|(r, _, _)| r)
+            .unwrap_or(0);
+        index = index * constituent.vertices() + local;
+    }
+    index
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kron_core::{validate::measure_properties, SelfLoop};
+    use kron_sparse::select::self_loop_count;
+
+    fn generator(workers: usize) -> ParallelGenerator {
+        ParallelGenerator::new(GeneratorConfig {
+            workers,
+            max_c_edges: 10_000,
+            max_total_edges: 5_000_000,
+        })
+    }
+
+    #[test]
+    fn generated_graph_matches_design_exactly() {
+        for self_loop in [SelfLoop::None, SelfLoop::Centre, SelfLoop::Leaf] {
+            let design =
+                KroneckerDesign::from_star_points(&[3, 4, 5, 9], self_loop).unwrap();
+            let graph = generator(4).generate(&design).unwrap();
+            let assembled = graph.assemble();
+            let measured = measure_properties(&assembled).unwrap();
+            let predicted = design.properties();
+            assert!(
+                predicted.exactly_matches(&measured),
+                "generated graph disagrees with design for {self_loop:?}"
+            );
+            assert_eq!(self_loop_count(&assembled), 0);
+        }
+    }
+
+    #[test]
+    fn worker_counts_do_not_change_the_graph() {
+        let design = KroneckerDesign::from_star_points(&[3, 4, 5, 9], SelfLoop::Centre).unwrap();
+        let reference = {
+            let mut g = generator(1).generate(&design).unwrap().assemble();
+            g.sort();
+            g
+        };
+        for workers in [2usize, 3, 5, 8] {
+            let mut g = generator(workers).generate(&design).unwrap().assemble();
+            g.sort();
+            assert_eq!(g, reference, "graph differs with {workers} workers");
+        }
+    }
+
+    #[test]
+    fn per_worker_edge_counts_are_balanced() {
+        let design = KroneckerDesign::from_star_points(&[3, 4, 5, 9, 16], SelfLoop::None).unwrap();
+        let graph = generator(8).generate(&design).unwrap();
+        // Every worker's edge count differs by at most nnz(C) (one B triple).
+        let c_nnz = graph.split.c_nnz.to_u64().unwrap();
+        assert!(graph.stats.imbalance() <= c_nnz);
+        assert_eq!(graph.edge_count(), design.edges().to_u64().unwrap());
+        assert_eq!(graph.stats.workers, 8);
+    }
+
+    #[test]
+    fn explicit_split_index_is_respected() {
+        let design = KroneckerDesign::from_star_points(&[3, 4, 5, 9], SelfLoop::None).unwrap();
+        let graph = generator(2).generate_with_split(&design, 3).unwrap();
+        assert_eq!(graph.split.split_index, 3);
+        assert_eq!(graph.split.c_nnz, BigUint::from(18u64));
+        let assembled = graph.assemble();
+        assert_eq!(BigUint::from(assembled.nnz() as u64), design.edges());
+    }
+
+    #[test]
+    fn refuses_oversized_designs() {
+        let design =
+            KroneckerDesign::from_star_points(&[81, 256, 625], SelfLoop::None).unwrap();
+        let result = generator(4).generate(&design);
+        assert!(matches!(result, Err(CoreError::TooLargeToRealise { .. })));
+    }
+
+    #[test]
+    fn zero_workers_rejected() {
+        let design = KroneckerDesign::from_star_points(&[3, 4], SelfLoop::None).unwrap();
+        let gen = ParallelGenerator::new(GeneratorConfig {
+            workers: 0,
+            max_c_edges: 100,
+            max_total_edges: 1_000,
+        });
+        assert!(gen.generate_with_split(&design, 1).is_err());
+    }
+
+    #[test]
+    fn self_loop_vertex_index_cases() {
+        let centre = KroneckerDesign::from_star_points(&[3, 4], SelfLoop::Centre).unwrap();
+        assert_eq!(self_loop_vertex_index(&centre), 0);
+        let leaf = KroneckerDesign::from_star_points(&[3, 4], SelfLoop::Leaf).unwrap();
+        // Leaf vertex of each star is its last vertex, so the product loop is
+        // at the last product vertex.
+        assert_eq!(self_loop_vertex_index(&leaf), 4 * 5 - 1);
+    }
+
+    #[test]
+    fn more_workers_than_triples_still_correct() {
+        let design = KroneckerDesign::from_star_points(&[2, 2], SelfLoop::None).unwrap();
+        let graph = generator(64).generate_with_split(&design, 1).unwrap();
+        assert_eq!(graph.edge_count(), design.edges().to_u64().unwrap());
+        assert_eq!(graph.blocks.len(), 64);
+    }
+}

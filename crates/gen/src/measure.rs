@@ -1,0 +1,187 @@
+//! Distributed measurement of generated graphs.
+//!
+//! The paper validates generated graphs by measuring their degree
+//! distribution and comparing it with the prediction (Figure 4).  These
+//! helpers measure a [`DistributedGraph`] *block by block* — each worker
+//! contributes a partial degree histogram and the partials are merged — so
+//! the full adjacency matrix never has to be assembled.
+
+use std::collections::BTreeMap;
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use kron_bignum::BigUint;
+use kron_core::{CoreError, DegreeDistribution, GraphProperties};
+use kron_sparse::triangles::count_triangles_coo;
+
+use crate::generator::DistributedGraph;
+
+/// Per-worker load-balance summary (the paper's "same number of edges on
+/// each processor" claim, quantified).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BalanceReport {
+    /// Edge count of each worker.
+    pub edges_per_worker: Vec<u64>,
+    /// Largest per-worker edge count.
+    pub max_edges: u64,
+    /// Smallest per-worker edge count.
+    pub min_edges: u64,
+    /// Max / mean ratio (1.0 = perfectly balanced).
+    pub max_over_mean: f64,
+}
+
+impl BalanceReport {
+    /// Build the balance report of a distributed graph.
+    pub fn of(graph: &DistributedGraph) -> Self {
+        let edges_per_worker = graph.edges_per_worker();
+        let max_edges = edges_per_worker.iter().copied().max().unwrap_or(0);
+        let min_edges = edges_per_worker.iter().copied().min().unwrap_or(0);
+        let total: u64 = edges_per_worker.iter().sum();
+        let mean = if edges_per_worker.is_empty() {
+            0.0
+        } else {
+            total as f64 / edges_per_worker.len() as f64
+        };
+        let max_over_mean = if mean > 0.0 { max_edges as f64 / mean } else { 1.0 };
+        BalanceReport { edges_per_worker, max_edges, min_edges, max_over_mean }
+    }
+
+    /// Whether per-worker edge counts differ by at most `tolerance` edges.
+    pub fn is_balanced_within(&self, tolerance: u64) -> bool {
+        self.max_edges - self.min_edges <= tolerance
+    }
+}
+
+/// Measure the degree distribution of a distributed graph without assembling
+/// it: each block produces a partial row-count histogram in parallel and the
+/// partials are merged.
+pub fn measured_degree_distribution(graph: &DistributedGraph) -> DegreeDistribution {
+    let partials: Vec<BTreeMap<u64, u64>> = graph
+        .blocks
+        .par_iter()
+        .map(|block| {
+            let mut rows: BTreeMap<u64, u64> = BTreeMap::new();
+            for &r in block.edges.row_indices() {
+                *rows.entry(r).or_insert(0) += 1;
+            }
+            rows
+        })
+        .collect();
+
+    // Merge per-block row counts into global per-vertex degrees...
+    let mut per_vertex: BTreeMap<u64, u64> = BTreeMap::new();
+    for partial in partials {
+        for (vertex, count) in partial {
+            *per_vertex.entry(vertex).or_insert(0) += count;
+        }
+    }
+    // ...and histogram the degrees.
+    let mut histogram: BTreeMap<u64, u64> = BTreeMap::new();
+    for (_, degree) in per_vertex {
+        *histogram.entry(degree).or_insert(0) += 1;
+    }
+    DegreeDistribution::from_histogram(&histogram)
+}
+
+/// Measure the full property sheet of a distributed graph.  Triangles are
+/// counted on the assembled matrix (exact but memory-bound), so they are
+/// only attempted when the total edge count is at most `max_triangle_edges`.
+pub fn measured_properties(
+    graph: &DistributedGraph,
+    max_triangle_edges: u64,
+) -> Result<GraphProperties, CoreError> {
+    let distribution = measured_degree_distribution(graph);
+    let edges = graph.edge_count();
+    let self_loops: u64 = graph.blocks.iter().map(|b| b.self_loop_count() as u64).sum();
+    let triangles = if edges <= max_triangle_edges && self_loops == 0 {
+        let assembled = graph.assemble();
+        Some(BigUint::from(count_triangles_coo(&assembled)?))
+    } else {
+        None
+    };
+    Ok(GraphProperties {
+        vertices: BigUint::from(graph.vertices),
+        edges: BigUint::from(edges),
+        triangles,
+        self_loops: BigUint::from(self_loops),
+        degree_distribution: distribution,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{GeneratorConfig, ParallelGenerator};
+    use kron_core::{KroneckerDesign, SelfLoop};
+
+    fn generate(points: &[u64], self_loop: SelfLoop, workers: usize) -> DistributedGraph {
+        let design = KroneckerDesign::from_star_points(points, self_loop).unwrap();
+        ParallelGenerator::new(GeneratorConfig {
+            workers,
+            max_c_edges: 10_000,
+            max_total_edges: 5_000_000,
+        })
+        .generate(&design)
+        .unwrap()
+    }
+
+    #[test]
+    fn distributed_distribution_matches_prediction() {
+        for self_loop in [SelfLoop::None, SelfLoop::Centre, SelfLoop::Leaf] {
+            let design = KroneckerDesign::from_star_points(&[3, 4, 5, 9], self_loop).unwrap();
+            let graph = generate(&[3, 4, 5, 9], self_loop, 6);
+            assert_eq!(
+                measured_degree_distribution(&graph),
+                design.degree_distribution(),
+                "distributed measurement mismatch for {self_loop:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn distributed_properties_match_prediction_exactly() {
+        let design = KroneckerDesign::from_star_points(&[3, 4, 5, 9], SelfLoop::Centre).unwrap();
+        let graph = generate(&[3, 4, 5, 9], SelfLoop::Centre, 4);
+        let measured = measured_properties(&graph, 1_000_000).unwrap();
+        assert!(design.properties().exactly_matches(&measured));
+    }
+
+    #[test]
+    fn triangle_counting_skipped_when_over_budget() {
+        let graph = generate(&[3, 4, 5], SelfLoop::None, 2);
+        let measured = measured_properties(&graph, 10).unwrap();
+        assert!(measured.triangles.is_none());
+        assert_eq!(measured.edges, BigUint::from(480u64));
+    }
+
+    #[test]
+    fn balance_report_reflects_even_partition() {
+        // B ends up with 48 triples, which 8 workers divide exactly: the
+        // paper's "same number of edges on each processor" claim holds with
+        // zero imbalance.
+        let graph = generate(&[3, 4, 5, 9, 16], SelfLoop::None, 8);
+        let report = BalanceReport::of(&graph);
+        assert!(report.is_balanced_within(0));
+        assert!((report.max_over_mean - 1.0).abs() < 1e-9);
+        assert_eq!(
+            report.edges_per_worker.iter().sum::<u64>(),
+            graph.edge_count()
+        );
+
+        // When the triple count does not divide evenly the imbalance is at
+        // most one B triple, i.e. nnz(C) edges.
+        let uneven = generate(&[3, 4, 5, 9], SelfLoop::None, 5);
+        let report = BalanceReport::of(&uneven);
+        let c_nnz = uneven.split.c_nnz.to_u64().unwrap();
+        assert!(report.is_balanced_within(c_nnz));
+    }
+
+    #[test]
+    fn balance_report_degenerate() {
+        let graph = generate(&[2, 2], SelfLoop::None, 1);
+        let report = BalanceReport::of(&graph);
+        assert_eq!(report.max_edges, report.min_edges);
+        assert!(report.is_balanced_within(0));
+    }
+}

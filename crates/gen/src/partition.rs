@@ -1,0 +1,185 @@
+//! Partitioning `B`'s triples among workers.
+//!
+//! The paper's scheme: every processor reads `B` and `C`, extracts the
+//! triples of `B` in CSC (column-major) order, and keeps the contiguous
+//! slice of `nnz(B)/N_p` triples that belongs to it.  Because the Kronecker
+//! product maps each `B` triple to exactly `nnz(C)` edges, equal triple
+//! counts give equal edge counts per processor — perfect static load balance
+//! with no communication.
+
+use serde::{Deserialize, Serialize};
+
+use kron_sparse::{CooMatrix, PlusTimes};
+
+/// A partition of `nnz(B)` triples into contiguous worker slices.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    /// Number of triples being divided.
+    total: usize,
+    /// Exclusive end offset of each worker's slice (cumulative).
+    boundaries: Vec<usize>,
+}
+
+impl Partition {
+    /// Divide `total` triples among `workers` slices whose sizes differ by at
+    /// most one (the first `total mod workers` slices get the extra triple).
+    ///
+    /// # Panics
+    /// Panics if `workers` is zero.
+    pub fn even(total: usize, workers: usize) -> Self {
+        assert!(workers > 0, "at least one worker is required");
+        let base = total / workers;
+        let extra = total % workers;
+        let mut boundaries = Vec::with_capacity(workers);
+        let mut cursor = 0usize;
+        for w in 0..workers {
+            cursor += base + usize::from(w < extra);
+            boundaries.push(cursor);
+        }
+        Partition { total, boundaries }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.boundaries.len()
+    }
+
+    /// Total number of triples divided.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// The half-open triple range `[start, end)` owned by worker `p`.
+    pub fn range(&self, p: usize) -> std::ops::Range<usize> {
+        let start = if p == 0 { 0 } else { self.boundaries[p - 1] };
+        start..self.boundaries[p]
+    }
+
+    /// Number of triples owned by worker `p`.
+    pub fn len(&self, p: usize) -> usize {
+        self.range(p).len()
+    }
+
+    /// Whether the partition covers no triples at all.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Sizes of every slice.
+    pub fn sizes(&self) -> Vec<usize> {
+        (0..self.workers()).map(|p| self.len(p)).collect()
+    }
+
+    /// Maximum difference between any two slice sizes (0 or 1 for
+    /// [`Partition::even`]).
+    pub fn imbalance(&self) -> usize {
+        let sizes = self.sizes();
+        match (sizes.iter().max(), sizes.iter().min()) {
+            (Some(max), Some(min)) => max - min,
+            _ => 0,
+        }
+    }
+}
+
+/// `B`'s triples in the deterministic CSC (column-major, then row) order the
+/// partition indexes into.  Row and column indices stay global.
+pub fn csc_ordered_triples(b: &CooMatrix<u64>) -> Vec<(u64, u64, u64)> {
+    let mut canonical = b.clone();
+    canonical.sum_duplicates::<PlusTimes>();
+    let mut triples: Vec<(u64, u64, u64)> = canonical.iter().collect();
+    triples.sort_unstable_by_key(|&(r, c, _)| (c, r));
+    triples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_partition_exact_division() {
+        let p = Partition::even(12, 4);
+        assert_eq!(p.workers(), 4);
+        assert_eq!(p.sizes(), vec![3, 3, 3, 3]);
+        assert_eq!(p.imbalance(), 0);
+        assert_eq!(p.range(0), 0..3);
+        assert_eq!(p.range(3), 9..12);
+    }
+
+    #[test]
+    fn even_partition_with_remainder() {
+        let p = Partition::even(14, 4);
+        assert_eq!(p.sizes(), vec![4, 4, 3, 3]);
+        assert_eq!(p.imbalance(), 1);
+        assert_eq!(p.sizes().iter().sum::<usize>(), 14);
+    }
+
+    #[test]
+    fn more_workers_than_triples() {
+        let p = Partition::even(3, 8);
+        assert_eq!(p.sizes(), vec![1, 1, 1, 0, 0, 0, 0, 0]);
+        assert_eq!(p.sizes().iter().sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let p = Partition::even(0, 3);
+        assert!(p.is_empty());
+        assert_eq!(p.sizes(), vec![0, 0, 0]);
+        let p = Partition::even(7, 1);
+        assert_eq!(p.sizes(), vec![7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let _ = Partition::even(5, 0);
+    }
+
+    #[test]
+    fn csc_order_is_column_major() {
+        let b = CooMatrix::from_edges(3, 3, vec![(2, 0), (0, 1), (1, 0), (0, 2), (2, 1)]).unwrap();
+        let triples = csc_ordered_triples(&b);
+        let cols: Vec<u64> = triples.iter().map(|t| t.1).collect();
+        let mut sorted = cols.clone();
+        sorted.sort_unstable();
+        assert_eq!(cols, sorted);
+        // Within column 0, rows ascend.
+        assert_eq!(triples[0].0, 1);
+        assert_eq!(triples[1].0, 2);
+    }
+
+    #[test]
+    fn csc_order_combines_duplicates() {
+        let b = kron_sparse::CooMatrix::from_entries(
+            2,
+            2,
+            vec![(0u64, 1u64, 1u64), (0, 1, 1), (1, 0, 1)],
+        )
+        .unwrap();
+        let triples = csc_ordered_triples(&b);
+        assert_eq!(triples.len(), 2);
+        assert_eq!(triples[1], (0, 1, 2));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn partition_covers_everything_once(total in 0usize..5000, workers in 1usize..64) {
+            let p = Partition::even(total, workers);
+            prop_assert_eq!(p.sizes().iter().sum::<usize>(), total);
+            prop_assert!(p.imbalance() <= 1);
+            let mut covered = 0usize;
+            for w in 0..p.workers() {
+                let range = p.range(w);
+                prop_assert_eq!(range.start, covered);
+                covered = range.end;
+            }
+            prop_assert_eq!(covered, total);
+        }
+    }
+}

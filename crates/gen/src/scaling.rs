@@ -1,0 +1,231 @@
+//! Analytic scaling model for the parallel generator (Figure 3's line).
+//!
+//! Because the generator is communication-free, its cost model is trivial and
+//! therefore *predictive*: each worker expands its `nnz(B)/N_p` triples into
+//! `nnz(C)` edges each, at a per-edge cost that can be calibrated from a
+//! single small run.  [`ScalingModel`] captures that, predicts the generation
+//! time and aggregate rate for any worker count — including worker counts far
+//! beyond the current machine, which is how the Figure 3 extrapolation to
+//! 41,472 cores is produced — and reports the efficiency lost to the triple
+//! remainder when `N_p` does not divide `nnz(B)`.
+
+use serde::{Deserialize, Serialize};
+
+use kron_core::{CoreError, KroneckerDesign};
+
+use crate::partition::Partition;
+use crate::split::SplitPlan;
+
+/// A calibrated analytic model of the communication-free generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalingModel {
+    /// Seconds one worker needs to produce one edge (calibrated).
+    pub seconds_per_edge: f64,
+    /// The split the model describes.
+    pub b_nnz: u64,
+    /// Edges produced per `B` triple (`nnz(C)`).
+    pub c_nnz: u64,
+}
+
+/// The model's prediction for one worker count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalingPoint {
+    /// Number of workers.
+    pub workers: u64,
+    /// Predicted wall-clock seconds (time of the most loaded worker).
+    pub seconds: f64,
+    /// Predicted aggregate rate in edges per second.
+    pub edges_per_second: f64,
+    /// Parallel efficiency relative to perfect linear scaling (1.0 = ideal).
+    pub efficiency: f64,
+}
+
+impl ScalingModel {
+    /// Build a model from a split plan and a calibrated per-edge cost.
+    pub fn new(plan: &SplitPlan, seconds_per_edge: f64) -> Result<Self, CoreError> {
+        let b_nnz = plan.b_nnz.to_u64().ok_or_else(|| CoreError::TooLargeToRealise {
+            vertices: String::from("n/a"),
+            edges: plan.b_nnz.to_string(),
+        })?;
+        let c_nnz = plan.c_nnz.to_u64().ok_or_else(|| CoreError::TooLargeToRealise {
+            vertices: String::from("n/a"),
+            edges: plan.c_nnz.to_string(),
+        })?;
+        if seconds_per_edge <= 0.0 || !seconds_per_edge.is_finite() {
+            return Err(CoreError::DesignNotFound {
+                message: format!("per-edge cost must be positive and finite, got {seconds_per_edge}"),
+            });
+        }
+        Ok(ScalingModel { seconds_per_edge, b_nnz, c_nnz })
+    }
+
+    /// Calibrate a model from one measured run: `edges` produced in
+    /// `seconds` by `workers` workers.
+    pub fn calibrate(
+        plan: &SplitPlan,
+        workers: u64,
+        edges: u64,
+        seconds: f64,
+    ) -> Result<Self, CoreError> {
+        if workers == 0 || edges == 0 || seconds <= 0.0 {
+            return Err(CoreError::DesignNotFound {
+                message: "calibration needs a non-trivial measured run".into(),
+            });
+        }
+        // One worker's share of the measured run ran for `seconds`; its edge
+        // throughput is edges/workers per `seconds`.
+        let per_worker_edges = edges as f64 / workers as f64;
+        ScalingModel::new(plan, seconds / per_worker_edges)
+    }
+
+    /// Total number of edges of the raw product the model describes.
+    pub fn total_edges(&self) -> u64 {
+        self.b_nnz * self.c_nnz
+    }
+
+    /// Predict time, rate, and efficiency at a given worker count.
+    pub fn predict(&self, workers: u64) -> ScalingPoint {
+        let workers = workers.max(1);
+        let partition = Partition::even(self.b_nnz as usize, workers.min(u64::from(u32::MAX)) as usize);
+        let max_triples = partition.sizes().into_iter().max().unwrap_or(0) as f64;
+        let seconds = max_triples * self.c_nnz as f64 * self.seconds_per_edge;
+        let total = self.total_edges() as f64;
+        let edges_per_second = if seconds > 0.0 { total / seconds } else { f64::INFINITY };
+        let ideal_seconds = total * self.seconds_per_edge / workers as f64;
+        let efficiency = if seconds > 0.0 { ideal_seconds / seconds } else { 1.0 };
+        ScalingPoint { workers, seconds, edges_per_second, efficiency }
+    }
+
+    /// Predict a whole sweep of worker counts (the Figure 3 series).
+    pub fn sweep(&self, worker_counts: &[u64]) -> Vec<ScalingPoint> {
+        worker_counts.iter().map(|&w| self.predict(w)).collect()
+    }
+
+    /// The worker count beyond which adding workers cannot help because every
+    /// worker already holds at most one `B` triple.
+    pub fn saturation_workers(&self) -> u64 {
+        self.b_nnz
+    }
+
+    /// Predict the rate for a *different* design that uses the same kernel
+    /// (same per-edge cost) — e.g. extrapolate a laptop calibration to the
+    /// paper's full trillion-edge configuration.
+    pub fn predict_for_design(
+        &self,
+        design: &KroneckerDesign,
+        split_index: usize,
+        workers: u64,
+    ) -> Result<ScalingPoint, CoreError> {
+        let (b, c) = design.split(split_index)?;
+        let plan = SplitPlan {
+            split_index,
+            b_nnz: b.nnz_with_loops(),
+            c_nnz: c.nnz_with_loops(),
+            c_vertices: c.vertices(),
+        };
+        // The extrapolated design may be too large for u64 per-worker counts;
+        // work in f64 for the prediction itself.
+        let b_nnz = plan.b_nnz.to_f64();
+        let c_nnz = plan.c_nnz.to_f64();
+        let workers_f = workers.max(1) as f64;
+        let max_triples = (b_nnz / workers_f).ceil();
+        let seconds = max_triples * c_nnz * self.seconds_per_edge;
+        let total = b_nnz * c_nnz;
+        Ok(ScalingPoint {
+            workers,
+            seconds,
+            edges_per_second: if seconds > 0.0 { total / seconds } else { f64::INFINITY },
+            efficiency: if seconds > 0.0 {
+                (total * self.seconds_per_edge / workers_f) / seconds
+            } else {
+                1.0
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::split::choose_split;
+    use kron_core::SelfLoop;
+
+    fn plan() -> SplitPlan {
+        let design =
+            KroneckerDesign::from_star_points(&[3, 4, 5, 9, 16], SelfLoop::None).unwrap();
+        choose_split(&design, 10_000, 1).unwrap()
+    }
+
+    #[test]
+    fn construction_and_validation() {
+        let plan = plan();
+        assert!(ScalingModel::new(&plan, 1e-8).is_ok());
+        assert!(ScalingModel::new(&plan, 0.0).is_err());
+        assert!(ScalingModel::new(&plan, f64::NAN).is_err());
+        assert!(ScalingModel::calibrate(&plan, 0, 10, 1.0).is_err());
+        assert!(ScalingModel::calibrate(&plan, 2, 0, 1.0).is_err());
+    }
+
+    #[test]
+    fn perfect_scaling_when_triples_divide_evenly() {
+        let plan = plan(); // B has 48 triples, C has 5,760 edges
+        let model = ScalingModel::new(&plan, 1e-8).unwrap();
+        assert_eq!(model.total_edges(), 276_480);
+        let p1 = model.predict(1);
+        let p8 = model.predict(8);
+        assert!((p1.seconds / p8.seconds - 8.0).abs() < 1e-9, "48 triples split 8 ways evenly");
+        assert!((p8.efficiency - 1.0).abs() < 1e-9);
+        assert!((p8.edges_per_second / p1.edges_per_second - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn remainder_costs_efficiency() {
+        let plan = plan();
+        let model = ScalingModel::new(&plan, 1e-8).unwrap();
+        // 48 triples over 5 workers: one worker holds 10, ideal is 9.6.
+        let p5 = model.predict(5);
+        assert!(p5.efficiency < 1.0);
+        assert!((p5.efficiency - 9.6 / 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturation_at_one_triple_per_worker() {
+        let plan = plan();
+        let model = ScalingModel::new(&plan, 1e-8).unwrap();
+        assert_eq!(model.saturation_workers(), 48);
+        let at = model.predict(48);
+        let beyond = model.predict(480);
+        assert!((at.seconds - beyond.seconds).abs() < 1e-15, "extra workers beyond nnz(B) are idle");
+        assert!(beyond.efficiency < at.efficiency);
+    }
+
+    #[test]
+    fn calibration_round_trips_a_measured_run() {
+        let plan = plan();
+        // Pretend 4 workers produced all 276,480 edges in 0.691 ms.
+        let model = ScalingModel::calibrate(&plan, 4, 276_480, 6.912e-4).unwrap();
+        // per-worker edges = 69,120 -> 1e-8 s/edge.
+        assert!((model.seconds_per_edge - 1e-8).abs() < 1e-15);
+        let p4 = model.predict(4);
+        assert!((p4.seconds - 6.912e-4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extrapolates_to_paper_scale() {
+        let plan = plan();
+        let model = ScalingModel::new(&plan, 3.3e-8).unwrap(); // ~30 Medges/s/core
+        let paper = KroneckerDesign::from_star_points(
+            &[3, 4, 5, 9, 16, 25, 81, 256],
+            SelfLoop::None,
+        )
+        .unwrap();
+        let point = model.predict_for_design(&paper, 6, 41_472).unwrap();
+        // 1.1466e12 edges over 41,472 workers at 3.3e-8 s/edge ≈ 0.9 s —
+        // the paper's "1 second on 41,472 cores" ballpark.
+        assert!(point.seconds > 0.5 && point.seconds < 2.0, "predicted {} s", point.seconds);
+        assert!(point.edges_per_second > 5e11, "predicted {} e/s", point.edges_per_second);
+        let sweep = model.sweep(&[1, 2, 4, 8]);
+        assert_eq!(sweep.len(), 4);
+        assert!(sweep[3].edges_per_second > sweep[0].edges_per_second);
+    }
+}

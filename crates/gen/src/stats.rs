@@ -1,0 +1,93 @@
+//! Generation statistics.
+//!
+//! The paper's Figure 3 reports a single metric — edges generated per second
+//! versus processor count — together with the claim that every processor
+//! produces the same number of edges.  [`GenerationStats`] captures both.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Timing and balance statistics of one parallel generation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GenerationStats {
+    /// Number of workers used.
+    pub workers: usize,
+    /// Total edges generated across all workers.
+    pub total_edges: u64,
+    /// Wall-clock generation time in seconds.
+    pub seconds: f64,
+    /// Edges generated per worker.
+    pub edges_per_worker: Vec<u64>,
+}
+
+impl GenerationStats {
+    /// Assemble statistics from per-worker edge counts and the elapsed time.
+    pub fn new(edges_per_worker: Vec<u64>, elapsed: Duration) -> Self {
+        let total_edges = edges_per_worker.iter().sum();
+        GenerationStats {
+            workers: edges_per_worker.len(),
+            total_edges,
+            seconds: elapsed.as_secs_f64(),
+            edges_per_worker,
+        }
+    }
+
+    /// Aggregate generation rate in edges per second.
+    pub fn edges_per_second(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            return 0.0;
+        }
+        self.total_edges as f64 / self.seconds
+    }
+
+    /// Largest minus smallest per-worker edge count (0 = perfect balance).
+    pub fn imbalance(&self) -> u64 {
+        match (self.edges_per_worker.iter().max(), self.edges_per_worker.iter().min()) {
+            (Some(max), Some(min)) => max - min,
+            _ => 0,
+        }
+    }
+
+    /// Max/mean per-worker load ratio (1.0 = perfect balance).
+    pub fn balance_ratio(&self) -> f64 {
+        if self.edges_per_worker.is_empty() || self.total_edges == 0 {
+            return 1.0;
+        }
+        let max = *self.edges_per_worker.iter().max().expect("non-empty") as f64;
+        let mean = self.total_edges as f64 / self.workers as f64;
+        max / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_and_balance() {
+        let stats = GenerationStats::new(vec![250, 250, 250, 250], Duration::from_millis(500));
+        assert_eq!(stats.workers, 4);
+        assert_eq!(stats.total_edges, 1000);
+        assert!((stats.edges_per_second() - 2000.0).abs() < 1e-9);
+        assert_eq!(stats.imbalance(), 0);
+        assert!((stats.balance_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalanced_run_is_reported() {
+        let stats = GenerationStats::new(vec![300, 200, 100], Duration::from_secs(1));
+        assert_eq!(stats.imbalance(), 200);
+        assert!(stats.balance_ratio() > 1.4);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let stats = GenerationStats::new(vec![], Duration::from_secs(0));
+        assert_eq!(stats.total_edges, 0);
+        assert_eq!(stats.edges_per_second(), 0.0);
+        assert_eq!(stats.imbalance(), 0);
+        assert_eq!(stats.balance_ratio(), 1.0);
+        let zero_time = GenerationStats::new(vec![10], Duration::from_secs(0));
+        assert_eq!(zero_time.edges_per_second(), 0.0);
+    }
+}

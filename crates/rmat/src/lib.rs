@@ -1,0 +1,35 @@
+//! # kron-rmat
+//!
+//! A from-scratch R-MAT / stochastic Kronecker baseline generator.
+//!
+//! The paper positions its exact Kronecker designs against the standard
+//! Graph500-style workflow: pick R-MAT parameters, *sample* a random graph,
+//! measure what came out, and iterate until the measured properties are close
+//! enough to the target.  This crate implements that baseline so the
+//! comparison experiments can be reproduced:
+//!
+//! * [`RmatGenerator`] — recursive quadrant sampling with the Graph500
+//!   parameters as defaults, optional noise, and deterministic seeding.
+//! * [`measure`] — degree-distribution and structural measurements of the
+//!   sampled edge lists (duplicate edges, self-loops, empty vertices — the
+//!   artefacts the paper's generator avoids by construction).
+//! * [`design_loop`] — the trial-and-error design loop: repeatedly generate
+//!   and measure until the edge-count / max-degree targets are met, counting
+//!   how much work that takes compared with the exact designer.
+//! * [`permute`] — random vertex relabelling, needed before R-MAT output can
+//!   be compared fairly with structured generators.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod design_loop;
+pub mod measure;
+pub mod permute;
+pub mod rmat;
+pub mod stochastic;
+
+pub use design_loop::{DesignLoopReport, TrialAndErrorDesigner, TrialTargets};
+pub use measure::{measure_edge_list, EdgeListStats};
+pub use permute::{random_permutation, relabel_edges};
+pub use rmat::{RmatGenerator, RmatParams};
+pub use stochastic::{Initiator, StochasticKronecker};

@@ -1,0 +1,133 @@
+//! Measuring sampled edge lists.
+//!
+//! Randomly sampled generators only reveal their properties after the fact,
+//! and their raw output contains artefacts — duplicate edges, self-loops,
+//! vertices that received no edges at all — that the paper's exact generator
+//! avoids by construction.  [`measure_edge_list`] quantifies all of that so
+//! the comparison benches can report it side by side with the Kronecker
+//! designs.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use kron_core::DegreeDistribution;
+
+/// Structural statistics of a sampled edge list over `vertices` vertices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EdgeListStats {
+    /// Number of vertices of the vertex space the edges were sampled into.
+    pub vertices: u64,
+    /// Number of raw (possibly duplicate) edges sampled.
+    pub raw_edges: u64,
+    /// Number of distinct directed edges after de-duplication.
+    pub unique_edges: u64,
+    /// Number of self-loop samples.
+    pub self_loops: u64,
+    /// Number of vertices that received no edge at all ("empty vertices").
+    pub empty_vertices: u64,
+    /// Largest out-degree (counting duplicates once).
+    pub max_degree: u64,
+    /// Degree distribution of the de-duplicated, loop-free graph
+    /// (out-degree + in-degree per vertex, i.e. row+column pattern entries).
+    pub degree_distribution: DegreeDistribution,
+}
+
+impl EdgeListStats {
+    /// Fraction of sampled edges that were duplicates or self-loops.
+    pub fn waste_fraction(&self) -> f64 {
+        if self.raw_edges == 0 {
+            return 0.0;
+        }
+        1.0 - (self.unique_edges as f64 / self.raw_edges as f64)
+    }
+
+    /// Least-squares power-law slope of the measured distribution.
+    pub fn alpha(&self) -> Option<f64> {
+        self.degree_distribution.fit_alpha()
+    }
+}
+
+/// Measure a sampled directed edge list over `vertices` vertices.
+pub fn measure_edge_list(vertices: u64, edges: &[(u64, u64)]) -> EdgeListStats {
+    let raw_edges = edges.len() as u64;
+    let self_loops = edges.iter().filter(|&&(u, v)| u == v).count() as u64;
+
+    // De-duplicate (and drop self-loops) to obtain the simple directed graph.
+    let mut unique: Vec<(u64, u64)> = edges.iter().copied().filter(|&(u, v)| u != v).collect();
+    unique.sort_unstable();
+    unique.dedup();
+    let unique_edges = unique.len() as u64;
+
+    // Pattern degree per vertex: out-entries plus in-entries.
+    let mut degree: BTreeMap<u64, u64> = BTreeMap::new();
+    for &(u, v) in &unique {
+        *degree.entry(u).or_insert(0) += 1;
+        *degree.entry(v).or_insert(0) += 1;
+    }
+    let empty_vertices = vertices.saturating_sub(degree.len() as u64);
+    let max_degree = degree.values().copied().max().unwrap_or(0);
+    let mut histogram: BTreeMap<u64, u64> = BTreeMap::new();
+    for (_, d) in degree {
+        *histogram.entry(d).or_insert(0) += 1;
+    }
+    EdgeListStats {
+        vertices,
+        raw_edges,
+        unique_edges,
+        self_loops,
+        empty_vertices,
+        max_degree,
+        degree_distribution: DegreeDistribution::from_histogram(&histogram),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rmat::{RmatGenerator, RmatParams};
+
+    #[test]
+    fn measures_simple_known_list() {
+        // 4 vertices, edges 0->1 (twice), 1->2, 2->2 (self-loop), vertex 3 empty.
+        let edges = vec![(0u64, 1u64), (0, 1), (1, 2), (2, 2)];
+        let stats = measure_edge_list(4, &edges);
+        assert_eq!(stats.raw_edges, 4);
+        assert_eq!(stats.unique_edges, 2);
+        assert_eq!(stats.self_loops, 1);
+        assert_eq!(stats.empty_vertices, 1);
+        assert_eq!(stats.max_degree, 2);
+        assert!((stats.waste_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_edge_list() {
+        let stats = measure_edge_list(10, &[]);
+        assert_eq!(stats.unique_edges, 0);
+        assert_eq!(stats.empty_vertices, 10);
+        assert_eq!(stats.waste_fraction(), 0.0);
+        assert_eq!(stats.max_degree, 0);
+    }
+
+    #[test]
+    fn rmat_output_contains_the_artefacts_the_paper_mentions() {
+        let gen = RmatGenerator::new(RmatParams::graph500(10), 99).unwrap();
+        let edges = gen.generate_edges();
+        let stats = measure_edge_list(gen.params().vertices(), &edges);
+        // Random sampling at edge factor 16 over a skewed distribution always
+        // produces duplicates and leaves some vertices empty.
+        assert!(stats.unique_edges < stats.raw_edges, "expected duplicate samples");
+        assert!(stats.empty_vertices > 0, "expected empty vertices");
+        assert!(stats.waste_fraction() > 0.0);
+        // The distribution is heavy-tailed: the fitted slope is positive.
+        assert!(stats.alpha().unwrap() > 0.3, "alpha = {:?}", stats.alpha());
+        assert_eq!(
+            stats.degree_distribution.total_vertices(),
+            kron_bignum_vertices(&stats)
+        );
+    }
+
+    fn kron_bignum_vertices(stats: &EdgeListStats) -> kron_bignum::BigUint {
+        kron_bignum::BigUint::from(stats.vertices - stats.empty_vertices)
+    }
+}

@@ -1,0 +1,97 @@
+//! Error type shared by the sparse kernels.
+
+use std::fmt;
+
+/// Errors produced by sparse matrix construction and kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// An index was outside the declared matrix dimensions.
+    IndexOutOfBounds {
+        /// The offending row index.
+        row: u64,
+        /// The offending column index.
+        col: u64,
+        /// Declared number of rows.
+        nrows: u64,
+        /// Declared number of columns.
+        ncols: u64,
+    },
+    /// Two operands had incompatible dimensions for the requested operation.
+    DimensionMismatch {
+        /// Human-readable description of the operation.
+        op: &'static str,
+        /// Dimensions of the left operand.
+        left: (u64, u64),
+        /// Dimensions of the right operand.
+        right: (u64, u64),
+    },
+    /// A matrix was too large to materialise in addressable memory.
+    TooLarge {
+        /// Human-readable description of what was being materialised.
+        what: &'static str,
+        /// The requested size.
+        requested: u128,
+    },
+    /// A text record could not be parsed while reading a matrix.
+    Parse {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// An underlying I/O error (stringified to keep the error type `Clone`).
+    Io(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::IndexOutOfBounds { row, col, nrows, ncols } => write!(
+                f,
+                "index ({row}, {col}) out of bounds for {nrows}x{ncols} matrix"
+            ),
+            SparseError::DimensionMismatch { op, left, right } => write!(
+                f,
+                "dimension mismatch in {op}: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            SparseError::TooLarge { what, requested } => {
+                write!(f, "{what} too large to materialise: {requested}")
+            }
+            SparseError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            SparseError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+impl From<std::io::Error> for SparseError {
+    fn from(err: std::io::Error) -> Self {
+        SparseError::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SparseError::IndexOutOfBounds { row: 5, col: 6, nrows: 4, ncols: 4 };
+        assert!(e.to_string().contains("(5, 6)"));
+        let e = SparseError::DimensionMismatch { op: "spgemm", left: (2, 3), right: (4, 5) };
+        assert!(e.to_string().contains("spgemm"));
+        let e = SparseError::TooLarge { what: "kron", requested: 1 << 80 };
+        assert!(e.to_string().contains("kron"));
+        let e = SparseError::Parse { line: 3, message: "bad".into() };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: SparseError = io.into();
+        assert!(matches!(e, SparseError::Io(_)));
+    }
+}

@@ -1,0 +1,60 @@
+//! # kron-sparse
+//!
+//! A GraphBLAS-flavoured sparse linear algebra substrate built from scratch
+//! for the extreme-scale Kronecker graph workspace.
+//!
+//! The paper this workspace reproduces (Kepner et al. 2018) phrases every
+//! graph operation in the language of sparse matrices over a semiring:
+//! adjacency matrices, Kronecker products, element-wise products, sparse
+//! matrix-matrix multiplication, and reductions.  This crate provides exactly
+//! that subset:
+//!
+//! * [`Semiring`] — the algebraic structure (⊕, ⊗, 0, 1) all kernels are
+//!   generic over, with the standard instances ([`PlusTimes`], [`BoolOrAnd`],
+//!   [`MinPlus`], [`MaxTimes`]).
+//! * [`CooMatrix`] — triple (row, col, value) storage with `u64` indices,
+//!   used for construction, Kronecker products, and distributed blocks.
+//! * [`CsrMatrix`] / [`CscMatrix`] — compressed row/column storage for
+//!   kernels that need fast row or column access (SpGEMM, SpMV, the paper's
+//!   CSC-based processor split).
+//! * [`kron`] — Kronecker products of sparse matrices, including a
+//!   streaming, allocation-free edge iterator.
+//! * [`ops`] — element-wise add/multiply (graph union / intersection),
+//!   SpGEMM, SpMV, transpose.
+//! * [`reduce`] — row/column degree vectors, nnz reductions, degree
+//!   histograms.
+//! * [`triangles`] — triangle counting via `1ᵀ((A·A) ⊗ A)1 / 6` and an
+//!   ordered merge variant.
+//! * [`select`] — submatrix extraction, diagonal manipulation (the paper's
+//!   self-loop insertion/removal), and structural predicates.
+//! * [`io`] — TSV triple and MatrixMarket-style readers/writers.
+//! * [`parallel`] — rayon-parallel versions of the hot kernels.
+//!
+//! Everything is exercised heavily by the higher-level crates; this crate is
+//! deliberately free of graph semantics so it can be reused as a small
+//! stand-alone sparse library.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bfs;
+pub mod coo;
+pub mod csc;
+pub mod csr;
+pub mod error;
+pub mod io;
+pub mod kron;
+pub mod ops;
+pub mod parallel;
+pub mod reduce;
+pub mod select;
+pub mod semiring;
+pub mod triangles;
+
+pub use bfs::{bfs, connected_components, BfsTree};
+pub use coo::{CooMatrix, Triple};
+pub use csc::CscMatrix;
+pub use csr::CsrMatrix;
+pub use error::SparseError;
+pub use kron::{kron_coo, kron_dims, KronEdgeIter};
+pub use semiring::{BoolOrAnd, MaxTimes, MinPlus, PlusTimes, Semiring};

@@ -1,0 +1,203 @@
+//! Reductions: degree vectors, nnz-per-row/column, degree histograms.
+//!
+//! For an adjacency matrix the "degree" of vertex `i` used throughout the
+//! paper is the number of stored entries in row `i` plus column `i` for a
+//! directed interpretation, or simply the row count for the symmetric
+//! matrices the star constituents produce.  These helpers operate on the
+//! *pattern* (stored entries), matching the paper's `nnz`-based definitions.
+
+use std::collections::BTreeMap;
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use crate::semiring::Scalar;
+
+/// Number of stored entries in each row of a COO matrix.
+pub fn row_counts<T: Scalar>(m: &CooMatrix<T>) -> Vec<u64> {
+    let nrows = usize::try_from(m.nrows()).expect("row count vector must fit in memory");
+    let mut counts = vec![0u64; nrows];
+    for &r in m.row_indices() {
+        counts[r as usize] += 1;
+    }
+    counts
+}
+
+/// Number of stored entries in each column of a COO matrix.
+pub fn col_counts<T: Scalar>(m: &CooMatrix<T>) -> Vec<u64> {
+    let ncols = usize::try_from(m.ncols()).expect("column count vector must fit in memory");
+    let mut counts = vec![0u64; ncols];
+    for &c in m.col_indices() {
+        counts[c as usize] += 1;
+    }
+    counts
+}
+
+/// Row-pattern degrees of a CSR matrix (`nnz` per row).
+pub fn csr_row_degrees<T: Scalar>(m: &CsrMatrix<T>) -> Vec<u64> {
+    (0..m.nrows()).map(|r| m.row_nnz(r) as u64).collect()
+}
+
+/// Undirected vertex degrees of a symmetric adjacency matrix in COO form:
+/// the number of stored entries in the vertex's row.  For matrices that are
+/// not symmetric use [`total_degrees`], which counts row + column entries.
+pub fn symmetric_degrees<T: Scalar>(m: &CooMatrix<T>) -> Vec<u64> {
+    row_counts(m)
+}
+
+/// Total (in + out) pattern degree of each vertex of a square COO matrix.
+pub fn total_degrees<T: Scalar>(m: &CooMatrix<T>) -> Vec<u64> {
+    assert!(m.is_square(), "total_degrees requires a square matrix");
+    let n = usize::try_from(m.nrows()).expect("degree vector must fit in memory");
+    let mut counts = vec![0u64; n];
+    for (r, c, _) in m.iter() {
+        counts[r as usize] += 1;
+        if r != c {
+            counts[c as usize] += 1;
+        }
+    }
+    counts
+}
+
+/// Histogram of a degree vector: map from degree `d` to the number of
+/// vertices with that degree.  Vertices of degree zero are included under
+/// key `0` (the paper's generator guarantees there are none).
+pub fn degree_histogram(degrees: &[u64]) -> BTreeMap<u64, u64> {
+    let mut hist = BTreeMap::new();
+    for &d in degrees {
+        *hist.entry(d).or_insert(0u64) += 1;
+    }
+    hist
+}
+
+/// Histogram of row-pattern degrees of a COO matrix.
+pub fn degree_distribution<T: Scalar>(m: &CooMatrix<T>) -> BTreeMap<u64, u64> {
+    let mut hist = degree_histogram(&row_counts(m));
+    // Vertices with no stored entries at all still count as degree 0.
+    let total_vertices: u64 = m.nrows();
+    let seen: u64 = hist.values().sum();
+    if total_vertices > seen {
+        *hist.entry(0).or_insert(0) += total_vertices - seen;
+    }
+    // `degree_histogram(&row_counts)` already counts zero-degree rows, so the
+    // adjustment above only matters if row_counts was truncated, which it is
+    // not; keep the invariant explicit anyway.
+    hist
+}
+
+/// Total number of stored entries per row, returned as `(max, min, mean)`;
+/// useful for checking the paper's per-processor load balance claim.
+pub fn balance_stats(counts: &[usize]) -> (usize, usize, f64) {
+    if counts.is_empty() {
+        return (0, 0, 0.0);
+    }
+    let max = *counts.iter().max().expect("non-empty");
+    let min = *counts.iter().min().expect("non-empty");
+    let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+    (max, min, mean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::PlusTimes;
+
+    fn star5_with_center_loop() -> CooMatrix<u64> {
+        // Centre 0 with 5 leaves plus a self-loop on the centre.
+        let mut edges = vec![(0u64, 0u64)];
+        for leaf in 1..=5u64 {
+            edges.push((0, leaf));
+            edges.push((leaf, 0));
+        }
+        CooMatrix::from_edges(6, 6, edges).unwrap()
+    }
+
+    #[test]
+    fn row_and_col_counts() {
+        let m = star5_with_center_loop();
+        let rows = row_counts(&m);
+        assert_eq!(rows[0], 6);
+        assert_eq!(rows[1..], [1, 1, 1, 1, 1]);
+        let cols = col_counts(&m);
+        assert_eq!(cols, rows, "symmetric matrix has equal row/col counts");
+    }
+
+    #[test]
+    fn csr_degrees_match_coo() {
+        let m = star5_with_center_loop();
+        let csr = CsrMatrix::from_coo::<PlusTimes>(&m).unwrap();
+        assert_eq!(csr_row_degrees(&csr), row_counts(&m));
+    }
+
+    #[test]
+    fn degree_histogram_counts_vertices() {
+        let m = star5_with_center_loop();
+        let hist = degree_distribution(&m);
+        assert_eq!(hist.get(&1), Some(&5));
+        assert_eq!(hist.get(&6), Some(&1));
+        assert_eq!(hist.values().sum::<u64>(), 6);
+    }
+
+    #[test]
+    fn zero_degree_vertices_are_counted() {
+        let m = CooMatrix::from_edges(4, 4, vec![(0, 1), (1, 0)]).unwrap();
+        let hist = degree_distribution(&m);
+        assert_eq!(hist.get(&0), Some(&2));
+        assert_eq!(hist.get(&1), Some(&2));
+    }
+
+    #[test]
+    fn total_degrees_counts_both_endpoints() {
+        let m = CooMatrix::from_edges(3, 3, vec![(0, 1), (2, 2)]).unwrap();
+        let degs = total_degrees(&m);
+        assert_eq!(degs, vec![1, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn total_degrees_requires_square() {
+        let m = CooMatrix::from_edges(2, 3, vec![(0, 1)]).unwrap();
+        let _ = total_degrees(&m);
+    }
+
+    #[test]
+    fn balance_stats_basics() {
+        assert_eq!(balance_stats(&[]), (0, 0, 0.0));
+        let (max, min, mean) = balance_stats(&[4, 4, 4, 4]);
+        assert_eq!((max, min), (4, 4));
+        assert!((mean - 4.0).abs() < 1e-12);
+        let (max, min, _) = balance_stats(&[1, 7, 4]);
+        assert_eq!((max, min), (7, 1));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_coo() -> impl Strategy<Value = CooMatrix<u64>> {
+        (1u64..15, 1u64..15).prop_flat_map(|(nr, nc)| {
+            proptest::collection::vec((0..nr, 0..nc, 1u64..3), 0..40)
+                .prop_map(move |es| CooMatrix::from_entries(nr, nc, es).unwrap())
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn counts_sum_to_nnz(m in arb_coo()) {
+            prop_assert_eq!(row_counts(&m).iter().sum::<u64>() as usize, m.nnz());
+            prop_assert_eq!(col_counts(&m).iter().sum::<u64>() as usize, m.nnz());
+        }
+
+        #[test]
+        fn histogram_sums_to_vertex_count(m in arb_coo()) {
+            let hist = degree_distribution(&m);
+            prop_assert_eq!(hist.values().sum::<u64>(), m.nrows());
+        }
+
+        #[test]
+        fn transpose_swaps_row_col_counts(m in arb_coo()) {
+            prop_assert_eq!(row_counts(&m), col_counts(&m.transpose()));
+        }
+    }
+}

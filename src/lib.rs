@@ -1,0 +1,70 @@
+//! # extreme-graphs
+//!
+//! Design, generation, and validation of extreme-scale power-law graphs —
+//! a Rust workspace reproducing Kepner et al. (IPDPS 2018).
+//!
+//! This crate is the facade over the workspace:
+//!
+//! * [`bignum`] (re-export of `kron-bignum`) — exact arbitrary-precision
+//!   arithmetic for 10^30-edge designs.
+//! * [`sparse`] (re-export of `kron-sparse`) — the GraphBLAS-style sparse
+//!   matrix substrate (semirings, COO/CSR/CSC, Kronecker products, SpGEMM).
+//! * [`core`] (re-export of `kron-core`) — the paper's contribution: exact
+//!   design of power-law Kronecker graphs from star constituents.
+//! * [`gen`] (re-export of `kron-gen`) — communication-free parallel
+//!   generation with rayon workers standing in for the paper's processors.
+//! * [`rmat`] (re-export of `kron-rmat`) — the R-MAT / Graph500 baseline and
+//!   its trial-and-error design loop.
+//!
+//! The most common entry points are re-exported at the top level:
+//!
+//! ```
+//! use extreme_graphs::{KroneckerDesign, ParallelGenerator, GeneratorConfig, SelfLoop};
+//!
+//! // Design a graph with exactly known properties…
+//! let design = KroneckerDesign::from_star_points(&[3, 4, 5, 9], SelfLoop::Centre).unwrap();
+//! assert_eq!(design.edges().to_string(), "13166");
+//!
+//! // …generate it in parallel with no inter-worker communication…
+//! let generator = ParallelGenerator::new(GeneratorConfig {
+//!     workers: 4,
+//!     max_c_edges: 10_000,
+//!     max_total_edges: 1_000_000,
+//! });
+//! let graph = generator.generate(&design).unwrap();
+//!
+//! // …and verify the realisation matches the design exactly.
+//! assert_eq!(graph.edge_count().to_string(), design.edges().to_string());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use kron_bignum as bignum;
+pub use kron_core as core;
+pub use kron_gen as gen;
+pub use kron_rmat as rmat;
+pub use kron_sparse as sparse;
+
+pub use kron_bignum::{BigInt, BigRatio, BigUint};
+pub use kron_core::{
+    Constituent, DegreeDistribution, DesignSearch, DesignTargets, GraphProperties,
+    KroneckerDesign, SelfLoop, StarGraph, ValidationReport,
+};
+pub use kron_gen::{
+    DistributedGraph, GenerationStats, GeneratorConfig, ParallelGenerator,
+};
+pub use kron_rmat::{RmatGenerator, RmatParams};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_reexports_are_usable() {
+        let design = KroneckerDesign::from_star_points(&[3, 4], SelfLoop::None).unwrap();
+        assert_eq!(design.vertices(), BigUint::from(20u64));
+        let params = RmatParams::graph500(5);
+        assert!(params.is_valid());
+    }
+}

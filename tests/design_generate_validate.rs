@@ -1,0 +1,130 @@
+//! End-to-end integration tests spanning the whole workspace:
+//! design (kron-core) → parallel generation (kron-gen) → measurement and
+//! validation, plus cross-checks against brute-force computation on the
+//! sparse substrate (kron-sparse).
+
+use extreme_graphs::bignum::BigUint;
+use extreme_graphs::core::validate::{measure_properties, validate_design};
+use extreme_graphs::gen::measure::{measured_degree_distribution, measured_properties, BalanceReport};
+use extreme_graphs::sparse::reduce::degree_distribution as sparse_histogram;
+use extreme_graphs::sparse::select::{empty_vertices, has_duplicates, self_loop_count};
+use extreme_graphs::sparse::triangles::{count_triangles_coo, count_triangles_merge};
+use extreme_graphs::sparse::{CsrMatrix, PlusTimes};
+use extreme_graphs::{
+    DegreeDistribution, GeneratorConfig, KroneckerDesign, ParallelGenerator, SelfLoop,
+};
+
+fn generator(workers: usize) -> ParallelGenerator {
+    ParallelGenerator::new(GeneratorConfig {
+        workers,
+        max_c_edges: 100_000,
+        max_total_edges: 20_000_000,
+    })
+}
+
+#[test]
+fn full_pipeline_matches_for_every_self_loop_mode() {
+    for self_loop in [SelfLoop::None, SelfLoop::Centre, SelfLoop::Leaf] {
+        let design = KroneckerDesign::from_star_points(&[3, 4, 5, 9], self_loop).unwrap();
+        let predicted = design.properties();
+
+        // Distributed generation.
+        let graph = generator(4).generate(&design).unwrap();
+        let distributed = measured_properties(&graph, 20_000_000).unwrap();
+        assert!(
+            predicted.exactly_matches(&distributed),
+            "distributed measurement disagrees with design for {self_loop:?}"
+        );
+
+        // Assembled matrix, measured through the sparse substrate directly.
+        let assembled = graph.assemble();
+        assert_eq!(self_loop_count(&assembled), 0, "final graph must be loop-free");
+        assert!(!has_duplicates(&assembled), "final graph must have no duplicate edges");
+        assert!(empty_vertices(&assembled).is_empty(), "final graph must have no empty vertices");
+
+        let measured = measure_properties(&assembled).unwrap();
+        assert!(predicted.exactly_matches(&measured), "assembled measurement disagrees");
+
+        // Triangle count cross-checked with an independent algorithm.
+        let csr = CsrMatrix::from_coo::<PlusTimes>(&assembled).unwrap();
+        assert_eq!(
+            BigUint::from(count_triangles_merge(&csr).unwrap()),
+            design.triangles().unwrap(),
+            "merge-based triangle count disagrees for {self_loop:?}"
+        );
+    }
+}
+
+#[test]
+fn validate_design_end_to_end_reports_exact_match() {
+    let design = KroneckerDesign::from_star_points(&[5, 9, 16], SelfLoop::Centre).unwrap();
+    let report = validate_design(&design, 10_000_000).unwrap();
+    assert!(report.is_exact_match(), "failures: {:?}", report.failures());
+}
+
+#[test]
+fn worker_count_is_an_implementation_detail() {
+    // The paper's guarantee: the generated graph is a deterministic function
+    // of the design, regardless of how many processors generate it.
+    let design = KroneckerDesign::from_star_points(&[3, 5, 9, 16], SelfLoop::Leaf).unwrap();
+    let mut reference = generator(1).generate(&design).unwrap().assemble();
+    reference.sort();
+    for workers in [2usize, 3, 7, 16] {
+        let mut graph = generator(workers).generate(&design).unwrap().assemble();
+        graph.sort();
+        assert_eq!(graph, reference, "graph content changed with {workers} workers");
+    }
+}
+
+#[test]
+fn distributed_measurement_equals_assembled_measurement() {
+    let design = KroneckerDesign::from_star_points(&[4, 5, 9, 16], SelfLoop::Centre).unwrap();
+    let graph = generator(6).generate(&design).unwrap();
+    let from_blocks = measured_degree_distribution(&graph);
+    let assembled = graph.assemble();
+    let from_assembled = DegreeDistribution::from_histogram(&sparse_histogram(&assembled));
+    assert_eq!(from_blocks, from_assembled);
+    assert_eq!(from_blocks, design.degree_distribution());
+}
+
+#[test]
+fn per_worker_balance_is_within_one_b_triple() {
+    let design = KroneckerDesign::from_star_points(&[3, 4, 5, 9, 16], SelfLoop::None).unwrap();
+    for workers in [2usize, 4, 8, 12] {
+        let graph = generator(workers).generate(&design).unwrap();
+        let balance = BalanceReport::of(&graph);
+        let c_nnz = graph.split.c_nnz.to_u64().unwrap();
+        assert!(
+            balance.is_balanced_within(c_nnz),
+            "imbalance {} exceeds one B triple ({c_nnz} edges) with {workers} workers",
+            balance.max_edges - balance.min_edges,
+        );
+    }
+}
+
+#[test]
+fn paper_scale_properties_do_not_require_generation() {
+    // The full Figure 4 design is far too large to generate here, but its
+    // exact properties are instant.
+    let design =
+        KroneckerDesign::from_star_points(&[3, 4, 5, 9, 16, 25, 81, 256], SelfLoop::Centre).unwrap();
+    assert_eq!(design.vertices().to_string(), "11177649600");
+    assert_eq!(design.edges().to_string(), "1853002140758");
+    assert_eq!(design.triangles().unwrap().to_string(), "6777007252427");
+    // And generation refuses politely instead of exhausting memory.
+    assert!(generator(4).generate(&design).is_err());
+}
+
+#[test]
+fn design_distribution_agrees_with_brute_force_kron_of_histograms() {
+    // Cross-check the analytic degree distribution against measuring the
+    // realised graph through the sparse substrate, for a mixed star set.
+    let design = KroneckerDesign::from_star_points(&[2, 7, 11], SelfLoop::Centre).unwrap();
+    let graph = design.realize(10_000_000).unwrap();
+    let measured = DegreeDistribution::from_histogram(&sparse_histogram(&graph));
+    assert_eq!(measured, design.degree_distribution());
+    assert_eq!(
+        BigUint::from(count_triangles_coo(&graph).unwrap()),
+        design.triangles().unwrap()
+    );
+}

@@ -1,0 +1,119 @@
+//! Integration tests that pin the exact numbers of every figure in the
+//! paper's evaluation (the same values EXPERIMENTS.md reports).
+
+use extreme_graphs::bignum::BigUint;
+use extreme_graphs::core::powerlaw::star_products_unique;
+use extreme_graphs::{KroneckerDesign, SelfLoop};
+
+fn big(s: &str) -> BigUint {
+    s.parse().unwrap()
+}
+
+#[test]
+fn figure1_bipartite_star_product() {
+    let design = KroneckerDesign::from_star_points(&[5, 3], SelfLoop::None).unwrap();
+    let dist = design.degree_distribution();
+    // n(d) = 15/d at d ∈ {1, 3, 5, 15}.
+    assert_eq!(dist.count(&big("1")), big("15"));
+    assert_eq!(dist.count(&big("3")), big("5"));
+    assert_eq!(dist.count(&big("5")), big("3"));
+    assert_eq!(dist.count(&big("15")), big("1"));
+    assert_eq!(dist.support_size(), 4);
+    assert_eq!(design.triangles().unwrap(), BigUint::zero());
+}
+
+#[test]
+fn figure2_triangle_control() {
+    let many = KroneckerDesign::from_star_points(&[5, 3], SelfLoop::Centre).unwrap();
+    assert_eq!(many.triangles().unwrap(), big("15"));
+    let some = KroneckerDesign::from_star_points(&[5, 3], SelfLoop::Leaf).unwrap();
+    assert_eq!(some.triangles().unwrap(), big("1"));
+}
+
+#[test]
+fn figure3_trillion_edge_generation_design() {
+    // B: 530,400 vertices / 13,824,000 edges; C: 21,074 vertices / 82,944
+    // edges; A = B ⊗ C: 11,177,649,600 vertices / 1,146,617,856,000 edges,
+    // zero triangles.
+    let full =
+        KroneckerDesign::from_star_points(&[3, 4, 5, 9, 16, 25, 81, 256], SelfLoop::None).unwrap();
+    let (b, c) = full.split(6).unwrap();
+    assert_eq!(b.vertices(), big("530400"));
+    assert_eq!(b.edges(), big("13824000"));
+    assert_eq!(c.vertices(), big("21074"));
+    assert_eq!(c.edges(), big("82944"));
+    assert_eq!(full.vertices(), big("11177649600"));
+    assert_eq!(full.edges(), big("1146617856000"));
+    assert_eq!(full.triangles().unwrap(), BigUint::zero());
+}
+
+#[test]
+fn figure4_trillion_edge_validation_design() {
+    let design =
+        KroneckerDesign::from_star_points(&[3, 4, 5, 9, 16, 25, 81, 256], SelfLoop::Centre).unwrap();
+    assert_eq!(design.vertices(), big("11177649600"));
+    assert_eq!(design.edges(), big("1853002140758"));
+    assert_eq!(design.triangles().unwrap(), big("6777007252427"));
+    // The paper's caption also reports the edge/vertex ratio 165.7774.
+    let ratio = design.properties().edge_vertex_ratio();
+    assert!((ratio - 165.7774).abs() < 0.001, "ratio = {ratio}");
+}
+
+#[test]
+fn figure5_quadrillion_edge_power_law() {
+    let design =
+        KroneckerDesign::from_star_points(&[3, 4, 5, 9, 16, 25, 81, 256, 625], SelfLoop::None)
+            .unwrap();
+    assert_eq!(design.vertices(), big("6997208649600"));
+    assert_eq!(design.edges(), big("1433272320000000"));
+    assert_eq!(design.triangles().unwrap(), BigUint::zero());
+    // The distribution follows the exact power law n(d) = c/d.
+    let constant = design.degree_distribution().perfect_power_law_constant();
+    assert!(constant.is_some());
+    assert!(star_products_unique(&[3, 4, 5, 9, 16, 25, 81, 256, 625]));
+}
+
+#[test]
+fn figure6_quadrillion_edge_with_triangles() {
+    let design =
+        KroneckerDesign::from_star_points(&[3, 4, 5, 9, 16, 25, 81, 256, 625], SelfLoop::Centre)
+            .unwrap();
+    assert_eq!(design.vertices(), big("6997208649600"));
+    assert_eq!(design.edges(), big("2318105678089508"));
+    // Exact value; the paper's caption (…426) differs by one unit in the
+    // last place, consistent with double-precision rounding above 2^53.
+    assert_eq!(design.triangles().unwrap(), big("12720651636552427"));
+    // Centre loops pull the distribution slightly off the perfect line.
+    assert_eq!(design.degree_distribution().perfect_power_law_constant(), None);
+}
+
+#[test]
+fn figure7_decetta_scale_design() {
+    let design = KroneckerDesign::from_star_points(
+        &[3, 4, 5, 7, 11, 9, 16, 25, 49, 81, 121, 256, 625, 2401, 14641],
+        SelfLoop::Leaf,
+    )
+    .unwrap();
+    assert_eq!(design.vertices(), big("144111718793178936483840000"));
+    assert_eq!(design.edges(), big("2705963586782877716483871216764"));
+    assert_eq!(design.triangles().unwrap(), big("178940587"));
+    // The degree distribution is exact and has a manageable support size even
+    // though the graph itself could never be materialised.
+    let dist = design.degree_distribution();
+    assert!(dist.support_size() > 1000);
+    assert_eq!(dist.total_vertices(), big("144111718793178936483840000"));
+    assert_eq!(dist.total_edge_endpoints(), big("2705963586782877716483871216764"));
+}
+
+#[test]
+fn prose_constituent_lists_are_inconsistent_with_quoted_counts() {
+    // The paper's §VI prose lists B's stars as m̂ = {3,4,5,9,16}, but the
+    // quoted 530,400 vertices / 13,824,000 edges require m̂ = {3,4,5,9,16,25}.
+    // Record the discrepancy: the five-star set gives different counts.
+    let five = KroneckerDesign::from_star_points(&[3, 4, 5, 9, 16], SelfLoop::None).unwrap();
+    assert_ne!(five.vertices(), big("530400"));
+    assert_ne!(five.edges(), big("13824000"));
+    let six = KroneckerDesign::from_star_points(&[3, 4, 5, 9, 16, 25], SelfLoop::None).unwrap();
+    assert_eq!(six.vertices(), big("530400"));
+    assert_eq!(six.edges(), big("13824000"));
+}
