@@ -4,9 +4,13 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
+use rayon::prelude::*;
+
 use kron_bench::paper;
 use kron_core::{KroneckerDesign, SelfLoop};
-use kron_gen::{count_edges_streaming, GeneratorConfig, ParallelGenerator};
+use kron_gen::{
+    count_block_edges, stream_block_edges, GeneratorConfig, ParallelGenerator, Partition,
+};
 
 fn design() -> KroneckerDesign {
     KroneckerDesign::from_star_points(paper::MACHINE_SCALE, SelfLoop::None).expect("valid design")
@@ -37,13 +41,52 @@ fn bench_generation_rate(c: &mut Criterion) {
                 });
             },
         );
+        // Both streaming paths time the same work: factors realised and
+        // ordered outside the measured region, expansion inside it.
+        let (b_design, c_design) = design
+            .split(paper::MACHINE_SCALE_SPLIT)
+            .expect("valid split");
+        let bf = b_design.realize_raw(60_000_000).expect("fits");
+        let c = c_design.realize_raw(60_000_000).expect("fits");
+        let triples = kron_gen::partition::csc_ordered_triples(&bf);
+
+        // Closure-free counting fast path (the chunked pipeline's arithmetic).
         group.bench_with_input(
-            BenchmarkId::new("streaming", workers),
+            BenchmarkId::new("streaming_fast_path", workers),
             &workers,
             |b, &workers| {
                 b.iter(|| {
-                    count_edges_streaming(&design, paper::MACHINE_SCALE_SPLIT, workers, 60_000_000)
-                        .expect("streaming succeeds")
+                    let partition = Partition::even(triples.len(), workers);
+                    (0..workers)
+                        .into_par_iter()
+                        .map(|worker| count_block_edges(&triples[partition.range(worker)], &c))
+                        .sum::<u64>()
+                });
+            },
+        );
+        // Per-edge closure baseline, same partitioning and factor realisation.
+        group.bench_with_input(
+            BenchmarkId::new("streaming_per_edge", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let partition = Partition::even(triples.len(), workers);
+                    (0..workers)
+                        .into_par_iter()
+                        .map(|worker| {
+                            let mut checksum = 0u64;
+                            let produced = stream_block_edges(
+                                &triples[partition.range(worker)],
+                                &c,
+                                |row, col| {
+                                    checksum =
+                                        checksum.wrapping_add(row).rotate_left(1).wrapping_add(col);
+                                },
+                            );
+                            criterion::black_box(checksum);
+                            produced
+                        })
+                        .sum::<u64>()
                 });
             },
         );

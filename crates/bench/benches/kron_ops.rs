@@ -9,7 +9,9 @@ use kron_sparse::parallel::par_kron_coo;
 use kron_sparse::{kron_coo, CooMatrix, KronEdgeIter, PlusTimes};
 
 fn star(points: u64) -> CooMatrix<u64> {
-    StarGraph::new(points, SelfLoop::Centre).expect("valid star").adjacency()
+    StarGraph::new(points, SelfLoop::Centre)
+        .expect("valid star")
+        .adjacency()
 }
 
 fn bench_kron_ops(c: &mut Criterion) {

@@ -20,21 +20,31 @@ fn bench_predict_vs_measure(c: &mut Criterion) {
         let design =
             KroneckerDesign::from_star_points(points, SelfLoop::Centre).expect("valid design");
 
-        group.bench_with_input(BenchmarkId::new("analytic_prediction", label), &(), |b, _| {
-            b.iter(|| design.properties());
-        });
-        group.bench_with_input(BenchmarkId::new("realize_and_measure", label), &(), |b, _| {
-            b.iter(|| {
-                let graph = design.realize(60_000_000).expect("fits in memory");
-                measure_properties(&graph).expect("measurable")
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("analytic_prediction", label),
+            &(),
+            |b, _| {
+                b.iter(|| design.properties());
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("realize_and_measure", label),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let graph = design.realize(60_000_000).expect("fits in memory");
+                    measure_properties(&graph).expect("measurable")
+                });
+            },
+        );
     }
 
     // Prediction also works at scales that cannot be realised at all; time it
     // for the paper's decetta-scale design.
     let decetta = KroneckerDesign::from_star_points(
-        &[3, 4, 5, 7, 11, 9, 16, 25, 49, 81, 121, 256, 625, 2401, 14641],
+        &[
+            3, 4, 5, 7, 11, 9, 16, 25, 49, 81, 121, 256, 625, 2401, 14641,
+        ],
         SelfLoop::Leaf,
     )
     .expect("valid design");

@@ -13,25 +13,40 @@ fn bench_stream_vs_materialize(c: &mut Criterion) {
 
     let cases: &[(&str, &[u64], usize)] = &[
         ("quarter_scale", &[3, 4, 5, 9], 2),
-        ("machine_scale", paper::MACHINE_SCALE, paper::MACHINE_SCALE_SPLIT),
+        (
+            "machine_scale",
+            paper::MACHINE_SCALE,
+            paper::MACHINE_SCALE_SPLIT,
+        ),
     ];
     let workers = 4usize;
     for &(label, points, split) in cases {
         let design =
             KroneckerDesign::from_star_points(points, SelfLoop::None).expect("valid design");
-        group.throughput(Throughput::Elements(design.edges().to_u64().expect("machine scale")));
+        group.throughput(Throughput::Elements(
+            design.edges().to_u64().expect("machine scale"),
+        ));
 
         group.bench_with_input(BenchmarkId::new("streaming", label), &(), |b, _| {
             b.iter(|| count_edges_streaming(&design, split, workers, 60_000_000).expect("fits"));
         });
-        group.bench_with_input(BenchmarkId::new("materialised_blocks", label), &(), |b, _| {
-            let generator = ParallelGenerator::new(GeneratorConfig {
-                workers,
-                max_c_edges: 200_000,
-                max_total_edges: 60_000_000,
-            });
-            b.iter(|| generator.generate_with_split(&design, split).expect("fits").edge_count());
-        });
+        group.bench_with_input(
+            BenchmarkId::new("materialised_blocks", label),
+            &(),
+            |b, _| {
+                let generator = ParallelGenerator::new(GeneratorConfig {
+                    workers,
+                    max_c_edges: 200_000,
+                    max_total_edges: 60_000_000,
+                });
+                b.iter(|| {
+                    generator
+                        .generate_with_split(&design, split)
+                        .expect("fits")
+                        .edge_count()
+                });
+            },
+        );
     }
     group.finish();
 }

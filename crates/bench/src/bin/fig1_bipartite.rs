@@ -11,13 +11,23 @@ use kron_core::validate::measure_properties;
 use kron_core::SelfLoop;
 
 fn main() {
-    figure_header("Figure 1", "Kronecker product of two bipartite star graphs (m̂ = 5, 3)");
+    figure_header(
+        "Figure 1",
+        "Kronecker product of two bipartite star graphs (m̂ = 5, 3)",
+    );
 
     let design = design(kron_bench::paper::FIG1, SelfLoop::None);
-    println!("constituents: stars with m̂ = {:?}, no self-loops", design.star_points().unwrap());
+    println!(
+        "constituents: stars with m̂ = {:?}, no self-loops",
+        design.star_points().unwrap()
+    );
     println!();
-    println!("predicted: {} vertices, {} edges, {} triangles",
-        design.vertices(), design.edges(), design.triangles().unwrap());
+    println!(
+        "predicted: {} vertices, {} edges, {} triangles",
+        design.vertices(),
+        design.edges(),
+        design.triangles().unwrap()
+    );
 
     println!("\npredicted degree distribution (exactly n(d) = 15/d):");
     let dist = design.degree_distribution();
@@ -31,8 +41,12 @@ fn main() {
     let graph = design.realize(10_000).expect("tiny graph");
     let measured = measure_properties(&graph).expect("measurable");
     println!("\nmeasured on the realised graph:");
-    println!("vertices {}   edges {}   triangles {:?}",
-        measured.vertices, measured.edges, measured.triangles.as_ref().map(BigUint::to_string));
+    println!(
+        "vertices {}   edges {}   triangles {:?}",
+        measured.vertices,
+        measured.edges,
+        measured.triangles.as_ref().map(BigUint::to_string)
+    );
     assert!(design.properties().exactly_matches(&measured));
     println!("\nFigure 1 reproduced: measured distribution equals n(d) = 15/d exactly.");
 }

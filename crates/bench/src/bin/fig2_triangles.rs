@@ -10,7 +10,10 @@ use kron_core::validate::measure_properties;
 use kron_core::SelfLoop;
 
 fn main() {
-    figure_header("Figure 2", "Triangle control via self-loop placement (stars m̂ = 5, 3)");
+    figure_header(
+        "Figure 2",
+        "Triangle control via self-loop placement (stars m̂ = 5, 3)",
+    );
     println!(
         "{:<28} {:>10} {:>10} {:>12} {:>14}",
         "construction", "vertices", "edges", "triangles", "measured tri"
@@ -30,7 +33,11 @@ fn main() {
             d.vertices().to_string(),
             d.edges().to_string(),
             d.triangles().unwrap().to_string(),
-            measured.triangles.clone().unwrap_or_else(BigUint::zero).to_string(),
+            measured
+                .triangles
+                .clone()
+                .unwrap_or_else(BigUint::zero)
+                .to_string(),
         );
         assert_eq!(Some(d.triangles().unwrap()), measured.triangles);
     }

@@ -45,7 +45,9 @@ fn main() {
         "workers", "edges", "rate (edges/s)", "seconds", "max/mean"
     );
 
-    let hardware_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let hardware_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut worker_counts = vec![1usize, 2, 4, 8];
     if !worker_counts.contains(&hardware_threads) {
         worker_counts.push(hardware_threads);
@@ -86,7 +88,10 @@ bounded by physical cores, matching the paper's linear-in-cores shape)"
             let point = model
                 .predict_for_design(&full, paper::FIG3_4_SPLIT, cores)
                 .expect("paper design splits");
-            println!("{:>10} {:>18.3e} {:>14.2}", cores, point.edges_per_second, point.seconds);
+            println!(
+                "{:>10} {:>18.3e} {:>14.2}",
+                cores, point.edges_per_second, point.seconds
+            );
         }
         println!("(the paper reports ~1e12 edges/s and ~1 second at 41,472 cores)");
     }

@@ -15,14 +15,20 @@ use kron_core::SelfLoop;
 use kron_gen::measure::measured_properties;
 
 fn main() {
-    figure_header("Figure 4", "predicted vs measured degree distribution (centre-loop design)");
+    figure_header(
+        "Figure 4",
+        "predicted vs measured degree distribution (centre-loop design)",
+    );
 
     // Full paper scale, analytic.
     let full = design(paper::FIG3_4, SelfLoop::Centre);
     println!("full-scale design (analytic):");
     println!("  vertices:  {}", grouped(&full.vertices().to_string()));
     println!("  edges:     {}", grouped(&full.edges().to_string()));
-    println!("  triangles: {}", grouped(&full.triangles().unwrap().to_string()));
+    println!(
+        "  triangles: {}",
+        grouped(&full.triangles().unwrap().to_string())
+    );
     println!(
         "  edge/vertex ratio: {:.4}  (paper caption: 165.7774)",
         full.properties().edge_vertex_ratio()
@@ -32,9 +38,14 @@ fn main() {
 
     // Machine scale, generated and measured.
     let scaled = design(paper::MACHINE_SCALE, SelfLoop::Centre);
-    println!("\nmachine-scale generation with the same structure (m̂ = {:?}):", paper::MACHINE_SCALE);
+    println!(
+        "\nmachine-scale generation with the same structure (m̂ = {:?}):",
+        paper::MACHINE_SCALE
+    );
     let generator = machine_generator(8);
-    let graph = generator.generate(&scaled).expect("machine-scale design fits in memory");
+    let graph = generator
+        .generate(&scaled)
+        .expect("machine-scale design fits in memory");
     let measured = measured_properties(&graph, 60_000_000).expect("measurable");
     let predicted = scaled.properties();
     println!(

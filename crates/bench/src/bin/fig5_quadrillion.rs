@@ -9,7 +9,10 @@ use kron_bignum::grouped;
 use kron_core::{PowerLaw, SelfLoop};
 
 fn main() {
-    figure_header("Figure 5", "quadrillion-edge power-law design (no self-loops)");
+    figure_header(
+        "Figure 5",
+        "quadrillion-edge power-law design (no self-loops)",
+    );
 
     let d = design(paper::FIG5_6, SelfLoop::None);
     println!("star points m̂ = {:?}", paper::FIG5_6);
@@ -18,13 +21,18 @@ fn main() {
     println!("triangles: {}", d.triangles().unwrap());
 
     let dist = d.degree_distribution();
-    let constant = dist.perfect_power_law_constant().expect("perfect power law");
+    let constant = dist
+        .perfect_power_law_constant()
+        .expect("perfect power law");
     println!(
         "\nevery support point lies exactly on n(d) = {} / d  (α = 1)",
         grouped(&constant.to_string())
     );
     let law = PowerLaw::perfect(constant);
-    println!("mean |log10 residual| against the ideal line: {:.3e}", law.mean_log_residual(&dist));
+    println!(
+        "mean |log10 residual| against the ideal line: {:.3e}",
+        law.mean_log_residual(&dist)
+    );
 
     println!("\npredicted degree distribution series:");
     print_distribution_series(&dist, 32);

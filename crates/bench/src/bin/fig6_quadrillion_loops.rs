@@ -12,10 +12,16 @@ use kron_bignum::{grouped, BigUint};
 use kron_core::{PowerLaw, SelfLoop};
 
 fn main() {
-    figure_header("Figure 6", "quadrillion-edge design with centre self-loops (triangle-rich)");
+    figure_header(
+        "Figure 6",
+        "quadrillion-edge design with centre self-loops (triangle-rich)",
+    );
 
     let d = design(paper::FIG5_6, SelfLoop::Centre);
-    println!("star points m̂ = {:?} with a self-loop on every centre vertex", paper::FIG5_6);
+    println!(
+        "star points m̂ = {:?} with a self-loop on every centre vertex",
+        paper::FIG5_6
+    );
     println!("vertices:  {}", grouped(&d.vertices().to_string()));
     println!("edges:     {}", grouped(&d.edges().to_string()));
     println!(
@@ -35,13 +41,21 @@ fn main() {
         .perfect_power_law_constant()
         .expect("figure 5 reference");
     let law = PowerLaw::perfect(reference);
-    println!("mean |log10 residual| against Figure 5's line: {:.4}", law.mean_log_residual(&dist));
+    println!(
+        "mean |log10 residual| against Figure 5's line: {:.4}",
+        law.mean_log_residual(&dist)
+    );
 
     println!("\npredicted degree distribution series:");
     print_distribution_series(&dist, 32);
 
     assert_eq!(d.edges().to_string(), "2318105678089508");
-    assert_eq!(d.triangles().unwrap(), "12720651636552427".parse::<BigUint>().unwrap());
-    println!("\nFigure 6 reproduced: exact counts match the paper (triangles to within the paper's");
+    assert_eq!(
+        d.triangles().unwrap(),
+        "12720651636552427".parse::<BigUint>().unwrap()
+    );
+    println!(
+        "\nFigure 6 reproduced: exact counts match the paper (triangles to within the paper's"
+    );
     println!("double-precision rounding of its own formula).");
 }

@@ -11,7 +11,10 @@ use kron_bignum::{grouped, scientific};
 use kron_core::SelfLoop;
 
 fn main() {
-    figure_header("Figure 7", "decetta-scale (10^30 edge) design, exact analysis on one machine");
+    figure_header(
+        "Figure 7",
+        "decetta-scale (10^30 edge) design, exact analysis on one machine",
+    );
 
     let started = Instant::now();
     let d = design(paper::FIG7, SelfLoop::Leaf);
@@ -23,8 +26,16 @@ fn main() {
 
     println!("star points m̂ = {:?}", paper::FIG7);
     println!("  (self-loop on one leaf vertex of each star)\n");
-    println!("vertices:  {}  ≈ {}", grouped(&vertices.to_string()), scientific(&vertices));
-    println!("edges:     {}  ≈ {}", grouped(&edges.to_string()), scientific(&edges));
+    println!(
+        "vertices:  {}  ≈ {}",
+        grouped(&vertices.to_string()),
+        scientific(&vertices)
+    );
+    println!(
+        "edges:     {}  ≈ {}",
+        grouped(&edges.to_string()),
+        scientific(&edges)
+    );
     println!("triangles: {}", grouped(&triangles.to_string()));
     println!(
         "degree distribution: {} exact support points, max degree ≈ {}",

@@ -8,7 +8,10 @@ use kron_gen::measure::BalanceReport;
 use kron_sparse::select::{empty_vertices, has_duplicates, self_loop_count};
 
 fn main() {
-    figure_header("Balance / cleanliness", "per-worker edge balance and structural checks (§V)");
+    figure_header(
+        "Balance / cleanliness",
+        "per-worker edge balance and structural checks (§V)",
+    );
 
     let scaled = design(paper::MACHINE_SCALE, SelfLoop::Centre);
     println!(

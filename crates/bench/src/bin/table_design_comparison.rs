@@ -18,7 +18,13 @@ fn main() {
     let targets: [u64; 3] = [50_000, 250_000, 1_000_000];
     println!(
         "{:>12} | {:>12} {:>12} {:>10} | {:>6} {:>16} {:>10}",
-        "target edges", "kron edges", "kron time", "generated", "iters", "rmat edges made", "rmat time"
+        "target edges",
+        "kron edges",
+        "kron time",
+        "generated",
+        "iters",
+        "rmat edges made",
+        "rmat time"
     );
 
     for &target in &targets {
@@ -32,7 +38,10 @@ fn main() {
             .expect("search succeeds")
             .remove(0);
         let kron_time = started.elapsed();
-        let design = best.clone().into_design(SelfLoop::None).expect("valid design");
+        let design = best
+            .clone()
+            .into_design(SelfLoop::None)
+            .expect("valid design");
 
         // Trial and error: every iteration generates and measures a graph.
         let started = Instant::now();

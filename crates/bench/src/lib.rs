@@ -25,8 +25,9 @@ pub mod paper {
     /// Figures 5 and 6: the quadrillion-edge construction.
     pub const FIG5_6: &[u64] = &[3, 4, 5, 9, 16, 25, 81, 256, 625];
     /// Figure 7: the decetta-scale construction.
-    pub const FIG7: &[u64] =
-        &[3, 4, 5, 7, 11, 9, 16, 25, 49, 81, 121, 256, 625, 2401, 14641];
+    pub const FIG7: &[u64] = &[
+        3, 4, 5, 7, 11, 9, 16, 25, 49, 81, 121, 256, 625, 2401, 14641,
+    ];
     /// Machine-scale stand-in with the same structure as Figures 3/4, used
     /// whenever a figure requires actually generating edges.
     pub const MACHINE_SCALE: &[u64] = &[3, 4, 5, 9, 16];
@@ -46,7 +47,10 @@ pub fn figure_header(figure: &str, description: &str) {
 pub fn print_distribution_series(dist: &DegreeDistribution, max_rows: usize) {
     let pairs = dist.to_pairs();
     let step = (pairs.len() / max_rows.max(1)).max(1);
-    println!("{:>24} {:>24} {:>12} {:>12}", "degree d", "count n(d)", "log10 d", "log10 n");
+    println!(
+        "{:>24} {:>24} {:>12} {:>12}",
+        "degree d", "count n(d)", "log10 d", "log10 n"
+    );
     for (d, n) in pairs.iter().step_by(step) {
         println!(
             "{:>24} {:>24} {:>12.4} {:>12.4}",
@@ -102,12 +106,21 @@ mod tests {
 
     #[test]
     fn paper_constants_are_valid_designs() {
-        assert_eq!(design(paper::FIG1, SelfLoop::None).vertices(), BigUint::from(24u64));
+        assert_eq!(
+            design(paper::FIG1, SelfLoop::None).vertices(),
+            BigUint::from(24u64)
+        );
         assert_eq!(
             design(paper::FIG3_4, SelfLoop::Centre).edges().to_string(),
             "1853002140758"
         );
-        assert_eq!(design(paper::FIG7, SelfLoop::Leaf).triangles().unwrap().to_string(), "178940587");
+        assert_eq!(
+            design(paper::FIG7, SelfLoop::Leaf)
+                .triangles()
+                .unwrap()
+                .to_string(),
+            "178940587"
+        );
     }
 
     #[test]
@@ -119,7 +132,8 @@ mod tests {
 
     #[test]
     fn machine_scale_rate_measurement_runs() {
-        let (edges, rate) = measure_generation_rate(2, paper::MACHINE_SCALE, paper::MACHINE_SCALE_SPLIT);
+        let (edges, rate) =
+            measure_generation_rate(2, paper::MACHINE_SCALE, paper::MACHINE_SCALE_SPLIT);
         assert_eq!(edges, 276_480);
         assert!(rate > 0.0);
     }

@@ -36,12 +36,18 @@ pub struct BigInt {
 impl BigInt {
     /// The value zero.
     pub fn zero() -> Self {
-        BigInt { sign: Sign::Zero, magnitude: BigUint::zero() }
+        BigInt {
+            sign: Sign::Zero,
+            magnitude: BigUint::zero(),
+        }
     }
 
     /// The value one.
     pub fn one() -> Self {
-        BigInt { sign: Sign::Positive, magnitude: BigUint::one() }
+        BigInt {
+            sign: Sign::Positive,
+            magnitude: BigUint::one(),
+        }
     }
 
     /// Construct from a sign and magnitude, normalising zero.
@@ -117,7 +123,11 @@ impl BigInt {
     /// Absolute value.
     pub fn abs(&self) -> BigInt {
         BigInt::from_sign_magnitude(
-            if self.is_zero() { Sign::Zero } else { Sign::Positive },
+            if self.is_zero() {
+                Sign::Zero
+            } else {
+                Sign::Positive
+            },
             self.magnitude.clone(),
         )
     }
@@ -195,7 +205,10 @@ impl Neg for BigInt {
             Sign::Zero => Sign::Zero,
             Sign::Positive => Sign::Negative,
         };
-        BigInt { sign, magnitude: self.magnitude }
+        BigInt {
+            sign,
+            magnitude: self.magnitude,
+        }
     }
 }
 
@@ -217,14 +230,12 @@ impl Add for &BigInt {
                 // Opposite signs: subtract the smaller magnitude from the larger.
                 match self.magnitude.cmp(&rhs.magnitude) {
                     Ordering::Equal => BigInt::zero(),
-                    Ordering::Greater => BigInt::from_sign_magnitude(
-                        self.sign,
-                        &self.magnitude - &rhs.magnitude,
-                    ),
-                    Ordering::Less => BigInt::from_sign_magnitude(
-                        rhs.sign,
-                        &rhs.magnitude - &self.magnitude,
-                    ),
+                    Ordering::Greater => {
+                        BigInt::from_sign_magnitude(self.sign, &self.magnitude - &rhs.magnitude)
+                    }
+                    Ordering::Less => {
+                        BigInt::from_sign_magnitude(rhs.sign, &rhs.magnitude - &self.magnitude)
+                    }
                 }
             }
         }
@@ -349,7 +360,10 @@ mod tests {
 
     #[test]
     fn sign_normalisation() {
-        assert_eq!(BigInt::from_sign_magnitude(Sign::Negative, BigUint::zero()), BigInt::zero());
+        assert_eq!(
+            BigInt::from_sign_magnitude(Sign::Negative, BigUint::zero()),
+            BigInt::zero()
+        );
         assert_eq!(int(0).sign(), Sign::Zero);
         assert_eq!(int(5).sign(), Sign::Positive);
         assert_eq!(int(-5).sign(), Sign::Negative);

@@ -73,7 +73,7 @@ impl BigUint {
 
     /// Returns `true` if the value is even (zero is even).
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l % 2 == 0)
+        self.limbs.first().is_none_or(|l| l % 2 == 0)
     }
 
     /// Construct from little-endian limbs, normalising trailing zeros.
@@ -101,7 +101,7 @@ impl BigUint {
     pub fn bit(&self, i: usize) -> bool {
         let limb = i / 64;
         let off = i % 64;
-        self.limbs.get(limb).map_or(false, |l| (l >> off) & 1 == 1)
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
     }
 
     /// Checked conversion to `u64`.
@@ -297,10 +297,10 @@ impl BigUint {
         if let Some(v) = self.to_u128() {
             // Fast path through floating point with correction.
             let mut guess = (v as f64).sqrt() as u128;
-            while guess.checked_mul(guess).map_or(true, |g| g > v) {
+            while guess.checked_mul(guess).is_none_or(|g| g > v) {
                 guess -= 1;
             }
-            while (guess + 1).checked_mul(guess + 1).map_or(false, |g| g <= v) {
+            while (guess + 1).checked_mul(guess + 1).is_some_and(|g| g <= v) {
                 guess += 1;
             }
             return BigUint::from(guess);
@@ -335,8 +335,8 @@ fn add_magnitudes(a: &[u64], b: &[u64]) -> BigUint {
     let (longer, shorter) = if a.len() >= b.len() { (a, b) } else { (b, a) };
     let mut out = Vec::with_capacity(longer.len() + 1);
     let mut carry = 0u128;
-    for i in 0..longer.len() {
-        let sum = longer[i] as u128 + *shorter.get(i).unwrap_or(&0) as u128 + carry;
+    for (i, &limb) in longer.iter().enumerate() {
+        let sum = limb as u128 + *shorter.get(i).unwrap_or(&0) as u128 + carry;
         out.push(sum as u64);
         carry = sum >> 64;
     }
@@ -350,8 +350,8 @@ fn sub_magnitudes(a: &[u64], b: &[u64]) -> BigUint {
     debug_assert!(a.len() >= b.len());
     let mut out = Vec::with_capacity(a.len());
     let mut borrow = 0i128;
-    for i in 0..a.len() {
-        let diff = a[i] as i128 - *b.get(i).unwrap_or(&0) as i128 - borrow;
+    for (i, &limb) in a.iter().enumerate() {
+        let diff = limb as i128 - *b.get(i).unwrap_or(&0) as i128 - borrow;
         if diff < 0 {
             out.push((diff + (1i128 << 64)) as u64);
             borrow = 1;
@@ -468,20 +468,24 @@ impl AddAssign<u64> for BigUint {
 impl Sub for BigUint {
     type Output = BigUint;
     fn sub(self, rhs: BigUint) -> BigUint {
-        self.checked_sub(&rhs).expect("BigUint subtraction underflow")
+        self.checked_sub(&rhs)
+            .expect("BigUint subtraction underflow")
     }
 }
 
 impl Sub for &BigUint {
     type Output = BigUint;
     fn sub(self, rhs: &BigUint) -> BigUint {
-        self.checked_sub(rhs).expect("BigUint subtraction underflow")
+        self.checked_sub(rhs)
+            .expect("BigUint subtraction underflow")
     }
 }
 
 impl SubAssign for BigUint {
     fn sub_assign(&mut self, rhs: BigUint) {
-        *self = self.checked_sub(&rhs).expect("BigUint subtraction underflow");
+        *self = self
+            .checked_sub(&rhs)
+            .expect("BigUint subtraction underflow");
     }
 }
 
@@ -632,7 +636,9 @@ impl FromStr for BigUint {
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let cleaned: String = s.chars().filter(|&c| c != '_' && c != ',').collect();
         if cleaned.is_empty() {
-            return Err(ParseBigUintError { kind: ParseErrorKind::Empty });
+            return Err(ParseBigUintError {
+                kind: ParseErrorKind::Empty,
+            });
         }
         let mut value = BigUint::zero();
         for c in cleaned.chars() {
@@ -718,9 +724,8 @@ mod tests {
     fn multiplication_large() {
         let a = big("340282366920938463463374607431768211455"); // 2^128-1
         let b = big("340282366920938463463374607431768211455");
-        let expected = big(
-            "115792089237316195423570985008687907852589419931798687112530834793049593217025",
-        );
+        let expected =
+            big("115792089237316195423570985008687907852589419931798687112530834793049593217025");
         assert_eq!(a * b, expected);
     }
 
@@ -802,8 +807,14 @@ mod tests {
             BigUint::from(48u64).gcd(&BigUint::from(36u64)),
             BigUint::from(12u64)
         );
-        assert_eq!(BigUint::zero().gcd(&BigUint::from(7u64)), BigUint::from(7u64));
-        assert_eq!(BigUint::from(7u64).gcd(&BigUint::zero()), BigUint::from(7u64));
+        assert_eq!(
+            BigUint::zero().gcd(&BigUint::from(7u64)),
+            BigUint::from(7u64)
+        );
+        assert_eq!(
+            BigUint::from(7u64).gcd(&BigUint::zero()),
+            BigUint::from(7u64)
+        );
         let a = big("123456789012345678901234567890");
         assert_eq!(a.gcd(&a), a);
     }
@@ -854,7 +865,11 @@ mod tests {
 
     #[test]
     fn sum_and_product_iterators() {
-        let values = vec![BigUint::from(2u64), BigUint::from(3u64), BigUint::from(5u64)];
+        let values = vec![
+            BigUint::from(2u64),
+            BigUint::from(3u64),
+            BigUint::from(5u64),
+        ];
         let s: BigUint = values.iter().cloned().sum();
         let p: BigUint = values.into_iter().product();
         assert_eq!(s, BigUint::from(10u64));
@@ -871,7 +886,10 @@ mod tests {
 
     #[test]
     fn grouped_display() {
-        assert_eq!(big("1853002140758").to_grouped_string(), "1,853,002,140,758");
+        assert_eq!(
+            big("1853002140758").to_grouped_string(),
+            "1,853,002,140,758"
+        );
         assert_eq!(big("7").to_grouped_string(), "7");
     }
 }

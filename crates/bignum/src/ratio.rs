@@ -25,12 +25,18 @@ pub struct BigRatio {
 impl BigRatio {
     /// The value zero.
     pub fn zero() -> Self {
-        BigRatio { numerator: BigInt::zero(), denominator: BigUint::one() }
+        BigRatio {
+            numerator: BigInt::zero(),
+            denominator: BigUint::one(),
+        }
     }
 
     /// The value one.
     pub fn one() -> Self {
-        BigRatio { numerator: BigInt::one(), denominator: BigUint::one() }
+        BigRatio {
+            numerator: BigInt::one(),
+            denominator: BigUint::one(),
+        }
     }
 
     /// Construct `numerator / denominator`, reducing to lowest terms.
@@ -38,7 +44,10 @@ impl BigRatio {
     /// # Panics
     /// Panics if `denominator` is zero.
     pub fn new(numerator: BigInt, denominator: BigUint) -> Self {
-        assert!(!denominator.is_zero(), "BigRatio denominator must be non-zero");
+        assert!(
+            !denominator.is_zero(),
+            "BigRatio denominator must be non-zero"
+        );
         if numerator.is_zero() {
             return BigRatio::zero();
         }
@@ -53,7 +62,10 @@ impl BigRatio {
 
     /// Construct from an integer.
     pub fn from_int(value: impl Into<BigInt>) -> Self {
-        BigRatio { numerator: value.into(), denominator: BigUint::one() }
+        BigRatio {
+            numerator: value.into(),
+            denominator: BigUint::one(),
+        }
     }
 
     /// The (signed) numerator in lowest terms.
@@ -213,7 +225,10 @@ impl Div for BigRatio {
 impl Neg for BigRatio {
     type Output = BigRatio;
     fn neg(self) -> BigRatio {
-        BigRatio { numerator: -self.numerator, denominator: self.denominator }
+        BigRatio {
+            numerator: -self.numerator,
+            denominator: self.denominator,
+        }
     }
 }
 
@@ -335,9 +350,8 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_ratio() -> impl Strategy<Value = BigRatio> {
-        (any::<i64>(), 1u64..u64::MAX).prop_map(|(n, d)| {
-            BigRatio::new(BigInt::from(n), BigUint::from(d))
-        })
+        (any::<i64>(), 1u64..u64::MAX)
+            .prop_map(|(n, d)| BigRatio::new(BigInt::from(n), BigUint::from(d)))
     }
 
     proptest! {

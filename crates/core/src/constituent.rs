@@ -70,7 +70,11 @@ impl Constituent {
         if !matrix.is_square() {
             return Err(CoreError::InvalidConstituent {
                 index,
-                message: format!("matrix is {}x{}, must be square", matrix.nrows(), matrix.ncols()),
+                message: format!(
+                    "matrix is {}x{}, must be square",
+                    matrix.nrows(),
+                    matrix.ncols()
+                ),
             });
         }
         if matrix.nnz() == 0 {
@@ -91,8 +95,11 @@ impl Constituent {
         let hist = degree_distribution(&canonical);
         let dist = DegreeDistribution::from_histogram(&hist);
         let raw = triangle_raw_sum(&csr)?;
-        let loops: Vec<u64> =
-            canonical.iter().filter(|&(r, c, _)| r == c).map(|(r, _, _)| r).collect();
+        let loops: Vec<u64> = canonical
+            .iter()
+            .filter(|&(r, c, _)| r == c)
+            .map(|(r, _, _)| r)
+            .collect();
         let self_loop_degree = if loops.len() == 1 {
             let v = loops[0];
             Some(canonical.iter().filter(|&(r, _, _)| r == v).count() as u64)
@@ -207,19 +214,18 @@ mod tests {
     #[test]
     fn custom_constituent_measures_triangle_motif() {
         // A triangle graph: 3 vertices, all pairwise connected.
-        let tri = CooMatrix::from_edges(
-            3,
-            3,
-            vec![(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0)],
-        )
-        .unwrap();
+        let tri = CooMatrix::from_edges(3, 3, vec![(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0)])
+            .unwrap();
         let c = Constituent::from_matrix(tri, 0).unwrap();
         assert_eq!(c.vertices(), 3);
         assert_eq!(c.nnz(), 6);
         assert_eq!(c.triangle_raw_sum(), 6);
         assert_eq!(c.self_loop_count(), 0);
         assert_eq!(c.self_loop_degree(), None);
-        assert_eq!(c.degree_distribution().count(&BigUint::from(2u64)), BigUint::from(3u64));
+        assert_eq!(
+            c.degree_distribution().count(&BigUint::from(2u64)),
+            BigUint::from(3u64)
+        );
     }
 
     #[test]

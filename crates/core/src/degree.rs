@@ -30,7 +30,9 @@ pub struct DegreeDistribution {
 impl DegreeDistribution {
     /// An empty distribution.
     pub fn new() -> Self {
-        DegreeDistribution { counts: BTreeMap::new() }
+        DegreeDistribution {
+            counts: BTreeMap::new(),
+        }
     }
 
     /// Build a distribution from `(degree, count)` pairs, accumulating
@@ -86,7 +88,10 @@ impl DegreeDistribution {
 
     /// The number of vertices of the given degree (zero if absent).
     pub fn count(&self, degree: &BigUint) -> BigUint {
-        self.counts.get(degree).cloned().unwrap_or_else(BigUint::zero)
+        self.counts
+            .get(degree)
+            .cloned()
+            .unwrap_or_else(BigUint::zero)
     }
 
     /// Number of distinct degrees present.
@@ -106,7 +111,10 @@ impl DegreeDistribution {
 
     /// The distribution as a sorted vector of `(degree, count)` pairs.
     pub fn to_pairs(&self) -> Vec<(BigUint, BigUint)> {
-        self.counts.iter().map(|(d, n)| (d.clone(), n.clone())).collect()
+        self.counts
+            .iter()
+            .map(|(d, n)| (d.clone(), n.clone()))
+            .collect()
     }
 
     /// Total number of vertices covered, `Σ_d n(d)`.
@@ -358,7 +366,9 @@ mod tests {
 
     fn dist(pairs: &[(u64, u64)]) -> DegreeDistribution {
         DegreeDistribution::from_pairs(
-            pairs.iter().map(|&(d, n)| (BigUint::from(d), BigUint::from(n))),
+            pairs
+                .iter()
+                .map(|&(d, n)| (BigUint::from(d), BigUint::from(n))),
         )
     }
 
@@ -391,7 +401,10 @@ mod tests {
     fn totals() {
         let d = dist(&[(1, 15), (3, 5), (5, 3), (15, 1)]);
         assert_eq!(d.total_vertices(), BigUint::from(24u64));
-        assert_eq!(d.total_edge_endpoints(), BigUint::from(15 + 15 + 15 + 15u64));
+        assert_eq!(
+            d.total_edge_endpoints(),
+            BigUint::from(15 + 15 + 15 + 15u64)
+        );
         assert_eq!(d.max_degree(), Some(&BigUint::from(15u64)));
         assert_eq!(d.min_degree(), Some(&BigUint::from(1u64)));
     }
@@ -404,7 +417,10 @@ mod tests {
         let star3 = dist(&[(1, 3), (3, 1)]);
         let product = star5.kron(&star3);
         assert_eq!(product, dist(&[(1, 15), (3, 5), (5, 3), (15, 1)]));
-        assert_eq!(product.perfect_power_law_constant(), Some(BigUint::from(15u64)));
+        assert_eq!(
+            product.perfect_power_law_constant(),
+            Some(BigUint::from(15u64))
+        );
     }
 
     #[test]
@@ -415,7 +431,7 @@ mod tests {
         let ba = DegreeDistribution::kron_all(&[b, a.clone()]);
         assert_eq!(ab, ba, "kron of distributions is commutative");
         assert_eq!(DegreeDistribution::kron_all(&[]), dist(&[(1, 1)]));
-        assert_eq!(DegreeDistribution::kron_all(&[a.clone()]), a);
+        assert_eq!(DegreeDistribution::kron_all(std::slice::from_ref(&a)), a);
     }
 
     #[test]
@@ -433,7 +449,10 @@ mod tests {
     #[test]
     fn perfect_power_law_detection() {
         let good = dist(&[(1, 12), (2, 6), (3, 4), (4, 3), (6, 2), (12, 1)]);
-        assert_eq!(good.perfect_power_law_constant(), Some(BigUint::from(12u64)));
+        assert_eq!(
+            good.perfect_power_law_constant(),
+            Some(BigUint::from(12u64))
+        );
         let bad = dist(&[(1, 12), (2, 7)]);
         assert_eq!(bad.perfect_power_law_constant(), None);
         assert_eq!(DegreeDistribution::new().perfect_power_law_constant(), None);
@@ -463,7 +482,9 @@ mod tests {
         assert_eq!(bins[1], (BigUint::from(2u64), BigUint::from(7u64)));
         assert_eq!(bins[2], (BigUint::from(4u64), BigUint::from(2u64)));
         assert_eq!(bins[3], (BigUint::from(8u64), BigUint::from(1u64)));
-        let total: BigUint = bins.iter().fold(BigUint::zero(), |acc, (_, n)| acc + n.clone());
+        let total: BigUint = bins
+            .iter()
+            .fold(BigUint::zero(), |acc, (_, n)| acc + n.clone());
         assert_eq!(total, d.total_vertices());
     }
 
@@ -504,7 +525,8 @@ mod tests {
         d.write_tsv(&mut buffer).unwrap();
         let text = String::from_utf8(buffer.clone()).unwrap();
         assert!(text.contains("3\t5"));
-        let parsed = DegreeDistribution::read_tsv(std::io::BufReader::new(buffer.as_slice())).unwrap();
+        let parsed =
+            DegreeDistribution::read_tsv(std::io::BufReader::new(buffer.as_slice())).unwrap();
         assert_eq!(parsed, d);
         assert!(DegreeDistribution::read_tsv(std::io::BufReader::new("1\n".as_bytes())).is_err());
         assert!(DegreeDistribution::read_tsv(std::io::BufReader::new("a b\n".as_bytes())).is_err());
@@ -528,7 +550,9 @@ mod proptests {
     fn arb_dist() -> impl Strategy<Value = DegreeDistribution> {
         proptest::collection::vec((1u64..50, 1u64..20), 1..8).prop_map(|pairs| {
             DegreeDistribution::from_pairs(
-                pairs.into_iter().map(|(d, n)| (BigUint::from(d), BigUint::from(n))),
+                pairs
+                    .into_iter()
+                    .map(|(d, n)| (BigUint::from(d), BigUint::from(n))),
             )
         })
     }

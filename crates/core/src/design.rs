@@ -134,8 +134,11 @@ impl KroneckerDesign {
 
     /// The exact degree distribution of the final graph.
     pub fn degree_distribution(&self) -> DegreeDistribution {
-        let per_constituent: Vec<DegreeDistribution> =
-            self.constituents.iter().map(|c| c.degree_distribution().clone()).collect();
+        let per_constituent: Vec<DegreeDistribution> = self
+            .constituents
+            .iter()
+            .map(|c| c.degree_distribution().clone())
+            .collect();
         let mut dist = DegreeDistribution::kron_all(&per_constituent);
         if let Some(loop_degree) = self.self_loop_vertex_degree() {
             dist.remove_self_loop_at(&loop_degree);
@@ -155,7 +158,10 @@ impl KroneckerDesign {
         let loops = self.product_self_loops();
         if loops.is_zero() {
             let (q, r) = raw_product.div_rem_u64(6);
-            debug_assert_eq!(r, 0, "raw triangle sum of a loop-free product must divide by 6");
+            debug_assert_eq!(
+                r, 0,
+                "raw triangle sum of a loop-free product must divide by 6"
+            );
             return Ok(q);
         }
         if self.has_removable_self_loop() {
@@ -168,7 +174,9 @@ impl KroneckerDesign {
             debug_assert_eq!(r, 0, "triangle correction must be an exact integer");
             return Ok(q);
         }
-        Err(CoreError::UnsupportedTriangleStructure { product_self_loops: loops.to_string() })
+        Err(CoreError::UnsupportedTriangleStructure {
+            product_self_loops: loops.to_string(),
+        })
     }
 
     /// The full exact property sheet of the designed graph.
@@ -184,7 +192,10 @@ impl KroneckerDesign {
 
     /// Split the design after `split_index` constituents into the `(B, C)`
     /// pair used by the paper's parallel generator: `A = B ⊗ C`.
-    pub fn split(&self, split_index: usize) -> Result<(KroneckerDesign, KroneckerDesign), CoreError> {
+    pub fn split(
+        &self,
+        split_index: usize,
+    ) -> Result<(KroneckerDesign, KroneckerDesign), CoreError> {
         if split_index == 0 || split_index >= self.constituents.len() {
             return Err(CoreError::DesignNotFound {
                 message: format!(
@@ -242,7 +253,10 @@ impl KroneckerDesign {
 
     /// Convenience: the star-point list of a pure star design, if it is one.
     pub fn star_points(&self) -> Option<Vec<u64>> {
-        self.constituents.iter().map(|c| c.as_star().map(|s| s.points())).collect()
+        self.constituents
+            .iter()
+            .map(|c| c.as_star().map(|s| s.points()))
+            .collect()
     }
 }
 
@@ -276,7 +290,10 @@ mod tests {
         assert_eq!(dist.count(&BigUint::from(3u64)), BigUint::from(5u64));
         assert_eq!(dist.count(&BigUint::from(5u64)), BigUint::from(3u64));
         assert_eq!(dist.count(&BigUint::from(15u64)), BigUint::from(1u64));
-        assert_eq!(dist.perfect_power_law_constant(), Some(BigUint::from(15u64)));
+        assert_eq!(
+            dist.perfect_power_law_constant(),
+            Some(BigUint::from(15u64))
+        );
     }
 
     #[test]
@@ -301,11 +318,9 @@ mod tests {
         // B = m̂{3,4,5,9,16,25} + centre loops, C = m̂{81,256} + centre loops.
         // The paper reports exactly 11,177,649,600 vertices,
         // 1,853,002,140,758 edges and 6,777,007,252,427 triangles.
-        let design = KroneckerDesign::from_star_points(
-            &[3, 4, 5, 9, 16, 25, 81, 256],
-            SelfLoop::Centre,
-        )
-        .unwrap();
+        let design =
+            KroneckerDesign::from_star_points(&[3, 4, 5, 9, 16, 25, 81, 256], SelfLoop::Centre)
+                .unwrap();
         assert_eq!(design.vertices(), big("11177649600"));
         assert_eq!(design.edges(), big("1853002140758"));
         assert_eq!(design.triangles().unwrap(), big("6777007252427"));
@@ -352,8 +367,9 @@ mod tests {
 
     #[test]
     fn figure7_decetta_design() {
-        let points =
-            [3u64, 4, 5, 7, 11, 9, 16, 25, 49, 81, 121, 256, 625, 2401, 14641];
+        let points = [
+            3u64, 4, 5, 7, 11, 9, 16, 25, 49, 81, 121, 256, 625, 2401, 14641,
+        ];
         let design = KroneckerDesign::from_star_points(&points, SelfLoop::Leaf).unwrap();
         assert_eq!(design.vertices(), big("144111718793178936483840000"));
         assert_eq!(design.edges(), big("2705963586782877716483871216764"));
@@ -379,21 +395,29 @@ mod tests {
             assert_eq!(BigUint::from(graph.nrows()), design.vertices());
             assert_eq!(BigUint::from(graph.nnz() as u64), design.edges());
             assert_eq!(self_loop_count(&graph) as u64, 0);
-            assert!(empty_vertices(&graph).is_empty(), "no empty vertices ({self_loop:?})");
+            assert!(
+                empty_vertices(&graph).is_empty(),
+                "no empty vertices ({self_loop:?})"
+            );
             assert_eq!(
                 BigUint::from(count_triangles_coo(&graph).unwrap()),
                 design.triangles().unwrap(),
                 "triangle mismatch for {self_loop:?}"
             );
             let measured = DegreeDistribution::from_histogram(&measured_distribution(&graph));
-            assert_eq!(measured, design.degree_distribution(), "distribution ({self_loop:?})");
+            assert_eq!(
+                measured,
+                design.degree_distribution(),
+                "distribution ({self_loop:?})"
+            );
         }
     }
 
     #[test]
     fn split_produces_b_and_c_factors() {
-        let design = KroneckerDesign::from_star_points(&[3, 4, 5, 9, 16, 25, 81, 256], SelfLoop::None)
-            .unwrap();
+        let design =
+            KroneckerDesign::from_star_points(&[3, 4, 5, 9, 16, 25, 81, 256], SelfLoop::None)
+                .unwrap();
         let (b, c) = design.split(6).unwrap();
         assert_eq!(b.vertices(), BigUint::from(530_400u64));
         assert_eq!(b.edges(), BigUint::from(13_824_000u64));
@@ -408,7 +432,10 @@ mod tests {
     #[test]
     fn realize_refuses_huge_designs() {
         let design = KroneckerDesign::from_star_points(&[81, 256, 625], SelfLoop::None).unwrap();
-        assert!(matches!(design.realize(10_000), Err(CoreError::TooLargeToRealise { .. })));
+        assert!(matches!(
+            design.realize(10_000),
+            Err(CoreError::TooLargeToRealise { .. })
+        ));
     }
 
     #[test]
@@ -420,8 +447,7 @@ mod tests {
     #[test]
     fn triangles_unsupported_for_multi_loop_constituents() {
         use kron_sparse::CooMatrix;
-        let two_loops =
-            CooMatrix::from_edges(2, 2, vec![(0, 0), (1, 1), (0, 1), (1, 0)]).unwrap();
+        let two_loops = CooMatrix::from_edges(2, 2, vec![(0, 0), (1, 1), (0, 1), (1, 0)]).unwrap();
         let c = crate::constituent::Constituent::from_matrix(two_loops, 0).unwrap();
         let design = KroneckerDesign::new(vec![c]).unwrap();
         assert!(matches!(
@@ -440,7 +466,11 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_self_loop() -> impl Strategy<Value = SelfLoop> {
-        prop_oneof![Just(SelfLoop::None), Just(SelfLoop::Centre), Just(SelfLoop::Leaf)]
+        prop_oneof![
+            Just(SelfLoop::None),
+            Just(SelfLoop::Centre),
+            Just(SelfLoop::Leaf)
+        ]
     }
 
     proptest! {

@@ -94,8 +94,9 @@ impl Default for DesignSearch {
 /// The default candidate pool: the star sizes used across the paper's
 /// evaluation plus nearby primes and prime powers, which keep subset products
 /// unique.
-pub const DEFAULT_POOL: &[u64] =
-    &[3, 4, 5, 7, 9, 11, 13, 16, 25, 49, 81, 121, 128, 169, 256, 625, 2401, 14641];
+pub const DEFAULT_POOL: &[u64] = &[
+    3, 4, 5, 7, 9, 11, 13, 16, 25, 49, 81, 121, 128, 169, 256, 625, 2401, 14641,
+];
 
 impl DesignSearch {
     /// Create a search over an explicit pool of star sizes.
@@ -123,10 +124,14 @@ impl DesignSearch {
         top_k: usize,
     ) -> Result<Vec<DesignCandidate>, CoreError> {
         if self.pool.is_empty() {
-            return Err(CoreError::DesignNotFound { message: "candidate pool is empty".into() });
+            return Err(CoreError::DesignNotFound {
+                message: "candidate pool is empty".into(),
+            });
         }
         if targets.edges.is_zero() {
-            return Err(CoreError::DesignNotFound { message: "edge target must be positive".into() });
+            return Err(CoreError::DesignNotFound {
+                message: "edge target must be positive".into(),
+            });
         }
         let target_log_edges = targets.edges.log10().expect("non-zero target");
         let target_log_vertices = targets.vertices.as_ref().and_then(|v| v.log10());
@@ -149,7 +154,11 @@ impl DesignSearch {
                 ),
             });
         }
-        candidates.sort_by(|a, b| a.score().partial_cmp(&b.score()).expect("scores are finite"));
+        candidates.sort_by(|a, b| {
+            a.score()
+                .partial_cmp(&b.score())
+                .expect("scores are finite")
+        });
         candidates.truncate(top_k.max(1));
         Ok(candidates)
     }
@@ -191,7 +200,14 @@ impl DesignSearch {
         }
         for i in start..self.pool.len() {
             stack.push(self.pool[i]);
-            self.enumerate(i + 1, stack, targets, target_log_edges, target_log_vertices, out);
+            self.enumerate(
+                i + 1,
+                stack,
+                targets,
+                target_log_edges,
+                target_log_vertices,
+                out,
+            );
             stack.pop();
         }
     }
@@ -211,7 +227,7 @@ fn star_design_counts(points: &[u64], self_loop: SelfLoop) -> (BigUint, BigUint)
         vertices *= p + 1;
     }
     if !matches!(self_loop, SelfLoop::None) {
-        edges = edges - BigUint::one();
+        edges -= BigUint::one();
     }
     (edges, vertices)
 }
@@ -257,7 +273,11 @@ mod tests {
         targets.max_constituents = 3;
         let results = search.search(&targets, 10).unwrap();
         for c in &results {
-            assert!(star_products_unique(&c.points), "non-unique candidate {:?}", c.points);
+            assert!(
+                star_products_unique(&c.points),
+                "non-unique candidate {:?}",
+                c.points
+            );
         }
         // With the filter disabled the colliding set {2,3,6} is allowed.
         targets.require_unique_products = false;
@@ -279,9 +299,13 @@ mod tests {
     #[test]
     fn error_cases() {
         let search = DesignSearch::new(vec![]);
-        assert!(search.search(&DesignTargets::edges(BigUint::from(10u64)), 3).is_err());
+        assert!(search
+            .search(&DesignTargets::edges(BigUint::from(10u64)), 3)
+            .is_err());
         let search = DesignSearch::default();
-        assert!(search.search(&DesignTargets::edges(BigUint::zero()), 3).is_err());
+        assert!(search
+            .search(&DesignTargets::edges(BigUint::zero()), 3)
+            .is_err());
     }
 
     #[test]

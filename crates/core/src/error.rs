@@ -85,10 +85,18 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(CoreError::EmptyDesign.to_string().contains("no constituent"));
-        let e = CoreError::InvalidStar { points: 0, message: "need at least one point".into() };
+        assert!(CoreError::EmptyDesign
+            .to_string()
+            .contains("no constituent"));
+        let e = CoreError::InvalidStar {
+            points: 0,
+            message: "need at least one point".into(),
+        };
         assert!(e.to_string().contains("0 points"));
-        let e = CoreError::TooLargeToRealise { vertices: "10".into(), edges: "20".into() };
+        let e = CoreError::TooLargeToRealise {
+            vertices: "10".into(),
+            edges: "20".into(),
+        };
         assert!(e.to_string().contains("too large"));
         let e: CoreError = SparseError::Io("boom".into()).into();
         assert!(matches!(e, CoreError::Sparse(_)));

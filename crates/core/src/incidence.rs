@@ -142,22 +142,30 @@ mod tests {
     #[test]
     fn design_incidence_reconstructs_raw_product() {
         for self_loop in [SelfLoop::None, SelfLoop::Centre, SelfLoop::Leaf] {
-            let design = crate::design::KroneckerDesign::from_star_points(&[3, 4], self_loop).unwrap();
+            let design =
+                crate::design::KroneckerDesign::from_star_points(&[3, 4], self_loop).unwrap();
             let pair = design_incidence(&design, 100_000).unwrap();
             assert_eq!(BigUint::from(pair.edges()), design.nnz_with_loops());
             let rebuilt = pair.to_adjacency().unwrap();
             // Raw product (before self-loop removal) materialised directly:
-            let matrices: Vec<CooMatrix<u64>> =
-                design.constituents().iter().map(|c| c.adjacency()).collect();
+            let matrices: Vec<CooMatrix<u64>> = design
+                .constituents()
+                .iter()
+                .map(|c| c.adjacency())
+                .collect();
             let raw = kron_chain::<u64, PlusTimes>(&matrices).unwrap();
-            assert!(patterns_equal(&rebuilt, &raw), "incidence product mismatch ({self_loop:?})");
+            assert!(
+                patterns_equal(&rebuilt, &raw),
+                "incidence product mismatch ({self_loop:?})"
+            );
         }
     }
 
     #[test]
     fn design_incidence_refuses_huge_designs() {
         let design =
-            crate::design::KroneckerDesign::from_star_points(&[81, 256, 625], SelfLoop::None).unwrap();
+            crate::design::KroneckerDesign::from_star_points(&[81, 256, 625], SelfLoop::None)
+                .unwrap();
         assert!(matches!(
             design_incidence(&design, 1_000),
             Err(CoreError::TooLargeToRealise { .. })
@@ -168,7 +176,15 @@ mod tests {
     fn incidence_values_are_semiring_ones() {
         let adjacency = CooMatrix::from_edges(3, 3, vec![(0, 1), (1, 2)]).unwrap();
         let pair = IncidencePair::from_adjacency(&adjacency);
-        assert!(pair.out.values().iter().all(|&v| v == <PlusTimes as Semiring<u64>>::one()));
-        assert!(pair.inc.values().iter().all(|&v| v == <PlusTimes as Semiring<u64>>::one()));
+        assert!(pair
+            .out
+            .values()
+            .iter()
+            .all(|&v| v == <PlusTimes as Semiring<u64>>::one()));
+        assert!(pair
+            .inc
+            .values()
+            .iter()
+            .all(|&v| v == <PlusTimes as Semiring<u64>>::one()));
     }
 }

@@ -25,7 +25,10 @@ impl PowerLaw {
     /// The ideal curve through a perfect star-product distribution:
     /// `c = ∏ m̂_k`, `α = 1`.
     pub fn perfect(constant: BigUint) -> Self {
-        PowerLaw { constant: constant.to_f64(), alpha: 1.0 }
+        PowerLaw {
+            constant: constant.to_f64(),
+            alpha: 1.0,
+        }
     }
 
     /// Slope estimate from the extreme points, as used in the paper:
@@ -37,7 +40,10 @@ impl PowerLaw {
             return None;
         }
         let alpha = n1.log10()? / dmax.log10()?;
-        Some(PowerLaw { constant: n1.to_f64(), alpha })
+        Some(PowerLaw {
+            constant: n1.to_f64(),
+            alpha,
+        })
     }
 
     /// Predicted count at degree `d` (floating point; for plots and
@@ -52,7 +58,9 @@ impl PowerLaw {
         let mut total = 0.0;
         let mut count = 0usize;
         for (d, n) in dist.iter() {
-            let (Some(ld), Some(ln)) = (d.log10(), n.log10()) else { continue };
+            let (Some(ld), Some(ln)) = (d.log10(), n.log10()) else {
+                continue;
+            };
             let predicted = self.constant.log10() - self.alpha * ld;
             total += (ln - predicted).abs();
             count += 1;
@@ -103,7 +111,9 @@ mod tests {
 
     fn dist(pairs: &[(u64, u64)]) -> DegreeDistribution {
         DegreeDistribution::from_pairs(
-            pairs.iter().map(|&(d, n)| (BigUint::from(d), BigUint::from(n))),
+            pairs
+                .iter()
+                .map(|&(d, n)| (BigUint::from(d), BigUint::from(n))),
         )
     }
 

@@ -32,12 +32,18 @@ pub struct GraphProperties {
 impl GraphProperties {
     /// Largest vertex degree (zero for an empty graph).
     pub fn max_degree(&self) -> BigUint {
-        self.degree_distribution.max_degree().cloned().unwrap_or_else(BigUint::zero)
+        self.degree_distribution
+            .max_degree()
+            .cloned()
+            .unwrap_or_else(BigUint::zero)
     }
 
     /// Smallest vertex degree present (zero for an empty graph).
     pub fn min_degree(&self) -> BigUint {
-        self.degree_distribution.min_degree().cloned().unwrap_or_else(BigUint::zero)
+        self.degree_distribution
+            .min_degree()
+            .cloned()
+            .unwrap_or_else(BigUint::zero)
     }
 
     /// Number of distinct degrees in the distribution.
@@ -98,7 +104,9 @@ mod tests {
 
     fn dist(pairs: &[(u64, u64)]) -> DegreeDistribution {
         DegreeDistribution::from_pairs(
-            pairs.iter().map(|&(d, n)| (BigUint::from(d), BigUint::from(n))),
+            pairs
+                .iter()
+                .map(|&(d, n)| (BigUint::from(d), BigUint::from(n))),
         )
     }
 

@@ -270,7 +270,10 @@ mod tests {
             )
             .unwrap();
             let expected = CsrMatrix::from_coo::<PlusTimes>(&s.adjacency()).unwrap();
-            assert_eq!(adjacency, expected, "EoutT*Ein must equal A for {self_loop:?}");
+            assert_eq!(
+                adjacency, expected,
+                "EoutT*Ein must equal A for {self_loop:?}"
+            );
         }
     }
 

@@ -84,7 +84,11 @@ impl ValidationReport {
 
     /// The names of fields that failed.
     pub fn failures(&self) -> Vec<&str> {
-        self.checks.iter().filter(|c| !c.matches).map(|c| c.field.as_str()).collect()
+        self.checks
+            .iter()
+            .filter(|c| !c.matches)
+            .map(|c| c.field.as_str())
+            .collect()
     }
 }
 
@@ -113,29 +117,66 @@ pub fn compare_properties(
 ) -> ValidationReport {
     let mut checks = Vec::new();
     let mut push = |field: &str, p: String, m: String| {
-        checks.push(FieldCheck { field: field.to_string(), matches: p == m, predicted: p, measured: m });
+        checks.push(FieldCheck {
+            field: field.to_string(),
+            matches: p == m,
+            predicted: p,
+            measured: m,
+        });
     };
-    push("vertices", predicted.vertices.to_string(), measured.vertices.to_string());
-    push("edges", predicted.edges.to_string(), measured.edges.to_string());
+    push(
+        "vertices",
+        predicted.vertices.to_string(),
+        measured.vertices.to_string(),
+    );
+    push(
+        "edges",
+        predicted.edges.to_string(),
+        measured.edges.to_string(),
+    );
     push(
         "triangles",
-        predicted.triangles.as_ref().map_or("n/a".into(), |t| t.to_string()),
-        measured.triangles.as_ref().map_or("n/a".into(), |t| t.to_string()),
+        predicted
+            .triangles
+            .as_ref()
+            .map_or("n/a".into(), |t| t.to_string()),
+        measured
+            .triangles
+            .as_ref()
+            .map_or("n/a".into(), |t| t.to_string()),
     );
-    push("self_loops", predicted.self_loops.to_string(), measured.self_loops.to_string());
+    push(
+        "self_loops",
+        predicted.self_loops.to_string(),
+        measured.self_loops.to_string(),
+    );
     push(
         "distinct_degrees",
         predicted.distinct_degrees().to_string(),
         measured.distinct_degrees().to_string(),
     );
-    push("max_degree", predicted.max_degree().to_string(), measured.max_degree().to_string());
+    push(
+        "max_degree",
+        predicted.max_degree().to_string(),
+        measured.max_degree().to_string(),
+    );
     checks.push(FieldCheck {
         field: "degree_distribution".to_string(),
         matches: predicted.degree_distribution == measured.degree_distribution,
-        predicted: format!("{} support points", predicted.degree_distribution.support_size()),
-        measured: format!("{} support points", measured.degree_distribution.support_size()),
+        predicted: format!(
+            "{} support points",
+            predicted.degree_distribution.support_size()
+        ),
+        measured: format!(
+            "{} support points",
+            measured.degree_distribution.support_size()
+        ),
     });
-    ValidationReport { checks, no_empty_vertices: true, no_duplicate_edges: true }
+    ValidationReport {
+        checks,
+        no_empty_vertices: true,
+        no_duplicate_edges: true,
+    }
 }
 
 /// Realise a design (bounded by `max_edges`), measure it, and compare with
@@ -175,20 +216,22 @@ mod tests {
     #[test]
     fn measured_properties_of_known_graph() {
         // Triangle graph plus an isolated vertex.
-        let g = CooMatrix::from_edges(
-            4,
-            4,
-            vec![(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0)],
-        )
-        .unwrap();
+        let g = CooMatrix::from_edges(4, 4, vec![(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0)])
+            .unwrap();
         let props = measure_properties(&g).unwrap();
         assert_eq!(props.vertices, BigUint::from(4u64));
         assert_eq!(props.edges, BigUint::from(6u64));
         assert_eq!(props.triangles, Some(BigUint::from(1u64)));
         assert_eq!(props.self_loops, BigUint::zero());
-        assert_eq!(props.degree_distribution.count(&BigUint::from(2u64)), BigUint::from(3u64));
+        assert_eq!(
+            props.degree_distribution.count(&BigUint::from(2u64)),
+            BigUint::from(3u64)
+        );
         // The isolated vertex contributes no degree support but is counted.
-        assert_eq!(props.degree_distribution.total_vertices(), BigUint::from(3u64));
+        assert_eq!(
+            props.degree_distribution.total_vertices(),
+            BigUint::from(3u64)
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use kron_sparse::CooMatrix;
+use kron_sparse::{CooMatrix, PlusTimes};
 
 /// One worker's block of a distributed Kronecker graph.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -39,15 +39,29 @@ impl GraphBlock {
         a_cols: u64,
     ) -> Self {
         let mut edges = CooMatrix::with_capacity(a_rows, a_cols, b_triples.len() * c.nnz());
+        // Hoist `C`'s SoA triple slices out of the loop; each `B` triple then
+        // contributes one bulk append of the whole of `C`, translated by the
+        // triple's base offsets and scaled by its value — no per-edge bounds
+        // check or iterator dispatch on the hot path.
+        let (c_rows, c_cols, c_vals) = (c.row_indices(), c.col_indices(), c.values());
+        let (c_nrows, c_ncols) = (c.nrows(), c.ncols());
         for &(rb, cb, vb) in b_triples {
-            for (rc, cc, vc) in c.iter() {
-                edges
-                    .push(rb * c.nrows() + rc, cb * c.ncols() + cc, vb * vc)
-                    .expect("kron indices are within the product dimensions");
-            }
+            edges.append_translated::<PlusTimes>(
+                rb * c_nrows,
+                cb * c_ncols,
+                vb,
+                c_rows,
+                c_cols,
+                c_vals,
+            );
         }
         let b_col_offset = b_triples.iter().map(|&(_, c, _)| c).min();
-        GraphBlock { worker, edges, b_col_offset, b_triples: b_triples.len() }
+        GraphBlock {
+            worker,
+            edges,
+            b_col_offset,
+            b_triples: b_triples.len(),
+        }
     }
 
     /// Number of edges stored in this block.
@@ -64,9 +78,13 @@ impl GraphBlock {
     /// entry was removed.  Used to delete the one surviving self-loop of the
     /// triangle-control construction from whichever block holds it.
     pub fn remove_entry(&mut self, row: u64, col: u64) -> bool {
-        let before = self.edges.nnz();
-        self.edges = self.edges.filter(|r, c, _| !(r == row && c == col));
-        self.edges.nnz() != before
+        match self.edges.find_entry(row, col) {
+            Some(index) => {
+                self.edges.swap_remove(index);
+                true
+            }
+            None => false,
+        }
     }
 
     /// The paper's local form of the block: column indices shifted down so
@@ -74,12 +92,11 @@ impl GraphBlock {
     /// minimum column index" step of §V).
     pub fn local_edges(&self) -> CooMatrix<u64> {
         let min_col = self.edges.col_indices().iter().min().copied().unwrap_or(0);
-        let mut local = CooMatrix::new(
-            self.edges.nrows(),
-            self.edges.ncols() - min_col,
-        );
+        let mut local = CooMatrix::new(self.edges.nrows(), self.edges.ncols() - min_col);
         for (r, c, v) in self.edges.iter() {
-            local.push(r, c - min_col, v).expect("shifted column stays in bounds");
+            local
+                .push(r, c - min_col, v)
+                .expect("shifted column stays in bounds");
         }
         local
     }
@@ -166,7 +183,11 @@ mod tests {
         let c = star(2);
         let triples = crate::partition::csc_ordered_triples(&b);
         // Take only the triples in B's last column (column 3).
-        let last_col: Vec<_> = triples.iter().copied().filter(|&(_, col, _)| col == 3).collect();
+        let last_col: Vec<_> = triples
+            .iter()
+            .copied()
+            .filter(|&(_, col, _)| col == 3)
+            .collect();
         let block = GraphBlock::generate(1, &last_col, &c, 12, 12);
         let local = block.local_edges();
         assert_eq!(local.col_indices().iter().min().copied(), Some(0));

@@ -33,7 +33,11 @@ pub struct GeneratorConfig {
 
 impl Default for GeneratorConfig {
     fn default() -> Self {
-        GeneratorConfig { workers: 4, max_c_edges: 1 << 20, max_total_edges: 50_000_000 }
+        GeneratorConfig {
+            workers: 4,
+            max_c_edges: 1 << 20,
+            max_total_edges: 50_000_000,
+        }
     }
 }
 
@@ -62,7 +66,8 @@ impl DistributedGraph {
     pub fn assemble(&self) -> CooMatrix<u64> {
         let mut all = CooMatrix::new(self.vertices, self.vertices);
         for block in &self.blocks {
-            all.append(&block.edges).expect("blocks share the full graph dimensions");
+            all.append(&block.edges)
+                .expect("blocks share the full graph dimensions");
         }
         all
     }
@@ -217,8 +222,7 @@ mod tests {
     #[test]
     fn generated_graph_matches_design_exactly() {
         for self_loop in [SelfLoop::None, SelfLoop::Centre, SelfLoop::Leaf] {
-            let design =
-                KroneckerDesign::from_star_points(&[3, 4, 5, 9], self_loop).unwrap();
+            let design = KroneckerDesign::from_star_points(&[3, 4, 5, 9], self_loop).unwrap();
             let graph = generator(4).generate(&design).unwrap();
             let assembled = graph.assemble();
             let measured = measure_properties(&assembled).unwrap();
@@ -269,8 +273,7 @@ mod tests {
 
     #[test]
     fn refuses_oversized_designs() {
-        let design =
-            KroneckerDesign::from_star_points(&[81, 256, 625], SelfLoop::None).unwrap();
+        let design = KroneckerDesign::from_star_points(&[81, 256, 625], SelfLoop::None).unwrap();
         let result = generator(4).generate(&design);
         assert!(matches!(result, Err(CoreError::TooLargeToRealise { .. })));
     }

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod block;
+pub mod chunk;
 pub mod generator;
 pub mod measure;
 pub mod partition;
@@ -41,11 +42,18 @@ pub mod stream;
 pub mod writer;
 
 pub use block::GraphBlock;
+pub use chunk::EdgeChunk;
 pub use generator::{DistributedGraph, GeneratorConfig, ParallelGenerator};
 pub use measure::{measured_degree_distribution, measured_properties, BalanceReport};
 pub use partition::Partition;
 pub use scaling::{ScalingModel, ScalingPoint};
 pub use split::{choose_split, SplitPlan};
 pub use stats::GenerationStats;
-pub use stream::{count_edges_streaming, stream_block_edges};
-pub use writer::{write_blocks_tsv, BlockFileSet};
+pub use stream::{
+    count_block_edges, count_edges_streaming, stream_block_edges, stream_block_edges_chunked,
+    stream_block_edges_into, try_stream_block_edges_into,
+};
+pub use writer::{
+    read_block_bin, stream_block_tsv, stream_blocks_tsv, write_block_bin, write_blocks_bin,
+    write_blocks_tsv, BlockFileSet, BlockFormat,
+};

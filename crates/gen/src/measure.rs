@@ -43,8 +43,17 @@ impl BalanceReport {
         } else {
             total as f64 / edges_per_worker.len() as f64
         };
-        let max_over_mean = if mean > 0.0 { max_edges as f64 / mean } else { 1.0 };
-        BalanceReport { edges_per_worker, max_edges, min_edges, max_over_mean }
+        let max_over_mean = if mean > 0.0 {
+            max_edges as f64 / mean
+        } else {
+            1.0
+        };
+        BalanceReport {
+            edges_per_worker,
+            max_edges,
+            min_edges,
+            max_over_mean,
+        }
     }
 
     /// Whether per-worker edge counts differ by at most `tolerance` edges.
@@ -93,7 +102,11 @@ pub fn measured_properties(
 ) -> Result<GraphProperties, CoreError> {
     let distribution = measured_degree_distribution(graph);
     let edges = graph.edge_count();
-    let self_loops: u64 = graph.blocks.iter().map(|b| b.self_loop_count() as u64).sum();
+    let self_loops: u64 = graph
+        .blocks
+        .iter()
+        .map(|b| b.self_loop_count() as u64)
+        .sum();
     let triangles = if edges <= max_triangle_edges && self_loops == 0 {
         let assembled = graph.assemble();
         Some(BigUint::from(count_triangles_coo(&assembled)?))

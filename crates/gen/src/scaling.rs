@@ -43,20 +43,32 @@ pub struct ScalingPoint {
 impl ScalingModel {
     /// Build a model from a split plan and a calibrated per-edge cost.
     pub fn new(plan: &SplitPlan, seconds_per_edge: f64) -> Result<Self, CoreError> {
-        let b_nnz = plan.b_nnz.to_u64().ok_or_else(|| CoreError::TooLargeToRealise {
-            vertices: String::from("n/a"),
-            edges: plan.b_nnz.to_string(),
-        })?;
-        let c_nnz = plan.c_nnz.to_u64().ok_or_else(|| CoreError::TooLargeToRealise {
-            vertices: String::from("n/a"),
-            edges: plan.c_nnz.to_string(),
-        })?;
+        let b_nnz = plan
+            .b_nnz
+            .to_u64()
+            .ok_or_else(|| CoreError::TooLargeToRealise {
+                vertices: String::from("n/a"),
+                edges: plan.b_nnz.to_string(),
+            })?;
+        let c_nnz = plan
+            .c_nnz
+            .to_u64()
+            .ok_or_else(|| CoreError::TooLargeToRealise {
+                vertices: String::from("n/a"),
+                edges: plan.c_nnz.to_string(),
+            })?;
         if seconds_per_edge <= 0.0 || !seconds_per_edge.is_finite() {
             return Err(CoreError::DesignNotFound {
-                message: format!("per-edge cost must be positive and finite, got {seconds_per_edge}"),
+                message: format!(
+                    "per-edge cost must be positive and finite, got {seconds_per_edge}"
+                ),
             });
         }
-        Ok(ScalingModel { seconds_per_edge, b_nnz, c_nnz })
+        Ok(ScalingModel {
+            seconds_per_edge,
+            b_nnz,
+            c_nnz,
+        })
     }
 
     /// Calibrate a model from one measured run: `edges` produced in
@@ -86,14 +98,30 @@ impl ScalingModel {
     /// Predict time, rate, and efficiency at a given worker count.
     pub fn predict(&self, workers: u64) -> ScalingPoint {
         let workers = workers.max(1);
-        let partition = Partition::even(self.b_nnz as usize, workers.min(u64::from(u32::MAX)) as usize);
+        let partition = Partition::even(
+            self.b_nnz as usize,
+            workers.min(u64::from(u32::MAX)) as usize,
+        );
         let max_triples = partition.sizes().into_iter().max().unwrap_or(0) as f64;
         let seconds = max_triples * self.c_nnz as f64 * self.seconds_per_edge;
         let total = self.total_edges() as f64;
-        let edges_per_second = if seconds > 0.0 { total / seconds } else { f64::INFINITY };
+        let edges_per_second = if seconds > 0.0 {
+            total / seconds
+        } else {
+            f64::INFINITY
+        };
         let ideal_seconds = total * self.seconds_per_edge / workers as f64;
-        let efficiency = if seconds > 0.0 { ideal_seconds / seconds } else { 1.0 };
-        ScalingPoint { workers, seconds, edges_per_second, efficiency }
+        let efficiency = if seconds > 0.0 {
+            ideal_seconds / seconds
+        } else {
+            1.0
+        };
+        ScalingPoint {
+            workers,
+            seconds,
+            edges_per_second,
+            efficiency,
+        }
     }
 
     /// Predict a whole sweep of worker counts (the Figure 3 series).
@@ -134,7 +162,11 @@ impl ScalingModel {
         Ok(ScalingPoint {
             workers,
             seconds,
-            edges_per_second: if seconds > 0.0 { total / seconds } else { f64::INFINITY },
+            edges_per_second: if seconds > 0.0 {
+                total / seconds
+            } else {
+                f64::INFINITY
+            },
             efficiency: if seconds > 0.0 {
                 (total * self.seconds_per_edge / workers_f) / seconds
             } else {
@@ -151,8 +183,7 @@ mod tests {
     use kron_core::SelfLoop;
 
     fn plan() -> SplitPlan {
-        let design =
-            KroneckerDesign::from_star_points(&[3, 4, 5, 9, 16], SelfLoop::None).unwrap();
+        let design = KroneckerDesign::from_star_points(&[3, 4, 5, 9, 16], SelfLoop::None).unwrap();
         choose_split(&design, 10_000, 1).unwrap()
     }
 
@@ -173,7 +204,10 @@ mod tests {
         assert_eq!(model.total_edges(), 276_480);
         let p1 = model.predict(1);
         let p8 = model.predict(8);
-        assert!((p1.seconds / p8.seconds - 8.0).abs() < 1e-9, "48 triples split 8 ways evenly");
+        assert!(
+            (p1.seconds / p8.seconds - 8.0).abs() < 1e-9,
+            "48 triples split 8 ways evenly"
+        );
         assert!((p8.efficiency - 1.0).abs() < 1e-9);
         assert!((p8.edges_per_second / p1.edges_per_second - 8.0).abs() < 1e-9);
     }
@@ -195,7 +229,10 @@ mod tests {
         assert_eq!(model.saturation_workers(), 48);
         let at = model.predict(48);
         let beyond = model.predict(480);
-        assert!((at.seconds - beyond.seconds).abs() < 1e-15, "extra workers beyond nnz(B) are idle");
+        assert!(
+            (at.seconds - beyond.seconds).abs() < 1e-15,
+            "extra workers beyond nnz(B) are idle"
+        );
         assert!(beyond.efficiency < at.efficiency);
     }
 
@@ -214,16 +251,22 @@ mod tests {
     fn extrapolates_to_paper_scale() {
         let plan = plan();
         let model = ScalingModel::new(&plan, 3.3e-8).unwrap(); // ~30 Medges/s/core
-        let paper = KroneckerDesign::from_star_points(
-            &[3, 4, 5, 9, 16, 25, 81, 256],
-            SelfLoop::None,
-        )
-        .unwrap();
+        let paper =
+            KroneckerDesign::from_star_points(&[3, 4, 5, 9, 16, 25, 81, 256], SelfLoop::None)
+                .unwrap();
         let point = model.predict_for_design(&paper, 6, 41_472).unwrap();
         // 1.1466e12 edges over 41,472 workers at 3.3e-8 s/edge ≈ 0.9 s —
         // the paper's "1 second on 41,472 cores" ballpark.
-        assert!(point.seconds > 0.5 && point.seconds < 2.0, "predicted {} s", point.seconds);
-        assert!(point.edges_per_second > 5e11, "predicted {} e/s", point.edges_per_second);
+        assert!(
+            point.seconds > 0.5 && point.seconds < 2.0,
+            "predicted {} s",
+            point.seconds
+        );
+        assert!(
+            point.edges_per_second > 5e11,
+            "predicted {} e/s",
+            point.edges_per_second
+        );
         let sweep = model.sweep(&[1, 2, 4, 8]);
         assert_eq!(sweep.len(), 4);
         assert!(sweep[3].edges_per_second > sweep[0].edges_per_second);

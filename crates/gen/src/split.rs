@@ -110,8 +110,7 @@ mod tests {
 
     #[test]
     fn prefers_largest_feasible_c() {
-        let design =
-            KroneckerDesign::from_star_points(&[3, 4, 5, 9], SelfLoop::None).unwrap();
+        let design = KroneckerDesign::from_star_points(&[3, 4, 5, 9], SelfLoop::None).unwrap();
         // Budget large enough for C = {5, 9} (nnz 10*18=180) but not {4,5,9}.
         let plan = choose_split(&design, 200, 4).unwrap();
         assert_eq!(plan.split_index, 2);

@@ -42,7 +42,10 @@ impl GenerationStats {
 
     /// Largest minus smallest per-worker edge count (0 = perfect balance).
     pub fn imbalance(&self) -> u64 {
-        match (self.edges_per_worker.iter().max(), self.edges_per_worker.iter().min()) {
+        match (
+            self.edges_per_worker.iter().max(),
+            self.edges_per_worker.iter().min(),
+        ) {
             (Some(max), Some(min)) => max - min,
             _ => 0,
         }

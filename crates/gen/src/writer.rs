@@ -1,10 +1,21 @@
 //! Writing distributed graphs to disk.
 //!
-//! The natural on-disk form of a distributed Kronecker graph is one triple
-//! file per worker — exactly what a distributed file system would hold after
-//! the paper's generation run.  Blocks are written in parallel (each worker
-//! owns its file, so there is still no coordination).
+//! The natural on-disk form of a distributed Kronecker graph is one file per
+//! worker — exactly what a distributed file system would hold after the
+//! paper's generation run.  Blocks are written in parallel (each worker owns
+//! its file, so there is still no coordination), and two formats are
+//! supported:
+//!
+//! * **TSV triples** (`block_<p>.tsv`) — the interchange format
+//!   Graph500-style tooling ingests; emission is fed by [`EdgeChunk`]s
+//!   through a per-worker [`BufWriter`], so a block streams to disk without
+//!   ever being materialised in memory.
+//! * **Compact binary** (`block_<p>.kbk`) — a fixed little-endian header
+//!   (magic, version, dimensions, edge count) followed by the raw row and
+//!   column index arrays.  16 bytes per edge, no parsing on the way back in;
+//!   [`read_block_bin`] round-trips it through the checked bulk COO APIs.
 
+use std::io::{BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 
 use rayon::prelude::*;
@@ -12,11 +23,28 @@ use serde::{Deserialize, Serialize};
 
 use kron_core::CoreError;
 use kron_sparse::io::{read_tsv_file, write_tsv_file};
-use kron_sparse::CooMatrix;
+use kron_sparse::{CooMatrix, SparseError};
 
+use crate::chunk::EdgeChunk;
 use crate::generator::DistributedGraph;
+use crate::partition::{csc_ordered_triples, Partition};
+use crate::stream::try_stream_block_edges_into;
 
-/// The files produced by [`write_blocks_tsv`].
+/// Magic bytes opening a binary block file.
+pub const BLOCK_MAGIC: [u8; 4] = *b"KBLK";
+/// Version of the binary block layout.
+pub const BLOCK_VERSION: u32 = 1;
+
+/// On-disk format of a block file set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BlockFormat {
+    /// `row<TAB>col<TAB>value` text triples.
+    Tsv,
+    /// The compact binary layout (see [`write_block_bin`]).
+    Binary,
+}
+
+/// The files produced by one of the block writers.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BlockFileSet {
     /// Directory containing the block files.
@@ -25,6 +53,8 @@ pub struct BlockFileSet {
     pub files: Vec<PathBuf>,
     /// Vertex count of the graph the files describe.
     pub vertices: u64,
+    /// Format every file in the set is written in.
+    pub format: BlockFormat,
 }
 
 impl BlockFileSet {
@@ -32,33 +62,270 @@ impl BlockFileSet {
     pub fn read_assembled(&self) -> Result<CooMatrix<u64>, CoreError> {
         let mut all = CooMatrix::new(self.vertices, self.vertices);
         for file in &self.files {
-            let block = read_tsv_file(self.vertices, self.vertices, file)?;
+            let block = match self.format {
+                BlockFormat::Tsv => read_tsv_file(self.vertices, self.vertices, file)?,
+                BlockFormat::Binary => read_block_bin(file)?,
+            };
             all.append(&block)?;
         }
         Ok(all)
     }
 }
 
-/// Write each block of a distributed graph to `<directory>/block_<p>.tsv`
-/// (0-based triples, one file per worker, written in parallel).
+fn prepare_directory(
+    directory: &Path,
+    workers: usize,
+    extension: &str,
+) -> Result<Vec<PathBuf>, CoreError> {
+    std::fs::create_dir_all(directory)
+        .map_err(|e| CoreError::Sparse(SparseError::Io(e.to_string())))?;
+    Ok((0..workers)
+        .map(|worker| directory.join(format!("block_{worker:05}.{extension}")))
+        .collect())
+}
+
+/// Write each block of a materialised distributed graph to
+/// `<directory>/block_<p>.tsv` (0-based triples, one file per worker,
+/// written in parallel).
 pub fn write_blocks_tsv(
     graph: &DistributedGraph,
     directory: &Path,
 ) -> Result<BlockFileSet, CoreError> {
-    std::fs::create_dir_all(directory)
-        .map_err(|e| CoreError::Sparse(kron_sparse::SparseError::Io(e.to_string())))?;
-    let files: Vec<PathBuf> = graph
-        .blocks
-        .iter()
-        .map(|b| directory.join(format!("block_{:05}.tsv", b.worker)))
-        .collect();
+    let files = prepare_directory(directory, graph.blocks.len(), "tsv")?;
     graph
         .blocks
         .par_iter()
         .zip(files.par_iter())
         .try_for_each(|(block, path)| write_tsv_file(&block.edges, path))
         .map_err(CoreError::Sparse)?;
-    Ok(BlockFileSet { directory: directory.to_path_buf(), files, vertices: graph.vertices })
+    Ok(BlockFileSet {
+        directory: directory.to_path_buf(),
+        files,
+        vertices: graph.vertices,
+        format: BlockFormat::Tsv,
+    })
+}
+
+/// Stream one worker's block straight to a TSV file without materialising
+/// it: the Kronecker expansion fills the caller's reusable chunk, and each
+/// flush formats into a buffered writer.  Returns the number of edges
+/// written (every edge of the raw product has value 1).
+pub fn stream_block_tsv(
+    b_triples: &[(u64, u64, u64)],
+    c: &CooMatrix<u64>,
+    chunk: &mut EdgeChunk,
+    path: &Path,
+) -> Result<u64, SparseError> {
+    let file = std::fs::File::create(path)?;
+    let mut writer = BufWriter::with_capacity(1 << 18, file);
+    // The first write error aborts the whole expansion (a full disk must
+    // not cost the remaining hours of edge generation).
+    let result = try_stream_block_edges_into(b_triples, c, chunk, |edges| {
+        for &(row, col) in edges {
+            writeln!(writer, "{row}\t{col}\t1")?;
+        }
+        Ok::<(), std::io::Error>(())
+    });
+    let written = match result {
+        Ok(written) => written,
+        Err(e) => {
+            // The undelivered edges have nowhere to go; drop them so the
+            // buffer is clean if the caller reuses it.
+            chunk.clear();
+            return Err(e.into());
+        }
+    };
+    writer.flush()?;
+    Ok(written)
+}
+
+/// Generate a design's raw product directly to per-worker TSV files, never
+/// holding more than one [`EdgeChunk`] per worker in memory.
+///
+/// This writes the *raw* `B ⊗ C` product — the streaming pipeline's view of
+/// the graph, before any self-loop removal — and is the template every
+/// later sink (sockets, object stores, columnar files) follows: design →
+/// split → partition → chunked expand → per-worker buffered sink.
+pub fn stream_blocks_tsv(
+    design: &kron_core::KroneckerDesign,
+    split_index: usize,
+    workers: usize,
+    max_factor_edges: u64,
+    directory: &Path,
+) -> Result<BlockFileSet, CoreError> {
+    if workers == 0 {
+        return Err(CoreError::DesignNotFound {
+            message: "streaming generation needs at least one worker".into(),
+        });
+    }
+    let (b_design, c_design) = design.split(split_index)?;
+    let b = b_design.realize_raw(max_factor_edges)?;
+    let c = c_design.realize_raw(max_factor_edges)?;
+    let vertices = design
+        .vertices()
+        .to_u64()
+        .ok_or_else(|| CoreError::TooLargeToRealise {
+            vertices: design.vertices().to_string(),
+            edges: design.nnz_with_loops().to_string(),
+        })?;
+    let triples = csc_ordered_triples(&b);
+    let partition = Partition::even(triples.len(), workers);
+    let files = prepare_directory(directory, workers, "tsv")?;
+
+    (0..workers)
+        .into_par_iter()
+        .map(|worker| {
+            let mut chunk = EdgeChunk::with_default_capacity();
+            stream_block_tsv(
+                &triples[partition.range(worker)],
+                &c,
+                &mut chunk,
+                &files[worker],
+            )
+            .map(|_| ())
+        })
+        .collect::<Vec<Result<(), SparseError>>>()
+        .into_iter()
+        .collect::<Result<(), SparseError>>()
+        .map_err(CoreError::Sparse)?;
+
+    Ok(BlockFileSet {
+        directory: directory.to_path_buf(),
+        files,
+        vertices,
+        format: BlockFormat::Tsv,
+    })
+}
+
+/// Write one block in the compact binary layout:
+///
+/// ```text
+/// "KBLK"  u32 version  u64 nrows  u64 ncols  u64 nnz
+/// nnz x u64 row indices, then nnz x u64 column indices (little-endian)
+/// ```
+///
+/// Values are not stored — a generated raw-product block is an unweighted
+/// pattern (every stored entry is 1), which is what makes the format 16
+/// bytes per edge.
+pub fn write_block_bin(edges: &CooMatrix<u64>, path: &Path) -> Result<(), SparseError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::with_capacity(1 << 18, file);
+    w.write_all(&BLOCK_MAGIC)?;
+    w.write_all(&BLOCK_VERSION.to_le_bytes())?;
+    w.write_all(&edges.nrows().to_le_bytes())?;
+    w.write_all(&edges.ncols().to_le_bytes())?;
+    w.write_all(&(edges.nnz() as u64).to_le_bytes())?;
+    for &row in edges.row_indices() {
+        w.write_all(&row.to_le_bytes())?;
+    }
+    for &col in edges.col_indices() {
+        w.write_all(&col.to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+fn read_u64_array(reader: &mut impl Read, count: usize) -> Result<Vec<u64>, SparseError> {
+    let mut bytes = vec![0u8; count * 8];
+    reader.read_exact(&mut bytes)?;
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|chunk| u64::from_le_bytes(chunk.try_into().expect("exact chunk")))
+        .collect())
+}
+
+/// Read a binary block file back into a COO matrix (all values 1), with the
+/// header validated — including the declared entry count against the actual
+/// file length, before anything is allocated from it — and every index
+/// bounds-checked.
+pub fn read_block_bin(path: &Path) -> Result<CooMatrix<u64>, SparseError> {
+    let file = std::fs::File::open(path)?;
+    let file_len = file.metadata()?.len();
+    let mut reader = std::io::BufReader::with_capacity(1 << 18, file);
+
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if magic != BLOCK_MAGIC {
+        return Err(SparseError::Parse {
+            line: 0,
+            message: format!("bad block magic {magic:?}, expected {BLOCK_MAGIC:?}"),
+        });
+    }
+    let mut version = [0u8; 4];
+    reader.read_exact(&mut version)?;
+    let version = u32::from_le_bytes(version);
+    if version != BLOCK_VERSION {
+        return Err(SparseError::Parse {
+            line: 0,
+            message: format!("unsupported block version {version}"),
+        });
+    }
+    let mut header = [0u8; 24];
+    reader.read_exact(&mut header)?;
+    let nrows = u64::from_le_bytes(header[0..8].try_into().expect("sized"));
+    let ncols = u64::from_le_bytes(header[8..16].try_into().expect("sized"));
+    let nnz = u64::from_le_bytes(header[16..24].try_into().expect("sized"));
+    // A corrupt header must fail cleanly, not abort on a huge allocation:
+    // the declared entry count has to match the bytes actually present.
+    let header_len = 4 + 4 + 24;
+    let expected_len = nnz
+        .checked_mul(16)
+        .and_then(|body| body.checked_add(header_len))
+        .ok_or(SparseError::TooLarge {
+            what: "binary block entry count",
+            requested: nnz as u128,
+        })?;
+    if expected_len != file_len {
+        return Err(SparseError::Parse {
+            line: 0,
+            message: format!(
+                "binary block declares {nnz} entries ({expected_len} bytes) but the file is {file_len} bytes"
+            ),
+        });
+    }
+    let nnz = usize::try_from(nnz).map_err(|_| SparseError::TooLarge {
+        what: "binary block entry count",
+        requested: nnz as u128,
+    })?;
+
+    let rows = read_u64_array(&mut reader, nnz)?;
+    let cols = read_u64_array(&mut reader, nnz)?;
+    for (&r, &c) in rows.iter().zip(cols.iter()) {
+        if r >= nrows || c >= ncols {
+            return Err(SparseError::IndexOutOfBounds {
+                row: r,
+                col: c,
+                nrows,
+                ncols,
+            });
+        }
+    }
+    // The vectors become the matrix's storage directly — no copy, and the
+    // all-ones value vector is the only extra allocation.
+    let mut m = CooMatrix::new(nrows, ncols);
+    m.append_raw(rows, cols, vec![1u64; nnz]);
+    Ok(m)
+}
+
+/// Write each block of a materialised distributed graph in the compact
+/// binary format, one `block_<p>.kbk` file per worker, in parallel.
+pub fn write_blocks_bin(
+    graph: &DistributedGraph,
+    directory: &Path,
+) -> Result<BlockFileSet, CoreError> {
+    let files = prepare_directory(directory, graph.blocks.len(), "kbk")?;
+    graph
+        .blocks
+        .par_iter()
+        .zip(files.par_iter())
+        .try_for_each(|(block, path)| write_block_bin(&block.edges, path))
+        .map_err(CoreError::Sparse)?;
+    Ok(BlockFileSet {
+        directory: directory.to_path_buf(),
+        files,
+        vertices: graph.vertices,
+        format: BlockFormat::Binary,
+    })
 }
 
 #[cfg(test)]
@@ -68,25 +335,32 @@ mod tests {
     use kron_core::{KroneckerDesign, SelfLoop};
 
     fn temp_dir(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join("kron_gen_writer_tests").join(name);
+        let dir = std::env::temp_dir()
+            .join("kron_gen_writer_tests")
+            .join(name);
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }
 
-    #[test]
-    fn blocks_round_trip_through_disk() {
+    fn generated(workers: usize) -> (KroneckerDesign, DistributedGraph) {
         let design = KroneckerDesign::from_star_points(&[3, 4, 5], SelfLoop::Centre).unwrap();
         let graph = ParallelGenerator::new(GeneratorConfig {
-            workers: 3,
+            workers,
             max_c_edges: 1_000,
             max_total_edges: 100_000,
         })
         .generate(&design)
         .unwrap();
+        (design, graph)
+    }
 
+    #[test]
+    fn blocks_round_trip_through_disk() {
+        let (_, graph) = generated(3);
         let dir = temp_dir("round_trip");
         let files = write_blocks_tsv(&graph, &dir).unwrap();
         assert_eq!(files.files.len(), 3);
+        assert_eq!(files.format, BlockFormat::Tsv);
         for f in &files.files {
             assert!(f.exists(), "missing block file {f:?}");
         }
@@ -100,15 +374,85 @@ mod tests {
     }
 
     #[test]
-    fn file_names_are_worker_ordered() {
-        let design = KroneckerDesign::from_star_points(&[3, 4], SelfLoop::None).unwrap();
+    fn binary_blocks_round_trip_and_are_compact() {
+        let (_, graph) = generated(4);
+        let dir = temp_dir("binary_round_trip");
+        let files = write_blocks_bin(&graph, &dir).unwrap();
+        assert_eq!(files.format, BlockFormat::Binary);
+
+        let mut from_disk = files.read_assembled().unwrap();
+        let mut in_memory = graph.assemble();
+        from_disk.sort();
+        in_memory.sort();
+        assert_eq!(from_disk, in_memory);
+
+        // Header (32 bytes) + 16 bytes per edge, exactly.
+        for (file, block) in files.files.iter().zip(graph.blocks.iter()) {
+            let len = std::fs::metadata(file).unwrap().len();
+            assert_eq!(len, 32 + 16 * block.edge_count() as u64);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn binary_reader_rejects_corrupt_headers() {
+        let dir = temp_dir("binary_corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.kbk");
+        std::fs::write(&path, b"NOPE").unwrap();
+        assert!(read_block_bin(&path).is_err());
+        let mut with_version = BLOCK_MAGIC.to_vec();
+        with_version.extend_from_slice(&99u32.to_le_bytes());
+        with_version.extend_from_slice(&[0u8; 24]);
+        std::fs::write(&path, &with_version).unwrap();
+        assert!(read_block_bin(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn streamed_tsv_matches_raw_product() {
+        let design = KroneckerDesign::from_star_points(&[3, 4, 5], SelfLoop::Centre).unwrap();
+        let dir = temp_dir("streamed_tsv");
+        let files = stream_blocks_tsv(&design, 1, 3, 100_000, &dir).unwrap();
+        assert_eq!(files.files.len(), 3);
+
+        // The streamed files hold the raw product: every constituent keeps
+        // its self-loops, so compare against the design's raw nnz.
+        let assembled = files.read_assembled().unwrap();
+        assert_eq!(
+            assembled.nnz() as u64,
+            design.nnz_with_loops().to_u64().unwrap()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn streamed_tsv_equals_materialised_blocks_before_loop_removal() {
+        let design = KroneckerDesign::from_star_points(&[3, 4, 5], SelfLoop::None).unwrap();
+        let dir = temp_dir("streamed_equals_materialised");
+        let files = stream_blocks_tsv(&design, 2, 4, 100_000, &dir).unwrap();
+
+        // SelfLoop::None has no removable loop, so the generated graph *is*
+        // the raw product and the two pipelines must agree bit for bit.
         let graph = ParallelGenerator::new(GeneratorConfig {
-            workers: 2,
-            max_c_edges: 100,
-            max_total_edges: 10_000,
+            workers: 4,
+            max_c_edges: 100_000,
+            max_total_edges: 100_000,
         })
-        .generate(&design)
+        .generate_with_split(&design, 2)
         .unwrap();
+
+        let mut streamed = files.read_assembled().unwrap();
+        let mut materialised = graph.assemble();
+        streamed.sort();
+        materialised.sort();
+        assert_eq!(streamed, materialised);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn file_names_are_worker_ordered() {
+        let (_, graph) = generated(2);
         let dir = temp_dir("names");
         let files = write_blocks_tsv(&graph, &dir).unwrap();
         assert!(files.files[0].to_string_lossy().contains("block_00000"));

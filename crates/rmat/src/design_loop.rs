@@ -56,9 +56,11 @@ impl DesignLoopReport {
 
     /// The best (lowest-error) iteration, if any iteration was run.
     pub fn best(&self) -> Option<&TrialIteration> {
-        self.iterations
-            .iter()
-            .min_by(|a, b| a.relative_error.partial_cmp(&b.relative_error).expect("finite errors"))
+        self.iterations.iter().min_by(|a, b| {
+            a.relative_error
+                .partial_cmp(&b.relative_error)
+                .expect("finite errors")
+        })
     }
 }
 
@@ -97,7 +99,11 @@ impl TrialAndErrorDesigner {
             let produced = stats.unique_edges.max(1);
             let relative_error =
                 (produced as f64 - targets.unique_edges as f64).abs() / targets.unique_edges as f64;
-            iterations.push(TrialIteration { params, stats, relative_error });
+            iterations.push(TrialIteration {
+                params,
+                stats,
+                relative_error,
+            });
 
             if relative_error <= targets.edge_tolerance {
                 converged = true;
@@ -119,7 +125,11 @@ impl TrialAndErrorDesigner {
                 edge_factor = 16;
             }
         }
-        DesignLoopReport { iterations, converged, total_edges_generated }
+        DesignLoopReport {
+            iterations,
+            converged,
+            total_edges_generated,
+        }
     }
 }
 
@@ -147,10 +157,16 @@ mod tests {
     #[test]
     fn loop_converges_for_reachable_target() {
         let designer = TrialAndErrorDesigner::new(42);
-        let targets =
-            TrialTargets { unique_edges: 12_000, edge_tolerance: 0.25, max_iterations: 12 };
+        let targets = TrialTargets {
+            unique_edges: 12_000,
+            edge_tolerance: 0.25,
+            max_iterations: 12,
+        };
         let report = designer.run(&targets);
-        assert!(report.converged, "loop should converge within 12 iterations");
+        assert!(
+            report.converged,
+            "loop should converge within 12 iterations"
+        );
         assert!(report.iteration_count() >= 1);
         assert!(report.total_edges_generated > 0);
         let best = report.best().unwrap();
@@ -160,8 +176,11 @@ mod tests {
     #[test]
     fn loop_reports_cost_of_every_iteration() {
         let designer = TrialAndErrorDesigner::new(7);
-        let targets =
-            TrialTargets { unique_edges: 30_000, edge_tolerance: 0.02, max_iterations: 5 };
+        let targets = TrialTargets {
+            unique_edges: 30_000,
+            edge_tolerance: 0.02,
+            max_iterations: 5,
+        };
         let report = designer.run(&targets);
         // Whether or not it converges, every iteration paid a full generation.
         let sum: u64 = report.iterations.iter().map(|i| i.stats.raw_edges).sum();
@@ -172,8 +191,11 @@ mod tests {
     #[test]
     fn tight_tolerance_may_exhaust_budget() {
         let designer = TrialAndErrorDesigner::new(3);
-        let targets =
-            TrialTargets { unique_edges: 10_000, edge_tolerance: 0.0001, max_iterations: 3 };
+        let targets = TrialTargets {
+            unique_edges: 10_000,
+            edge_tolerance: 0.0001,
+            max_iterations: 3,
+        };
         let report = designer.run(&targets);
         assert!(report.iteration_count() <= 3);
         if !report.converged {

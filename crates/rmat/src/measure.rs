@@ -116,7 +116,10 @@ mod tests {
         let stats = measure_edge_list(gen.params().vertices(), &edges);
         // Random sampling at edge factor 16 over a skewed distribution always
         // produces duplicates and leaves some vertices empty.
-        assert!(stats.unique_edges < stats.raw_edges, "expected duplicate samples");
+        assert!(
+            stats.unique_edges < stats.raw_edges,
+            "expected duplicate samples"
+        );
         assert!(stats.empty_vertices > 0, "expected empty vertices");
         assert!(stats.waste_fraction() > 0.0);
         // The distribution is heavy-tailed: the fitted slope is positive.

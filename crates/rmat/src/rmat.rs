@@ -38,7 +38,15 @@ pub struct RmatParams {
 impl RmatParams {
     /// The Graph500 reference parameters at the given scale.
     pub fn graph500(scale: u32) -> Self {
-        RmatParams { a: 0.57, b: 0.19, c: 0.19, d: 0.05, scale, edge_factor: 16, noise: 0.0 }
+        RmatParams {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            d: 0.05,
+            scale,
+            edge_factor: 16,
+            noise: 0.0,
+        }
     }
 
     /// Number of vertices, `2^scale`.
@@ -97,8 +105,15 @@ impl RmatGenerator {
         for _ in 0..self.params.scale {
             if self.params.noise > 0.0 {
                 // Multiplicative noise, re-normalised (Graph500 "noise" trick).
-                let jitter = |p: f64, r: &mut R| p * (1.0 - self.params.noise + 2.0 * self.params.noise * r.gen::<f64>());
-                let (na, nb, nc, nd) = (jitter(a, rng), jitter(b, rng), jitter(c, rng), jitter(d, rng));
+                let jitter = |p: f64, r: &mut R| {
+                    p * (1.0 - self.params.noise + 2.0 * self.params.noise * r.gen::<f64>())
+                };
+                let (na, nb, nc, nd) = (
+                    jitter(a, rng),
+                    jitter(b, rng),
+                    jitter(c, rng),
+                    jitter(d, rng),
+                );
                 let total = na + nb + nc + nd;
                 a = na / total;
                 b = nb / total;
@@ -127,7 +142,9 @@ impl RmatGenerator {
     /// seed).
     pub fn generate_edges(&self) -> Vec<(u64, u64)> {
         let mut rng = StdRng::seed_from_u64(self.seed);
-        (0..self.params.requested_edges()).map(|_| self.sample_edge(&mut rng)).collect()
+        (0..self.params.requested_edges())
+            .map(|_| self.sample_edge(&mut rng))
+            .collect()
     }
 
     /// Sample the edge list in parallel chunks (deterministic: each chunk has
@@ -142,7 +159,9 @@ impl RmatGenerator {
             .flat_map_iter(|chunk| {
                 let count = per_chunk + u64::from((chunk as u64) < remainder);
                 let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(chunk as u64 + 1));
-                (0..count).map(move |_| self.sample_edge(&mut rng)).collect::<Vec<_>>()
+                (0..count)
+                    .map(move |_| self.sample_edge(&mut rng))
+                    .collect::<Vec<_>>()
             })
             .collect()
     }
@@ -209,7 +228,10 @@ mod tests {
         let n = gen.params().vertices();
         let low = edges.iter().filter(|&&(u, _)| u < n / 4).count();
         let high = edges.iter().filter(|&&(u, _)| u >= 3 * n / 4).count();
-        assert!(low > 3 * high, "low quartile {low} should dominate high quartile {high}");
+        assert!(
+            low > 3 * high,
+            "low quartile {low} should dominate high quartile {high}"
+        );
     }
 
     #[test]

@@ -35,7 +35,10 @@ impl Initiator {
         if probabilities.iter().any(|&p| !(0.0..=1.0).contains(&p)) {
             return Err("probabilities must lie in [0, 1]".into());
         }
-        Ok(Initiator { size, probabilities })
+        Ok(Initiator {
+            size,
+            probabilities,
+        })
     }
 
     /// The classic 2×2 initiator matching the Graph500 R-MAT parameters.
@@ -90,7 +93,11 @@ impl StochasticKronecker {
                 "initiator^{power} would have {vertices:.0} vertices; refusing to enumerate cells"
             ));
         }
-        Ok(StochasticKronecker { initiator, power, seed })
+        Ok(StochasticKronecker {
+            initiator,
+            power,
+            seed,
+        })
     }
 
     /// The initiator matrix.
@@ -181,19 +188,11 @@ mod tests {
     #[test]
     fn deterministic_boundaries() {
         // All-ones initiator gives the complete graph; all-zeros gives empty.
-        let full = StochasticKronecker::new(
-            Initiator::new(2, vec![1.0; 4]).unwrap(),
-            3,
-            7,
-        )
-        .unwrap();
+        let full =
+            StochasticKronecker::new(Initiator::new(2, vec![1.0; 4]).unwrap(), 3, 7).unwrap();
         assert_eq!(full.sample_exact().len() as u64, 8 * 8);
-        let empty = StochasticKronecker::new(
-            Initiator::new(2, vec![0.0; 4]).unwrap(),
-            3,
-            7,
-        )
-        .unwrap();
+        let empty =
+            StochasticKronecker::new(Initiator::new(2, vec![0.0; 4]).unwrap(), 3, 7).unwrap();
         assert!(empty.sample_exact().is_empty());
     }
 
@@ -202,12 +201,9 @@ mod tests {
         let sampler = StochasticKronecker::new(Initiator::graph500_like(), 9, 123).unwrap();
         // Expected edges = 1.0^9 = 1 per... use a denser initiator for a
         // meaningful count.
-        let dense = StochasticKronecker::new(
-            Initiator::new(2, vec![0.9, 0.6, 0.6, 0.3]).unwrap(),
-            8,
-            123,
-        )
-        .unwrap();
+        let dense =
+            StochasticKronecker::new(Initiator::new(2, vec![0.9, 0.6, 0.6, 0.3]).unwrap(), 8, 123)
+                .unwrap();
         let edges = dense.sample_exact();
         let expected = dense.expected_edges();
         let got = edges.len() as f64;
@@ -217,12 +213,9 @@ mod tests {
         );
         // But the exact count is a random variable — a different seed gives a
         // different graph, which is precisely what the exact designs avoid.
-        let other = StochasticKronecker::new(
-            Initiator::new(2, vec![0.9, 0.6, 0.6, 0.3]).unwrap(),
-            8,
-            124,
-        )
-        .unwrap();
+        let other =
+            StochasticKronecker::new(Initiator::new(2, vec![0.9, 0.6, 0.6, 0.3]).unwrap(), 8, 124)
+                .unwrap();
         assert_ne!(edges.len(), other.sample_exact().len());
         drop(sampler);
     }

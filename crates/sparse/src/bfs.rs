@@ -88,9 +88,7 @@ impl BfsTree {
                 match self.levels[v] {
                     Some(lv) => {
                         if lu.abs_diff(lv) > 1 {
-                            return Err(format!(
-                                "edge ({u}, {v}) spans levels {lu} and {lv}"
-                            ));
+                            return Err(format!("edge ({u}, {v}) spans levels {lu} and {lv}"));
                         }
                     }
                     None => return Err(format!("edge ({u}, {v}) reaches an unvisited vertex")),
@@ -148,12 +146,19 @@ pub fn bfs<T: Scalar>(graph: &CsrMatrix<T>, source: usize) -> Result<BfsTree, Sp
         }
         frontier = next;
     }
-    Ok(BfsTree { source, levels, parents })
+    Ok(BfsTree {
+        source,
+        levels,
+        parents,
+    })
 }
 
 /// Simple sequential queue-based BFS used as an independent cross-check of
 /// [`bfs`] in tests.
-pub fn bfs_reference<T: Scalar>(graph: &CsrMatrix<T>, source: usize) -> Result<BfsTree, SparseError> {
+pub fn bfs_reference<T: Scalar>(
+    graph: &CsrMatrix<T>,
+    source: usize,
+) -> Result<BfsTree, SparseError> {
     if source >= graph.nrows() || graph.nrows() != graph.ncols() {
         return bfs(graph, source); // reuse the error paths
     }
@@ -173,12 +178,18 @@ pub fn bfs_reference<T: Scalar>(graph: &CsrMatrix<T>, source: usize) -> Result<B
             }
         }
     }
-    Ok(BfsTree { source, levels, parents })
+    Ok(BfsTree {
+        source,
+        levels,
+        parents,
+    })
 }
 
 /// Connected components of an undirected graph (pattern-symmetric CSR):
 /// returns a component label per vertex and the number of components.
-pub fn connected_components<T: Scalar>(graph: &CsrMatrix<T>) -> Result<(Vec<usize>, usize), SparseError> {
+pub fn connected_components<T: Scalar>(
+    graph: &CsrMatrix<T>,
+) -> Result<(Vec<usize>, usize), SparseError> {
     if graph.nrows() != graph.ncols() {
         return Err(SparseError::DimensionMismatch {
             op: "connected_components",
@@ -232,7 +243,10 @@ mod tests {
     fn bfs_on_a_path() {
         let g = csr(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
         let tree = bfs(&g, 0).unwrap();
-        assert_eq!(tree.levels, vec![Some(0), Some(1), Some(2), Some(3), Some(4)]);
+        assert_eq!(
+            tree.levels,
+            vec![Some(0), Some(1), Some(2), Some(3), Some(4)]
+        );
         assert_eq!(tree.reached(), 5);
         assert_eq!(tree.max_level(), 4);
         tree.validate(&g).unwrap();
@@ -264,12 +278,26 @@ mod tests {
     fn bfs_levels_match_reference_implementation() {
         let g = csr(
             10,
-            &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (2, 8), (8, 9)],
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (2, 8),
+                (8, 9),
+            ],
         );
         for source in 0..10 {
             let fast = bfs(&g, source).unwrap();
             let reference = bfs_reference(&g, source).unwrap();
-            assert_eq!(fast.levels, reference.levels, "levels differ from source {source}");
+            assert_eq!(
+                fast.levels, reference.levels,
+                "levels differ from source {source}"
+            );
             fast.validate(&g).unwrap();
         }
     }

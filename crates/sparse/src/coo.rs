@@ -38,7 +38,13 @@ pub struct CooMatrix<T> {
 impl<T: Scalar> CooMatrix<T> {
     /// Create an empty matrix with the given dimensions.
     pub fn new(nrows: u64, ncols: u64) -> Self {
-        CooMatrix { nrows, ncols, rows: Vec::new(), cols: Vec::new(), vals: Vec::new() }
+        CooMatrix {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
     }
 
     /// Create an empty matrix with preallocated capacity for `cap` entries.
@@ -76,10 +82,21 @@ impl<T: Scalar> CooMatrix<T> {
         }
         for (&r, &c) in rows.iter().zip(cols.iter()) {
             if r >= nrows || c >= ncols {
-                return Err(SparseError::IndexOutOfBounds { row: r, col: c, nrows, ncols });
+                return Err(SparseError::IndexOutOfBounds {
+                    row: r,
+                    col: c,
+                    nrows,
+                    ncols,
+                });
             }
         }
-        Ok(CooMatrix { nrows, ncols, rows, cols, vals })
+        Ok(CooMatrix {
+            nrows,
+            ncols,
+            rows,
+            cols,
+            vals,
+        })
     }
 
     /// Build a matrix from an iterator of entries.
@@ -101,7 +118,8 @@ impl<T: Scalar> CooMatrix<T> {
     {
         let mut m = CooMatrix::with_capacity(n, n, usize::try_from(n).unwrap_or(0));
         for i in 0..n {
-            m.push(i, i, <PlusTimes as Semiring<T>>::one()).expect("in bounds");
+            m.push(i, i, <PlusTimes as Semiring<T>>::one())
+                .expect("in bounds");
         }
         m
     }
@@ -120,6 +138,156 @@ impl<T: Scalar> CooMatrix<T> {
         self.cols.push(col);
         self.vals.push(val);
         Ok(())
+    }
+
+    /// Reserve capacity for at least `additional` more entries.
+    pub fn reserve(&mut self, additional: usize) {
+        self.rows.reserve(additional);
+        self.cols.reserve(additional);
+        self.vals.reserve(additional);
+    }
+
+    /// Remove every stored entry, keeping the allocations for reuse.
+    pub fn clear(&mut self) {
+        self.rows.clear();
+        self.cols.clear();
+        self.vals.clear();
+    }
+
+    /// Bulk-append triples from parallel slices, validating lengths and
+    /// bounds up front (one pass over the indices, no per-entry branch in the
+    /// copy itself).  This is the safe wrapper around
+    /// [`CooMatrix::extend_from_triples_unchecked`].
+    pub fn extend_from_triples(
+        &mut self,
+        rows: &[u64],
+        cols: &[u64],
+        vals: &[T],
+    ) -> Result<(), SparseError> {
+        if rows.len() != cols.len() || rows.len() != vals.len() {
+            return Err(SparseError::Parse {
+                line: 0,
+                message: format!(
+                    "triple slices have mismatched lengths: {} rows, {} cols, {} vals",
+                    rows.len(),
+                    cols.len(),
+                    vals.len()
+                ),
+            });
+        }
+        for (&r, &c) in rows.iter().zip(cols.iter()) {
+            if r >= self.nrows || c >= self.ncols {
+                return Err(SparseError::IndexOutOfBounds {
+                    row: r,
+                    col: c,
+                    nrows: self.nrows,
+                    ncols: self.ncols,
+                });
+            }
+        }
+        self.extend_from_triples_unchecked(rows, cols, vals);
+        Ok(())
+    }
+
+    /// Bulk-append triples from parallel slices without validating indices.
+    ///
+    /// This is the generation hot path: the Kronecker expansion produces
+    /// indices that are within the product dimensions by construction, so the
+    /// per-edge bounds check of [`CooMatrix::push`] is pure overhead there.
+    /// Out-of-bounds indices are debug-asserted; in release builds they are
+    /// stored as-is and will surface through the checked consumers.
+    pub fn extend_from_triples_unchecked(&mut self, rows: &[u64], cols: &[u64], vals: &[T]) {
+        debug_assert_eq!(rows.len(), cols.len(), "parallel triple slices must match");
+        debug_assert_eq!(rows.len(), vals.len(), "parallel triple slices must match");
+        debug_assert!(
+            rows.iter()
+                .zip(cols.iter())
+                .all(|(&r, &c)| r < self.nrows && c < self.ncols),
+            "unchecked extend received out-of-bounds indices"
+        );
+        self.rows.extend_from_slice(rows);
+        self.cols.extend_from_slice(cols);
+        self.vals.extend_from_slice(vals);
+    }
+
+    /// Take ownership of whole triple vectors and append them, avoiding any
+    /// copy when the matrix is still empty.
+    ///
+    /// Like [`CooMatrix::extend_from_triples_unchecked`], indices are trusted
+    /// (debug-asserted only): this is the bulk hand-off from a worker that
+    /// built its triples with in-bounds arithmetic.
+    ///
+    /// # Panics
+    /// Panics if the vectors have mismatched lengths.
+    pub fn append_raw(&mut self, rows: Vec<u64>, cols: Vec<u64>, vals: Vec<T>) {
+        assert_eq!(rows.len(), cols.len(), "parallel triple vectors must match");
+        assert_eq!(rows.len(), vals.len(), "parallel triple vectors must match");
+        debug_assert!(
+            rows.iter()
+                .zip(cols.iter())
+                .all(|(&r, &c)| r < self.nrows && c < self.ncols),
+            "append_raw received out-of-bounds indices"
+        );
+        if self.is_empty() {
+            self.rows = rows;
+            self.cols = cols;
+            self.vals = vals;
+        } else {
+            self.rows.extend_from_slice(&rows);
+            self.cols.extend_from_slice(&cols);
+            self.vals.extend_from_slice(&vals);
+        }
+    }
+
+    /// Append a translated and scaled copy of a triple block: entry `i`
+    /// becomes `(row_offset + rows[i], col_offset + cols[i], scale ⊗ vals[i])`.
+    ///
+    /// This is the inner step of a Kronecker expansion — one factor entry
+    /// `(rb, cb, vb)` contributes the whole of the other factor shifted to
+    /// `(rb·nrows, cb·ncols)` and scaled by `vb` — expressed as three
+    /// slice-to-slice loops the compiler can vectorize, with no per-edge
+    /// bounds check or closure dispatch.  Offsets are trusted
+    /// (debug-asserted): callers derive them from factor dimensions.
+    pub fn append_translated<S: Semiring<T>>(
+        &mut self,
+        row_offset: u64,
+        col_offset: u64,
+        scale: T,
+        rows: &[u64],
+        cols: &[u64],
+        vals: &[T],
+    ) {
+        debug_assert_eq!(rows.len(), cols.len(), "parallel triple slices must match");
+        debug_assert_eq!(rows.len(), vals.len(), "parallel triple slices must match");
+        debug_assert!(
+            rows.iter()
+                .zip(cols.iter())
+                .all(|(&r, &c)| { row_offset + r < self.nrows && col_offset + c < self.ncols }),
+            "append_translated received out-of-bounds indices"
+        );
+        self.rows.extend(rows.iter().map(|&r| row_offset + r));
+        self.cols.extend(cols.iter().map(|&c| col_offset + c));
+        self.vals.extend(vals.iter().map(|&v| S::mul(scale, v)));
+    }
+
+    /// Remove the entry at position `index` (in storage order) by swapping in
+    /// the last entry, and return it.  O(1); storage order is not preserved.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    pub fn swap_remove(&mut self, index: usize) -> (u64, u64, T) {
+        let row = self.rows.swap_remove(index);
+        let col = self.cols.swap_remove(index);
+        let val = self.vals.swap_remove(index);
+        (row, col, val)
+    }
+
+    /// Position of the first stored entry at `(row, col)`, if any.
+    pub fn find_entry(&self, row: u64, col: u64) -> Option<usize> {
+        self.rows
+            .iter()
+            .zip(self.cols.iter())
+            .position(|(&r, &c)| r == row && c == col)
     }
 
     /// Number of rows.
@@ -310,7 +478,10 @@ impl<T: Scalar> CooMatrix<T> {
     pub fn to_dense<S: Semiring<T>>(&self, max_dense: usize) -> Result<Vec<Vec<T>>, SparseError> {
         let total = self.nrows as u128 * self.ncols as u128;
         if total > max_dense as u128 {
-            return Err(SparseError::TooLarge { what: "dense conversion", requested: total });
+            return Err(SparseError::TooLarge {
+                what: "dense conversion",
+                requested: total,
+            });
         }
         let nrows = self.nrows as usize;
         let ncols = self.ncols as usize;
@@ -382,7 +553,8 @@ mod tests {
     #[test]
     fn sort_orders_row_major() {
         let mut m =
-            CooMatrix::from_entries(3, 3, vec![(2, 0, 1u64), (0, 2, 1), (0, 1, 1), (1, 1, 1)]).unwrap();
+            CooMatrix::from_entries(3, 3, vec![(2, 0, 1u64), (0, 2, 1), (0, 1, 1), (1, 1, 1)])
+                .unwrap();
         m.sort();
         let coords: Vec<(u64, u64)> = m.iter().map(|(r, c, _)| (r, c)).collect();
         assert_eq!(coords, vec![(0, 1), (0, 2), (1, 1), (2, 0)]);
@@ -447,6 +619,63 @@ mod tests {
         let (r, c, v) = m.clone().into_triples();
         let rebuilt = CooMatrix::from_triples(3, 3, r, c, v).unwrap();
         assert_eq!(rebuilt, m);
+    }
+
+    #[test]
+    fn bulk_extend_matches_pushes() {
+        let mut pushed = CooMatrix::<u64>::new(4, 4);
+        let mut extended = CooMatrix::<u64>::new(4, 4);
+        let (rows, cols, vals) = ([0u64, 1, 3], [1u64, 2, 0], [5u64, 6, 7]);
+        for i in 0..3 {
+            pushed.push(rows[i], cols[i], vals[i]).unwrap();
+        }
+        extended.extend_from_triples(&rows, &cols, &vals).unwrap();
+        assert_eq!(extended, pushed);
+        let mut unchecked = CooMatrix::<u64>::new(4, 4);
+        unchecked.extend_from_triples_unchecked(&rows, &cols, &vals);
+        assert_eq!(unchecked, pushed);
+    }
+
+    #[test]
+    fn bulk_extend_rejects_bad_input() {
+        let mut m = CooMatrix::<u64>::new(2, 2);
+        assert!(m.extend_from_triples(&[0], &[0, 1], &[1]).is_err());
+        assert!(m.extend_from_triples(&[5], &[0], &[1]).is_err());
+        assert!(m.extend_from_triples(&[0], &[5], &[1]).is_err());
+        assert_eq!(m.nnz(), 0, "failed extends must not append anything");
+    }
+
+    #[test]
+    fn append_raw_moves_vectors() {
+        let mut m = CooMatrix::<u64>::new(3, 3);
+        m.append_raw(vec![0, 1], vec![1, 2], vec![9, 8]);
+        assert_eq!(m.nnz(), 2);
+        m.append_raw(vec![2], vec![0], vec![7]);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get::<PlusTimes>(2, 0), 7);
+    }
+
+    #[test]
+    fn append_translated_is_a_shifted_scaled_copy() {
+        let c = CooMatrix::from_entries(2, 2, vec![(0, 1, 2u64), (1, 0, 3)]).unwrap();
+        let mut out = CooMatrix::<u64>::new(6, 6);
+        out.append_translated::<PlusTimes>(2, 4, 5, c.row_indices(), c.col_indices(), c.values());
+        assert_eq!(out.nnz(), 2);
+        assert_eq!(out.get::<PlusTimes>(2, 5), 10);
+        assert_eq!(out.get::<PlusTimes>(3, 4), 15);
+    }
+
+    #[test]
+    fn swap_remove_and_find_entry() {
+        let mut m = sample();
+        assert_eq!(m.find_entry(2, 2), Some(2));
+        assert_eq!(m.find_entry(1, 2), None);
+        let (r, c, v) = m.swap_remove(0);
+        assert_eq!((r, c, v), (0, 1, 1));
+        assert_eq!(m.nnz(), 3);
+        // Duplicate (0,1) entry still present; diagonal untouched.
+        assert_eq!(m.get::<PlusTimes>(0, 1), 2);
+        assert_eq!(m.get::<PlusTimes>(2, 2), 5);
     }
 }
 

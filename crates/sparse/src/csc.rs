@@ -28,7 +28,13 @@ pub struct CscMatrix<T> {
 impl<T: Scalar> CscMatrix<T> {
     /// An empty (all-zero) matrix.
     pub fn zeros(nrows: usize, ncols: usize) -> Self {
-        CscMatrix { nrows, ncols, col_ptr: vec![0; ncols + 1], row_idx: Vec::new(), vals: Vec::new() }
+        CscMatrix {
+            nrows,
+            ncols,
+            col_ptr: vec![0; ncols + 1],
+            row_idx: Vec::new(),
+            vals: Vec::new(),
+        }
     }
 
     /// Build from a COO matrix, combining duplicates with the semiring ⊕.
@@ -63,7 +69,13 @@ impl<T: Scalar> CscMatrix<T> {
             vals[slot] = v;
             cursor[c as usize] += 1;
         }
-        Ok(CscMatrix { nrows, ncols, col_ptr, row_idx, vals })
+        Ok(CscMatrix {
+            nrows,
+            ncols,
+            col_ptr,
+            row_idx,
+            vals,
+        })
     }
 
     /// Number of rows.
@@ -129,7 +141,8 @@ impl<T: Scalar> CscMatrix<T> {
     pub fn to_coo(&self) -> CooMatrix<T> {
         let mut out = CooMatrix::with_capacity(self.nrows as u64, self.ncols as u64, self.nnz());
         for (r, c, v) in self.iter() {
-            out.push(r as u64, c as u64, v).expect("indices in bounds by invariant");
+            out.push(r as u64, c as u64, v)
+                .expect("indices in bounds by invariant");
         }
         out
     }
@@ -140,7 +153,10 @@ impl<T: Scalar> CscMatrix<T> {
     /// This is exactly the "subtract the minimum column index" step of the
     /// paper's per-processor split.
     pub fn column_slice(&self, col_start: usize, col_end: usize) -> CscMatrix<T> {
-        assert!(col_start <= col_end && col_end <= self.ncols, "column slice out of range");
+        assert!(
+            col_start <= col_end && col_end <= self.ncols,
+            "column slice out of range"
+        );
         let width = col_end - col_start;
         let base = self.col_ptr[col_start];
         let mut col_ptr = Vec::with_capacity(width + 1);
@@ -149,7 +165,13 @@ impl<T: Scalar> CscMatrix<T> {
         }
         let row_idx = self.row_idx[self.col_ptr[col_start]..self.col_ptr[col_end]].to_vec();
         let vals = self.vals[self.col_ptr[col_start]..self.col_ptr[col_end]].to_vec();
-        CscMatrix { nrows: self.nrows, ncols: width, col_ptr, row_idx, vals }
+        CscMatrix {
+            nrows: self.nrows,
+            ncols: width,
+            col_ptr,
+            row_idx,
+            vals,
+        }
     }
 }
 

@@ -29,7 +29,13 @@ pub struct CsrMatrix<T> {
 impl<T: Scalar> CsrMatrix<T> {
     /// An empty (all-zero) matrix.
     pub fn zeros(nrows: usize, ncols: usize) -> Self {
-        CsrMatrix { nrows, ncols, row_ptr: vec![0; nrows + 1], col_idx: Vec::new(), vals: Vec::new() }
+        CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr: vec![0; nrows + 1],
+            col_idx: Vec::new(),
+            vals: Vec::new(),
+        }
     }
 
     /// Build from a COO matrix, combining duplicates with the semiring ⊕.
@@ -62,7 +68,13 @@ impl<T: Scalar> CsrMatrix<T> {
             vals[slot] = v;
             cursor[r as usize] += 1;
         }
-        Ok(CsrMatrix { nrows, ncols, row_ptr, col_idx, vals })
+        Ok(CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            vals,
+        })
     }
 
     /// Build directly from raw CSR arrays (validated).
@@ -114,7 +126,13 @@ impl<T: Scalar> CsrMatrix<T> {
                 }
             }
         }
-        Ok(CsrMatrix { nrows, ncols, row_ptr, col_idx, vals })
+        Ok(CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            vals,
+        })
     }
 
     /// Number of rows.
@@ -180,7 +198,8 @@ impl<T: Scalar> CsrMatrix<T> {
     pub fn to_coo(&self) -> CooMatrix<T> {
         let mut out = CooMatrix::with_capacity(self.nrows as u64, self.ncols as u64, self.nnz());
         for (r, c, v) in self.iter() {
-            out.push(r as u64, c as u64, v).expect("indices in bounds by invariant");
+            out.push(r as u64, c as u64, v)
+                .expect("indices in bounds by invariant");
         }
         out
     }
@@ -207,7 +226,13 @@ impl<T: Scalar> CsrMatrix<T> {
             vals[slot] = v;
             cursor[c] += 1;
         }
-        CsrMatrix { nrows: self.ncols, ncols: self.nrows, row_ptr, col_idx, vals }
+        CsrMatrix {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            row_ptr,
+            col_idx,
+            vals,
+        }
     }
 
     /// Whether the sparsity pattern and values are symmetric.
@@ -303,7 +328,9 @@ mod tests {
         let entries: Vec<(usize, usize, u64)> = m.iter().collect();
         assert_eq!(entries[0], (0, 1, 1));
         assert_eq!(entries.len(), 6);
-        assert!(entries.windows(2).all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
+        assert!(entries
+            .windows(2)
+            .all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
     }
 }
 

@@ -46,7 +46,12 @@ pub enum SparseError {
 impl fmt::Display for SparseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SparseError::IndexOutOfBounds { row, col, nrows, ncols } => write!(
+            SparseError::IndexOutOfBounds {
+                row,
+                col,
+                nrows,
+                ncols,
+            } => write!(
                 f,
                 "index ({row}, {col}) out of bounds for {nrows}x{ncols} matrix"
             ),
@@ -58,7 +63,9 @@ impl fmt::Display for SparseError {
             SparseError::TooLarge { what, requested } => {
                 write!(f, "{what} too large to materialise: {requested}")
             }
-            SparseError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            SparseError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
             SparseError::Io(msg) => write!(f, "i/o error: {msg}"),
         }
     }
@@ -78,13 +85,28 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = SparseError::IndexOutOfBounds { row: 5, col: 6, nrows: 4, ncols: 4 };
+        let e = SparseError::IndexOutOfBounds {
+            row: 5,
+            col: 6,
+            nrows: 4,
+            ncols: 4,
+        };
         assert!(e.to_string().contains("(5, 6)"));
-        let e = SparseError::DimensionMismatch { op: "spgemm", left: (2, 3), right: (4, 5) };
+        let e = SparseError::DimensionMismatch {
+            op: "spgemm",
+            left: (2, 3),
+            right: (4, 5),
+        };
         assert!(e.to_string().contains("spgemm"));
-        let e = SparseError::TooLarge { what: "kron", requested: 1 << 80 };
+        let e = SparseError::TooLarge {
+            what: "kron",
+            requested: 1 << 80,
+        };
         assert!(e.to_string().contains("kron"));
-        let e = SparseError::Parse { line: 3, message: "bad".into() };
+        let e = SparseError::Parse {
+            line: 3,
+            message: "bad".into(),
+        };
         assert!(e.to_string().contains("line 3"));
     }
 

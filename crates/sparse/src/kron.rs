@@ -31,10 +31,14 @@ pub fn kron_coo<T: Scalar, S: Semiring<T>>(
     b: &CooMatrix<T>,
 ) -> Result<CooMatrix<T>, SparseError> {
     let (rows, cols) = kron_dims((a.nrows(), a.ncols()), (b.nrows(), b.ncols()));
-    let nrows = u64::try_from(rows)
-        .map_err(|_| SparseError::TooLarge { what: "Kronecker product rows", requested: rows })?;
-    let ncols = u64::try_from(cols)
-        .map_err(|_| SparseError::TooLarge { what: "Kronecker product cols", requested: cols })?;
+    let nrows = u64::try_from(rows).map_err(|_| SparseError::TooLarge {
+        what: "Kronecker product rows",
+        requested: rows,
+    })?;
+    let ncols = u64::try_from(cols).map_err(|_| SparseError::TooLarge {
+        what: "Kronecker product cols",
+        requested: cols,
+    })?;
 
     let mut out = CooMatrix::with_capacity(nrows, ncols, a.nnz() * b.nnz());
     for (ra, ca, va) in a.iter() {
@@ -79,7 +83,13 @@ pub struct KronEdgeIter<'a, T, S> {
 impl<'a, T: Scalar, S: Semiring<T>> KronEdgeIter<'a, T, S> {
     /// Create a streaming iterator over the entries of `a ⊗ b`.
     pub fn new(a: &'a CooMatrix<T>, b: &'a CooMatrix<T>) -> Self {
-        KronEdgeIter { a, b, a_pos: 0, b_pos: 0, _semiring: std::marker::PhantomData }
+        KronEdgeIter {
+            a,
+            b,
+            a_pos: 0,
+            b_pos: 0,
+            _semiring: std::marker::PhantomData,
+        }
     }
 
     /// Total number of entries the iterator will produce (before zero
@@ -90,7 +100,10 @@ impl<'a, T: Scalar, S: Semiring<T>> KronEdgeIter<'a, T, S> {
 
     /// Dimensions of the virtual product matrix.
     pub fn dims(&self) -> (u128, u128) {
-        kron_dims((self.a.nrows(), self.a.ncols()), (self.b.nrows(), self.b.ncols()))
+        kron_dims(
+            (self.a.nrows(), self.a.ncols()),
+            (self.b.nrows(), self.b.ncols()),
+        )
     }
 }
 
@@ -123,8 +136,8 @@ impl<T: Scalar, S: Semiring<T>> Iterator for KronEdgeIter<'_, T, S> {
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let remaining = (self.a.nnz().saturating_sub(self.a_pos)) * self.b.nnz()
-            - self.b_pos.min(self.b.nnz());
+        let remaining =
+            (self.a.nnz().saturating_sub(self.a_pos)) * self.b.nnz() - self.b_pos.min(self.b.nnz());
         (0, Some(remaining))
     }
 }
@@ -201,10 +214,10 @@ mod tests {
         let a = star(2);
         let b = star(3);
         let c = star(4);
-        let left = kron_coo::<u64, PlusTimes>(&kron_coo::<u64, PlusTimes>(&a, &b).unwrap(), &c)
-            .unwrap();
-        let right = kron_coo::<u64, PlusTimes>(&a, &kron_coo::<u64, PlusTimes>(&b, &c).unwrap())
-            .unwrap();
+        let left =
+            kron_coo::<u64, PlusTimes>(&kron_coo::<u64, PlusTimes>(&a, &b).unwrap(), &c).unwrap();
+        let right =
+            kron_coo::<u64, PlusTimes>(&a, &kron_coo::<u64, PlusTimes>(&b, &c).unwrap()).unwrap();
         let mut l = left;
         let mut r = right;
         l.sort();
@@ -229,8 +242,7 @@ mod tests {
         let iter = KronEdgeIter::<u64, PlusTimes>::new(&a, &b);
         assert_eq!(iter.expected_len(), a.nnz() * b.nnz());
         assert_eq!(iter.dims(), (20, 20));
-        let mut streamed =
-            CooMatrix::from_entries(20, 20, iter.collect::<Vec<_>>()).unwrap();
+        let mut streamed = CooMatrix::from_entries(20, 20, iter.collect::<Vec<_>>()).unwrap();
         materialised.sort();
         streamed.sort();
         assert_eq!(materialised, streamed);
@@ -261,12 +273,11 @@ mod proptests {
 
     fn arb_small_coo() -> impl Strategy<Value = CooMatrix<u64>> {
         (1u64..6, 1u64..6).prop_flat_map(|(nr, nc)| {
-            proptest::collection::vec((0..nr, 0..nc, 1u64..4), 0..12)
-                .prop_map(move |es| {
-                    let mut m = CooMatrix::from_entries(nr, nc, es).unwrap();
-                    m.sum_duplicates::<PlusTimes>();
-                    m
-                })
+            proptest::collection::vec((0..nr, 0..nc, 1u64..4), 0..12).prop_map(move |es| {
+                let mut m = CooMatrix::from_entries(nr, nc, es).unwrap();
+                m.sum_duplicates::<PlusTimes>();
+                m
+            })
         })
     }
 

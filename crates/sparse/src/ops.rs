@@ -133,13 +133,13 @@ pub fn spmv<T: Scalar, S: Semiring<T>>(a: &CsrMatrix<T>, x: &[T]) -> Result<Vec<
         });
     }
     let mut y = vec![S::zero(); a.nrows()];
-    for i in 0..a.nrows() {
+    for (i, out) in y.iter_mut().enumerate() {
         let (cols, vals) = a.row(i);
         let mut acc = S::zero();
         for (&j, &v) in cols.iter().zip(vals.iter()) {
             acc = S::add(acc, S::mul(v, x[j]));
         }
-        y[i] = acc;
+        *out = acc;
     }
     Ok(y)
 }
@@ -303,9 +303,9 @@ mod proptests {
                 &a.to_dense::<PlusTimes>(100).unwrap(),
                 &b.to_dense::<PlusTimes>(100).unwrap(),
             );
-            for i in 0..6usize {
-                for j in 0..6usize {
-                    prop_assert_eq!(product.get::<PlusTimes>(i, j), dense[i][j]);
+            for (i, dense_row) in dense.iter().enumerate() {
+                for (j, &expected) in dense_row.iter().enumerate() {
+                    prop_assert_eq!(product.get::<PlusTimes>(i, j), expected);
                 }
             }
         }

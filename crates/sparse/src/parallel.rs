@@ -23,10 +23,14 @@ pub fn par_kron_coo<T: Scalar, S: Semiring<T>>(
     b: &CooMatrix<T>,
 ) -> Result<CooMatrix<T>, SparseError> {
     let (rows, cols) = kron_dims((a.nrows(), a.ncols()), (b.nrows(), b.ncols()));
-    let nrows = u64::try_from(rows)
-        .map_err(|_| SparseError::TooLarge { what: "Kronecker product rows", requested: rows })?;
-    let ncols = u64::try_from(cols)
-        .map_err(|_| SparseError::TooLarge { what: "Kronecker product cols", requested: cols })?;
+    let nrows = u64::try_from(rows).map_err(|_| SparseError::TooLarge {
+        what: "Kronecker product rows",
+        requested: rows,
+    })?;
+    let ncols = u64::try_from(cols).map_err(|_| SparseError::TooLarge {
+        what: "Kronecker product cols",
+        requested: cols,
+    })?;
 
     let a_entries: Vec<(u64, u64, T)> = a.iter().collect();
     let chunks: Vec<Vec<(u64, u64, T)>> = a_entries
@@ -60,23 +64,27 @@ pub fn par_kron_coo<T: Scalar, S: Semiring<T>>(
 pub fn par_row_counts<T: Scalar>(m: &CooMatrix<T>) -> Vec<u64> {
     let nrows = usize::try_from(m.nrows()).expect("row count vector must fit in memory");
     let rows = m.row_indices();
-    rows.par_chunks(16_384.max(rows.len() / rayon::current_num_threads().max(1)).max(1))
-        .map(|chunk| {
-            let mut local = vec![0u64; nrows];
-            for &r in chunk {
-                local[r as usize] += 1;
+    rows.par_chunks(
+        16_384
+            .max(rows.len() / rayon::current_num_threads().max(1))
+            .max(1),
+    )
+    .map(|chunk| {
+        let mut local = vec![0u64; nrows];
+        for &r in chunk {
+            local[r as usize] += 1;
+        }
+        local
+    })
+    .reduce(
+        || vec![0u64; nrows],
+        |mut acc, local| {
+            for (a, l) in acc.iter_mut().zip(local.iter()) {
+                *a += l;
             }
-            local
-        })
-        .reduce(
-            || vec![0u64; nrows],
-            |mut acc, local| {
-                for (a, l) in acc.iter_mut().zip(local.iter()) {
-                    *a += l;
-                }
-                acc
-            },
-        )
+            acc
+        },
+    )
 }
 
 /// Parallel SpGEMM: rows of the result are computed independently across the

@@ -30,7 +30,8 @@ pub fn remove_entry<T: Scalar>(m: &CooMatrix<T>, row: u64, col: u64) -> CooMatri
 /// Add a value on the diagonal at `(index, index)` (e.g. insert a self-loop).
 pub fn with_entry<T: Scalar>(m: &CooMatrix<T>, row: u64, col: u64, val: T) -> CooMatrix<T> {
     let mut out = m.clone();
-    out.push(row, col, val).expect("entry must be inside matrix bounds");
+    out.push(row, col, val)
+        .expect("entry must be inside matrix bounds");
     out
 }
 
@@ -56,7 +57,10 @@ pub fn submatrix<T: Scalar>(
 /// Indices of rows with no stored entries in either the row or the column
 /// direction ("empty vertices" in the paper's terminology).
 pub fn empty_vertices<T: Scalar>(m: &CooMatrix<T>) -> Vec<u64> {
-    assert!(m.is_square(), "empty_vertices requires a square adjacency matrix");
+    assert!(
+        m.is_square(),
+        "empty_vertices requires a square adjacency matrix"
+    );
     let n = usize::try_from(m.nrows()).expect("vertex bitmap must fit in memory");
     let mut touched = vec![false; n];
     for (r, c, _) in m.iter() {
@@ -98,10 +102,7 @@ pub fn is_clean_adjacency<T: Scalar>(m: &CooMatrix<T>) -> bool
 where
     PlusTimes: Semiring<T>,
 {
-    m.is_square()
-        && self_loop_count(m) == 0
-        && !has_duplicates(m)
-        && empty_vertices(m).is_empty()
+    m.is_square() && self_loop_count(m) == 0 && !has_duplicates(m) && empty_vertices(m).is_empty()
 }
 
 #[cfg(test)]
@@ -112,7 +113,14 @@ mod tests {
         CooMatrix::from_entries(
             4,
             4,
-            vec![(0, 0, 1), (0, 1, 2), (1, 0, 2), (2, 2, 3), (3, 1, 4), (1, 3, 4)],
+            vec![
+                (0, 0, 1),
+                (0, 1, 2),
+                (1, 0, 2),
+                (2, 2, 3),
+                (3, 1, 4),
+                (1, 3, 4),
+            ],
         )
         .unwrap()
     }
@@ -163,8 +171,8 @@ mod tests {
 
     #[test]
     fn duplicate_detection_and_simplify() {
-        let m =
-            CooMatrix::from_entries(3, 3, vec![(0, 1, 1u64), (0, 1, 1), (1, 1, 1), (1, 0, 1)]).unwrap();
+        let m = CooMatrix::from_entries(3, 3, vec![(0, 1, 1u64), (0, 1, 1), (1, 1, 1), (1, 0, 1)])
+            .unwrap();
         assert!(has_duplicates(&m));
         let simple = simplify(&m);
         assert!(!has_duplicates(&simple));
@@ -174,8 +182,9 @@ mod tests {
 
     #[test]
     fn clean_adjacency_invariants() {
-        let clean = CooMatrix::from_edges(3, 3, vec![(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0)])
-            .unwrap();
+        let clean =
+            CooMatrix::from_edges(3, 3, vec![(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0)])
+                .unwrap();
         assert!(is_clean_adjacency(&clean));
         let with_loop = with_entry(&clean, 0, 0, 1);
         assert!(!is_clean_adjacency(&with_loop));

@@ -178,7 +178,11 @@ mod proptests {
     use super::*;
     use proptest::prelude::*;
 
-    fn check_semiring_laws_u64<S: Semiring<u64>>(a: u64, b: u64, c: u64) -> Result<(), TestCaseError> {
+    fn check_semiring_laws_u64<S: Semiring<u64>>(
+        a: u64,
+        b: u64,
+        c: u64,
+    ) -> Result<(), TestCaseError> {
         prop_assert_eq!(S::add(a, S::zero()), a);
         prop_assert_eq!(S::add(a, b), S::add(b, a));
         prop_assert_eq!(S::add(S::add(a, b), c), S::add(a, S::add(b, c)));

@@ -49,7 +49,11 @@ pub fn count_triangles(a: &CsrMatrix<u64>) -> Result<u64, SparseError> {
         });
     }
     let raw = triangle_raw_sum(a)?;
-    debug_assert_eq!(raw % 6, 0, "triangle raw sum of a simple graph must be divisible by 6");
+    debug_assert_eq!(
+        raw % 6,
+        0,
+        "triangle raw sum of a simple graph must be divisible by 6"
+    );
     Ok(raw / 6)
 }
 

@@ -20,23 +20,34 @@ use extreme_graphs::bignum::{grouped, scientific};
 use extreme_graphs::{KroneckerDesign, SelfLoop};
 
 fn main() {
-    let points: [u64; 15] =
-        [3, 4, 5, 7, 11, 9, 16, 25, 49, 81, 121, 256, 625, 2401, 14641];
+    let points: [u64; 15] = [
+        3, 4, 5, 7, 11, 9, 16, 25, 49, 81, 121, 256, 625, 2401, 14641,
+    ];
 
     let started = Instant::now();
     let design = KroneckerDesign::from_star_points(&points, SelfLoop::Leaf)
         .expect("paper's Figure 7 star set is valid");
     let vertices = design.vertices();
     let edges = design.edges();
-    let triangles = design.triangles().expect("leaf-loop construction is triangle-countable");
+    let triangles = design
+        .triangles()
+        .expect("leaf-loop construction is triangle-countable");
     let distribution = design.degree_distribution();
     let elapsed = started.elapsed();
 
     println!("=== decetta-scale design (paper Figure 7) ===");
     println!("star points m̂: {points:?} with a self-loop on one leaf of each star");
     println!();
-    println!("vertices:  {:>44}  ({})", grouped(&vertices.to_string()), scientific(&vertices));
-    println!("edges:     {:>44}  ({})", grouped(&edges.to_string()), scientific(&edges));
+    println!(
+        "vertices:  {:>44}  ({})",
+        grouped(&vertices.to_string()),
+        scientific(&vertices)
+    );
+    println!(
+        "edges:     {:>44}  ({})",
+        grouped(&edges.to_string()),
+        scientific(&edges)
+    );
     println!("triangles: {:>44}", grouped(&triangles.to_string()));
     println!();
     println!(

@@ -32,7 +32,10 @@ fn main() {
 
     println!("=== exact Kronecker design search ===");
     println!("evaluated analytically in {exact_elapsed:?} (no graph was generated)");
-    println!("{:<28} {:>14} {:>14} {:>10}", "star points m̂", "edges", "vertices", "log-error");
+    println!(
+        "{:<28} {:>14} {:>14} {:>10}",
+        "star points m̂", "edges", "vertices", "log-error"
+    );
     for candidate in &candidates {
         println!(
             "{:<28} {:>14} {:>14} {:>10.4}",
@@ -43,7 +46,9 @@ fn main() {
         );
     }
     let best = candidates[0].clone();
-    let design = best.into_design(SelfLoop::None).expect("candidate is a valid design");
+    let design = best
+        .into_design(SelfLoop::None)
+        .expect("candidate is a valid design");
     println!("\nbest design, full property sheet (still nothing generated):");
     println!("{}", design.properties());
 

@@ -55,14 +55,18 @@ fn main() {
     // BFS from a deterministic sample of roots, Graph500-style.
     let n = csr.nrows();
     let roots: Vec<usize> = (0..16).map(|i| (i * 7919) % n).collect();
-    println!("\n{:>10} {:>12} {:>12} {:>14} {:>12}", "root", "reached", "max level", "time", "valid");
+    println!(
+        "\n{:>10} {:>12} {:>12} {:>14} {:>12}",
+        "root", "reached", "max level", "time", "valid"
+    );
     let mut total_edges_traversed = 0u64;
     let mut total_seconds = 0.0f64;
     for &root in &roots {
         let started = Instant::now();
         let tree = bfs(&csr, root).expect("valid root");
         let elapsed = started.elapsed();
-        tree.validate(&csr).expect("BFS tree must validate against the graph");
+        tree.validate(&csr)
+            .expect("BFS tree must validate against the graph");
         total_edges_traversed += csr.nnz() as u64;
         total_seconds += elapsed.as_secs_f64();
         println!(
@@ -73,7 +77,11 @@ fn main() {
             elapsed,
             "ok"
         );
-        assert_eq!(tree.reached(), n, "centre-loop Kronecker graphs are connected");
+        assert_eq!(
+            tree.reached(),
+            n,
+            "centre-loop Kronecker graphs are connected"
+        );
     }
     println!(
         "\naggregate traversal rate: {:.1} Medges/s over {} BFS runs",

@@ -49,7 +49,10 @@ fn main() {
     let report = compare_properties(&design.properties(), &measured);
     println!("=== validation (predicted vs measured) ===");
     println!("{report}");
-    assert!(report.is_exact_match(), "generated graph must match the design exactly");
+    assert!(
+        report.is_exact_match(),
+        "generated graph must match the design exactly"
+    );
 
     // 4. The same exactness holds for the assembled matrix.
     let assembled = graph.assemble();

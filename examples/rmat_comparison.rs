@@ -24,8 +24,8 @@ fn main() {
 
     // --- Kronecker ----------------------------------------------------------
     println!("=== exact Kronecker generator ===");
-    let design = KroneckerDesign::from_star_points(&kron_points, SelfLoop::None)
-        .expect("valid design");
+    let design =
+        KroneckerDesign::from_star_points(&kron_points, SelfLoop::None).expect("valid design");
     let predict_start = Instant::now();
     let properties = design.properties();
     let predict_elapsed = predict_start.elapsed();
@@ -51,9 +51,7 @@ fn main() {
     let measured = measure_properties(&assembled).expect("measurement succeeds");
     println!(
         "structural artefacts: {} self-loops, {} duplicate edges, {} empty vertices",
-        measured.self_loops,
-        0,
-        0,
+        measured.self_loops, 0, 0,
     );
     println!(
         "measured degree distribution equals prediction: {}",

@@ -22,11 +22,9 @@ use extreme_graphs::{GeneratorConfig, KroneckerDesign, ParallelGenerator, SelfLo
 
 fn main() {
     // --- 1. The paper's exact trillion-edge numbers, reproduced analytically.
-    let paper_design = KroneckerDesign::from_star_points(
-        &[3, 4, 5, 9, 16, 25, 81, 256],
-        SelfLoop::Centre,
-    )
-    .expect("paper design is valid");
+    let paper_design =
+        KroneckerDesign::from_star_points(&[3, 4, 5, 9, 16, 25, 81, 256], SelfLoop::Centre)
+            .expect("paper design is valid");
 
     println!("=== Figure 4 design at full paper scale (analytic only) ===");
     println!("{:<12} {:>28} {:>28}", "", "this implementation", "paper");
@@ -45,7 +43,12 @@ fn main() {
     println!(
         "{:<12} {:>28} {:>28}",
         "triangles",
-        grouped(&paper_design.triangles().expect("triangle-countable design").to_string()),
+        grouped(
+            &paper_design
+                .triangles()
+                .expect("triangle-countable design")
+                .to_string()
+        ),
         "6,777,007,252,427"
     );
     let distribution = paper_design.degree_distribution();
@@ -56,7 +59,11 @@ fn main() {
     );
     println!("first predicted points (degree, count):");
     for (d, n) in distribution.iter().take(8) {
-        println!("  {:>16} {:>20}", grouped(&d.to_string()), grouped(&n.to_string()));
+        println!(
+            "  {:>16} {:>20}",
+            grouped(&d.to_string()),
+            grouped(&n.to_string())
+        );
     }
 
     // --- 2. The same workflow, generated for real at machine scale.
@@ -75,7 +82,9 @@ fn main() {
         grouped(&scaled.vertices().to_string()),
         grouped(&scaled.edges().to_string()),
     );
-    let graph = generator.generate(&scaled).expect("scaled design fits in memory");
+    let graph = generator
+        .generate(&scaled)
+        .expect("scaled design fits in memory");
     println!(
         "generated with {} workers in {:.3} s ({:.1} Medges/s)",
         workers,
@@ -91,6 +100,9 @@ fn main() {
     let measured = measured_properties(&graph, 50_000_000).expect("measurement succeeds");
     let report = compare_properties(&scaled.properties(), &measured);
     println!("\npredicted vs measured:\n{report}");
-    assert!(report.is_exact_match(), "measured properties must equal the prediction exactly");
+    assert!(
+        report.is_exact_match(),
+        "measured properties must equal the prediction exactly"
+    );
     println!("\ntrillion_validation: measured degree distribution equals prediction exactly ✓");
 }

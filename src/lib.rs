@@ -48,12 +48,10 @@ pub use kron_sparse as sparse;
 
 pub use kron_bignum::{BigInt, BigRatio, BigUint};
 pub use kron_core::{
-    Constituent, DegreeDistribution, DesignSearch, DesignTargets, GraphProperties,
-    KroneckerDesign, SelfLoop, StarGraph, ValidationReport,
+    Constituent, DegreeDistribution, DesignSearch, DesignTargets, GraphProperties, KroneckerDesign,
+    SelfLoop, StarGraph, ValidationReport,
 };
-pub use kron_gen::{
-    DistributedGraph, GenerationStats, GeneratorConfig, ParallelGenerator,
-};
+pub use kron_gen::{DistributedGraph, GenerationStats, GeneratorConfig, ParallelGenerator};
 pub use kron_rmat::{RmatGenerator, RmatParams};
 
 #[cfg(test)]

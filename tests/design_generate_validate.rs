@@ -5,7 +5,9 @@
 
 use extreme_graphs::bignum::BigUint;
 use extreme_graphs::core::validate::{measure_properties, validate_design};
-use extreme_graphs::gen::measure::{measured_degree_distribution, measured_properties, BalanceReport};
+use extreme_graphs::gen::measure::{
+    measured_degree_distribution, measured_properties, BalanceReport,
+};
 use extreme_graphs::sparse::reduce::degree_distribution as sparse_histogram;
 use extreme_graphs::sparse::select::{empty_vertices, has_duplicates, self_loop_count};
 use extreme_graphs::sparse::triangles::{count_triangles_coo, count_triangles_merge};
@@ -38,12 +40,25 @@ fn full_pipeline_matches_for_every_self_loop_mode() {
 
         // Assembled matrix, measured through the sparse substrate directly.
         let assembled = graph.assemble();
-        assert_eq!(self_loop_count(&assembled), 0, "final graph must be loop-free");
-        assert!(!has_duplicates(&assembled), "final graph must have no duplicate edges");
-        assert!(empty_vertices(&assembled).is_empty(), "final graph must have no empty vertices");
+        assert_eq!(
+            self_loop_count(&assembled),
+            0,
+            "final graph must be loop-free"
+        );
+        assert!(
+            !has_duplicates(&assembled),
+            "final graph must have no duplicate edges"
+        );
+        assert!(
+            empty_vertices(&assembled).is_empty(),
+            "final graph must have no empty vertices"
+        );
 
         let measured = measure_properties(&assembled).unwrap();
-        assert!(predicted.exactly_matches(&measured), "assembled measurement disagrees");
+        assert!(
+            predicted.exactly_matches(&measured),
+            "assembled measurement disagrees"
+        );
 
         // Triangle count cross-checked with an independent algorithm.
         let csr = CsrMatrix::from_coo::<PlusTimes>(&assembled).unwrap();
@@ -72,7 +87,10 @@ fn worker_count_is_an_implementation_detail() {
     for workers in [2usize, 3, 7, 16] {
         let mut graph = generator(workers).generate(&design).unwrap().assemble();
         graph.sort();
-        assert_eq!(graph, reference, "graph content changed with {workers} workers");
+        assert_eq!(
+            graph, reference,
+            "graph content changed with {workers} workers"
+        );
     }
 }
 
@@ -107,7 +125,8 @@ fn paper_scale_properties_do_not_require_generation() {
     // The full Figure 4 design is far too large to generate here, but its
     // exact properties are instant.
     let design =
-        KroneckerDesign::from_star_points(&[3, 4, 5, 9, 16, 25, 81, 256], SelfLoop::Centre).unwrap();
+        KroneckerDesign::from_star_points(&[3, 4, 5, 9, 16, 25, 81, 256], SelfLoop::Centre)
+            .unwrap();
     assert_eq!(design.vertices().to_string(), "11177649600");
     assert_eq!(design.edges().to_string(), "1853002140758");
     assert_eq!(design.triangles().unwrap().to_string(), "6777007252427");

@@ -50,7 +50,8 @@ fn figure3_trillion_edge_generation_design() {
 #[test]
 fn figure4_trillion_edge_validation_design() {
     let design =
-        KroneckerDesign::from_star_points(&[3, 4, 5, 9, 16, 25, 81, 256], SelfLoop::Centre).unwrap();
+        KroneckerDesign::from_star_points(&[3, 4, 5, 9, 16, 25, 81, 256], SelfLoop::Centre)
+            .unwrap();
     assert_eq!(design.vertices(), big("11177649600"));
     assert_eq!(design.edges(), big("1853002140758"));
     assert_eq!(design.triangles().unwrap(), big("6777007252427"));
@@ -84,13 +85,18 @@ fn figure6_quadrillion_edge_with_triangles() {
     // last place, consistent with double-precision rounding above 2^53.
     assert_eq!(design.triangles().unwrap(), big("12720651636552427"));
     // Centre loops pull the distribution slightly off the perfect line.
-    assert_eq!(design.degree_distribution().perfect_power_law_constant(), None);
+    assert_eq!(
+        design.degree_distribution().perfect_power_law_constant(),
+        None
+    );
 }
 
 #[test]
 fn figure7_decetta_scale_design() {
     let design = KroneckerDesign::from_star_points(
-        &[3, 4, 5, 7, 11, 9, 16, 25, 49, 81, 121, 256, 625, 2401, 14641],
+        &[
+            3, 4, 5, 7, 11, 9, 16, 25, 49, 81, 121, 256, 625, 2401, 14641,
+        ],
         SelfLoop::Leaf,
     )
     .unwrap();
@@ -102,7 +108,10 @@ fn figure7_decetta_scale_design() {
     let dist = design.degree_distribution();
     assert!(dist.support_size() > 1000);
     assert_eq!(dist.total_vertices(), big("144111718793178936483840000"));
-    assert_eq!(dist.total_edge_endpoints(), big("2705963586782877716483871216764"));
+    assert_eq!(
+        dist.total_edge_endpoints(),
+        big("2705963586782877716483871216764")
+    );
 }
 
 #[test]

@@ -57,7 +57,10 @@ fn incidence_product_reconstructs_every_design() {
             v.sort_unstable();
             v
         };
-        assert_eq!(rebuilt_pattern, raw_pattern, "incidence mismatch for {self_loop:?}");
+        assert_eq!(
+            rebuilt_pattern, raw_pattern,
+            "incidence mismatch for {self_loop:?}"
+        );
     }
 }
 
@@ -72,7 +75,10 @@ fn incidence_pair_kron_matches_design_incidence() {
         .collect();
     let manual = stars[0].kron(&stars[1]).unwrap();
     assert_eq!(manual.edges(), from_design.edges());
-    assert_eq!(manual.to_adjacency().unwrap().nnz(), from_design.to_adjacency().unwrap().nnz());
+    assert_eq!(
+        manual.to_adjacency().unwrap().nnz(),
+        from_design.to_adjacency().unwrap().nnz()
+    );
 }
 
 #[test]
@@ -113,11 +119,17 @@ fn product_uniqueness_controls_perfect_power_law() {
     // Unique products -> exact n(d) = c/d; colliding products -> not.
     let unique = KroneckerDesign::from_star_points(&[3, 4, 5], SelfLoop::None).unwrap();
     assert!(star_products_unique(&[3, 4, 5]));
-    assert!(unique.degree_distribution().perfect_power_law_constant().is_some());
+    assert!(unique
+        .degree_distribution()
+        .perfect_power_law_constant()
+        .is_some());
 
     let colliding = KroneckerDesign::from_star_points(&[2, 3, 6], SelfLoop::None).unwrap();
     assert!(!star_products_unique(&[2, 3, 6]));
-    assert!(colliding.degree_distribution().perfect_power_law_constant().is_none());
+    assert!(colliding
+        .degree_distribution()
+        .perfect_power_law_constant()
+        .is_none());
     // Even so, every exact count still holds for the colliding design.
     let graph = colliding.realize(100_000).unwrap();
     assert_eq!(BigUint::from(graph.nnz() as u64), colliding.edges());

@@ -1,0 +1,246 @@
+//! Vendored subset of the `rayon` API backed by `std::thread::scope`.
+//!
+//! The build environment has no route to a crates registry, so this crate
+//! implements the parallel-iterator surface the workspace uses — `par_iter`,
+//! `into_par_iter`, `par_chunks`, and the `map` / `flat_map_iter` / `zip` /
+//! `reduce` / `sum` / `collect` / `try_for_each` adaptors — with real OS
+//! threads.  Each adaptor is evaluated eagerly: the items are split into one
+//! contiguous run per hardware thread, the runs are processed on scoped
+//! threads, and results are rejoined in the original order, so the semantics
+//! match rayon's order-preserving `collect`.
+//!
+//! This is not work-stealing; load balance comes from the caller handing over
+//! evenly sized work items, which is exactly the situation in this workspace
+//! (the paper's generator is built around perfect static balance).
+
+use std::iter::Sum;
+
+/// Number of worker threads used for parallel evaluation.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Apply `f` to every item on the thread pool, preserving order.
+fn par_apply<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let threads = current_num_threads();
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let mut runs: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items;
+    while !items.is_empty() {
+        let tail = items.split_off(items.len().min(chunk_len));
+        runs.push(std::mem::replace(&mut items, tail));
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = runs
+            .into_iter()
+            .map(|run| scope.spawn(move || run.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        let mut out = Vec::new();
+        for handle in handles {
+            out.extend(handle.join().expect("parallel worker panicked"));
+        }
+        out
+    })
+}
+
+/// An eagerly evaluated parallel iterator over an in-memory item list.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Map every item through `f` in parallel.
+    pub fn map<U, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        ParIter {
+            items: par_apply(self.items, f),
+        }
+    }
+
+    /// Map every item to a sequential iterator and concatenate the results in
+    /// order (rayon's `flat_map_iter`).
+    pub fn flat_map_iter<U, I, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        I: IntoIterator<Item = U>,
+        F: Fn(T) -> I + Sync,
+    {
+        let nested = par_apply(self.items, |item| f(item).into_iter().collect::<Vec<U>>());
+        ParIter {
+            items: nested.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Pair items positionally with another parallel iterator.
+    pub fn zip<U: Send>(self, other: ParIter<U>) -> ParIter<(T, U)> {
+        ParIter {
+            items: self.items.into_iter().zip(other.items).collect(),
+        }
+    }
+
+    /// Run `f` on every item, stopping at the first error.
+    pub fn try_for_each<E, F>(self, f: F) -> Result<(), E>
+    where
+        E: Send,
+        F: Fn(T) -> Result<(), E> + Sync,
+    {
+        par_apply(self.items, f).into_iter().collect()
+    }
+
+    /// Fold all items into one value, seeding each fold with `identity`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        ID: Fn() -> T + Sync,
+        OP: Fn(T, T) -> T + Sync,
+    {
+        self.items.into_iter().fold(identity(), op)
+    }
+
+    /// Collect the items, preserving order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Sum the items.
+    pub fn sum<S: Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+}
+
+/// Types convertible into an owning parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u64> {
+    type Item = u64;
+
+    fn into_par_iter(self) -> ParIter<u64> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// `par_iter` over borrowed slices (also reachable from `Vec` through deref).
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over item references.
+    fn par_iter(&self) -> ParIter<&T>;
+
+    /// Parallel iterator over contiguous chunks of at most `chunk_size`.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParIter {
+            items: self.chunks(chunk_size).collect(),
+        }
+    }
+}
+
+/// The rayon prelude: every trait needed to call the parallel methods.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn flat_map_iter_concatenates_in_order() {
+        let out: Vec<usize> = vec![1usize, 2, 3]
+            .into_par_iter()
+            .flat_map_iter(|n| 0..n)
+            .collect();
+        assert_eq!(out, vec![0, 0, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn chunked_reduce_matches_sequential() {
+        let data: Vec<u64> = (0..10_000).collect();
+        let total = data
+            .par_chunks(128)
+            .map(|chunk| chunk.iter().sum::<u64>())
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn try_for_each_reports_errors() {
+        let ok: Result<(), String> = vec![1, 2, 3].into_par_iter().try_for_each(|_| Ok(()));
+        assert!(ok.is_ok());
+        let err: Result<(), String> = vec![1, 2, 3].into_par_iter().try_for_each(|n| {
+            if n == 2 {
+                Err("two".into())
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(err, Err("two".to_string()));
+    }
+
+    #[test]
+    fn zip_and_sum() {
+        let left = vec![1u64, 2, 3];
+        let right = [10u64, 20, 30];
+        let pairs: Vec<(u64, u64)> = left
+            .par_iter()
+            .zip(right.par_iter())
+            .map(|(&a, &b)| (a, b))
+            .collect();
+        assert_eq!(pairs, vec![(1, 10), (2, 20), (3, 30)]);
+        let s: u64 = left.into_par_iter().sum();
+        assert_eq!(s, 6);
+    }
+}

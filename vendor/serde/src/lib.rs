@@ -1,0 +1,71 @@
+//! Vendored subset of the `serde` API.
+//!
+//! The build environment has no route to a crates registry, so this crate
+//! provides exactly the serde surface the workspace compiles against: the
+//! four core traits, the `de`/`ser` error traits, and the no-op derive
+//! macros re-exported from `serde_derive`.  Swapping this for the real serde
+//! is a one-line change in the workspace manifest.
+
+use std::fmt::Display;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A type that can be serialized.
+pub trait Serialize {
+    /// Serialize `self` with the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A serialization backend.
+pub trait Serializer: Sized {
+    /// Value produced on success.
+    type Ok;
+    /// Error produced on failure.
+    type Error: ser::Error;
+
+    /// Serialize a string.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A type that can be deserialized.
+pub trait Deserialize<'de>: Sized {
+    /// Deserialize an instance with the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A deserialization backend.
+pub trait Deserializer<'de>: Sized {
+    /// Error produced on failure.
+    type Error: de::Error;
+
+    /// Deserialize a string.
+    fn deserialize_string(self) -> Result<String, Self::Error>;
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_string()
+    }
+}
+
+/// Deserialization error support.
+pub mod de {
+    use super::Display;
+
+    /// Errors a deserializer can construct from a message.
+    pub trait Error: Sized {
+        /// Build an error from a displayable message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// Serialization error support.
+pub mod ser {
+    use super::Display;
+
+    /// Errors a serializer can construct from a message.
+    pub trait Error: Sized {
+        /// Build an error from a displayable message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}

@@ -1,0 +1,21 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The workspace derives serde traits on most public types so that real serde
+//! can be dropped in when a registry is reachable, but nothing in-tree ever
+//! serializes a derived type (the two hand-written impls in `kron-bignum` are
+//! string round-trips).  These derives therefore expand to nothing: the
+//! attribute is accepted and the trait impl is simply not generated.
+
+use proc_macro::TokenStream;
+
+/// Accept `#[derive(Serialize)]` without generating an impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accept `#[derive(Deserialize)]` without generating an impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
