@@ -1,0 +1,178 @@
+//! Out-of-core shard driver throughput.
+//!
+//! The shard driver is the path that removes the `max_total_edges` ceiling:
+//! edges stream from the Kronecker expansion through per-worker sinks and a
+//! streaming degree histogram, and nothing proportional to the edge count is
+//! ever held in memory.  This bench measures what that costs (and buys)
+//! against the materialising [`ParallelGenerator`]:
+//!
+//! * `driver_counting_w{N}` — full driver runs (generation + streamed
+//!   histogram + validation-ready measurement) with counting sinks, across
+//!   worker counts: the Figure-3 sweep as the driver runs it.
+//! * `materialise_generator_w{N}` — the materialising generator on the same
+//!   design, for the memory-bound comparison.
+//! * `driver_tsv_w4` / `driver_binary_w4` — the same driver writing real
+//!   TSV and interleaved-binary shards (smaller design; these are disk
+//!   benchmarks).
+//!
+//! Results are printed and written as machine-readable JSON to
+//! `BENCH_shard_driver.json` at the workspace root, so successive PRs can
+//! track the trajectory.
+
+use std::time::{Duration, Instant};
+
+use kron_core::{KroneckerDesign, SelfLoop};
+use kron_gen::{DriverConfig, GeneratorConfig, ParallelGenerator, ShardDriver};
+
+/// The paper's `B` factor from Figures 3/4 (13,824,000 edges) for in-memory
+/// paths, and the same structure minus the last star (276,480 edges) for the
+/// disk-writing sinks.
+const BENCH_POINTS: &[u64] = &[3, 4, 5, 9, 16, 25];
+const DISK_POINTS: &[u64] = &[3, 4, 5, 9, 16];
+const BENCH_SPLIT: usize = 2;
+const SAMPLES: usize = 5;
+
+struct Measurement {
+    name: String,
+    median: Duration,
+    edges_per_sec: f64,
+}
+
+fn measure(name: impl Into<String>, edges: u64, mut pass: impl FnMut() -> u64) -> Measurement {
+    let name = name.into();
+    assert_eq!(pass(), edges, "{name} produced the wrong number of edges");
+    let mut samples: Vec<Duration> = (0..SAMPLES)
+        .map(|_| {
+            let started = Instant::now();
+            criterion::black_box(pass());
+            started.elapsed()
+        })
+        .collect();
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    Measurement {
+        name,
+        median,
+        edges_per_sec: edges as f64 / median.as_secs_f64(),
+    }
+}
+
+fn driver(workers: usize) -> ShardDriver {
+    ShardDriver::new(DriverConfig {
+        workers,
+        max_c_edges: 1 << 20,
+        max_b_edges: 1 << 24,
+        ..DriverConfig::default()
+    })
+}
+
+fn main() {
+    let design =
+        KroneckerDesign::from_star_points(BENCH_POINTS, SelfLoop::None).expect("valid design");
+    let edges = design.edges().to_u64().expect("bench scale");
+    println!("shard_driver: {edges} edges per pass");
+
+    let mut results: Vec<Measurement> = Vec::new();
+    let worker_counts = [1usize, 2, 4, 8];
+    for &workers in &worker_counts {
+        results.push(measure(
+            format!("driver_counting_w{workers}"),
+            edges,
+            || {
+                let run = driver(workers)
+                    .run_counting(&design, BENCH_SPLIT)
+                    .expect("factors fit");
+                assert!(run.validate().is_exact_match());
+                run.stats.total_edges
+            },
+        ));
+    }
+    for &workers in &[1usize, 4] {
+        let generator = ParallelGenerator::new(GeneratorConfig {
+            workers,
+            max_c_edges: 1 << 20,
+            max_total_edges: 50_000_000,
+        });
+        results.push(measure(
+            format!("materialise_generator_w{workers}"),
+            edges,
+            || {
+                let graph = generator
+                    .generate_with_split(&design, BENCH_SPLIT)
+                    .expect("fits in memory");
+                graph.edge_count()
+            },
+        ));
+    }
+
+    let disk_design =
+        KroneckerDesign::from_star_points(DISK_POINTS, SelfLoop::None).expect("valid design");
+    let disk_edges = disk_design.edges().to_u64().expect("bench scale");
+    let shard_dir = std::env::temp_dir().join("kron_bench_shard_driver");
+    results.push(measure(
+        format!("driver_tsv_w4_{disk_edges}e"),
+        disk_edges,
+        || {
+            let (run, _) = driver(4)
+                .run_tsv(&disk_design, BENCH_SPLIT, &shard_dir)
+                .expect("shards write");
+            run.stats.total_edges
+        },
+    ));
+    results.push(measure(
+        format!("driver_binary_w4_{disk_edges}e"),
+        disk_edges,
+        || {
+            let (run, _) = driver(4)
+                .run_binary(&disk_design, BENCH_SPLIT, &shard_dir)
+                .expect("shards write");
+            run.stats.total_edges
+        },
+    ));
+    std::fs::remove_dir_all(&shard_dir).ok();
+
+    for m in &results {
+        println!(
+            "  {:<28} median {:>12?}  {:>9.1} Medges/s",
+            m.name,
+            m.median,
+            m.edges_per_sec / 1e6
+        );
+    }
+    let rate_of = |name: &str| {
+        results
+            .iter()
+            .find(|m| m.name == name)
+            .unwrap_or_else(|| panic!("no measurement named {name}"))
+            .edges_per_sec
+    };
+    let scaling_1_to_4 = rate_of("driver_counting_w4") / rate_of("driver_counting_w1");
+    let driver_vs_materialise = rate_of("driver_counting_w4") / rate_of("materialise_generator_w4");
+    println!("  driver counting scaling 1 -> 4 workers:   {scaling_1_to_4:.2}x");
+    println!("  driver(4) vs materialising generator(4):  {driver_vs_materialise:.2}x");
+
+    let json_entries: Vec<String> = results
+        .iter()
+        .map(|m| {
+            format!(
+                "    {{\"name\": \"{}\", \"seconds\": {:.6}, \"edges_per_sec\": {:.0}}}",
+                m.name,
+                m.median.as_secs_f64(),
+                m.edges_per_sec
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"shard_driver\",\n  \"design\": {{\"points\": {:?}, \"split_index\": {}, \"edges\": {}}},\n  \"samples\": {},\n  \"results\": [\n{}\n  ],\n  \"driver_counting_scaling_1_to_4\": {:.3},\n  \"driver_vs_materialise_w4\": {:.3}\n}}\n",
+        BENCH_POINTS,
+        BENCH_SPLIT,
+        edges,
+        SAMPLES,
+        json_entries.join(",\n"),
+        scaling_1_to_4,
+        driver_vs_materialise
+    );
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_shard_driver.json");
+    std::fs::write(out_path, &json).expect("write BENCH_shard_driver.json");
+    println!("wrote {out_path}");
+}

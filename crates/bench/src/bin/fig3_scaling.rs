@@ -7,10 +7,9 @@
 //! figure plots — plus the exact properties of the full-scale design, which
 //! this machine can compute but not materialise.
 
-use kron_bench::{design, figure_header, machine_generator, paper};
+use kron_bench::{design, figure_header, machine_driver, paper};
 use kron_bignum::grouped;
 use kron_core::SelfLoop;
-use kron_gen::measure::BalanceReport;
 use kron_gen::{choose_split, ScalingModel};
 
 fn main() {
@@ -54,21 +53,22 @@ fn main() {
     }
     let mut single_worker_rate = None;
     for &workers in &worker_counts {
-        let generator = machine_generator(workers);
-        let graph = generator
-            .generate_with_split(&scaled, paper::MACHINE_SCALE_SPLIT)
-            .expect("machine-scale design fits in memory");
-        let balance = BalanceReport::of(&graph);
+        // The sweep runs on the out-of-core shard driver with counting
+        // sinks: generation plus the streamed degree histogram, with no
+        // materialisation and no `max_total_edges` ceiling.
+        let run = machine_driver(workers)
+            .run_counting(&scaled, paper::MACHINE_SCALE_SPLIT)
+            .expect("machine-scale factors fit in memory");
         if workers == 1 {
-            single_worker_rate = Some(graph.stats.edges_per_second());
+            single_worker_rate = Some(run.stats.edges_per_second());
         }
         println!(
             "{:>8} {:>16} {:>18.0} {:>14.4} {:>12.4}",
             workers,
-            graph.stats.total_edges,
-            graph.stats.edges_per_second(),
-            graph.stats.seconds,
-            balance.max_over_mean,
+            run.stats.total_edges,
+            run.stats.edges_per_second(),
+            run.stats.seconds,
+            run.stats.balance_ratio(),
         );
     }
     println!(

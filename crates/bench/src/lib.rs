@@ -11,7 +11,7 @@
 
 use kron_bignum::BigUint;
 use kron_core::{DegreeDistribution, KroneckerDesign, SelfLoop};
-use kron_gen::{GeneratorConfig, ParallelGenerator};
+use kron_gen::{DriverConfig, GeneratorConfig, ParallelGenerator, ShardDriver};
 
 /// The star sets used across the paper's evaluation section.
 pub mod paper {
@@ -80,6 +80,17 @@ pub fn machine_generator(workers: usize) -> ParallelGenerator {
         workers,
         max_c_edges: 200_000,
         max_total_edges: 60_000_000,
+    })
+}
+
+/// A standard machine-scale shard driver used by the streaming figures:
+/// same factor budgets as [`machine_generator`], but no total-edge ceiling
+/// (the driver streams, it never materialises the product).
+pub fn machine_driver(workers: usize) -> ShardDriver {
+    ShardDriver::new(DriverConfig {
+        workers,
+        max_c_edges: 200_000,
+        ..DriverConfig::default()
     })
 }
 

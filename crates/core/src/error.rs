@@ -35,6 +35,12 @@ pub enum CoreError {
         /// Explanation of what was searched and why it failed.
         message: String,
     },
+    /// A runtime configuration (worker count, memory budget, calibration
+    /// input, …) was invalid for the requested operation.
+    InvalidConfig {
+        /// Explanation of the rejected configuration.
+        message: String,
+    },
     /// Exact triangle counting is only defined for designs whose product has
     /// zero self-loops or exactly one removable self-loop (the paper's
     /// Case 0 / Case 1 / Case 2 constructions).
@@ -62,6 +68,9 @@ impl fmt::Display for CoreError {
                  use the analytic property API instead"
             ),
             CoreError::DesignNotFound { message } => write!(f, "design search failed: {message}"),
+            CoreError::InvalidConfig { message } => {
+                write!(f, "invalid configuration: {message}")
+            }
             CoreError::UnsupportedTriangleStructure { product_self_loops } => write!(
                 f,
                 "exact triangle count needs 0 or 1 self-loops in the product, found {product_self_loops}"
@@ -98,6 +107,10 @@ mod tests {
             edges: "20".into(),
         };
         assert!(e.to_string().contains("too large"));
+        let e = CoreError::InvalidConfig {
+            message: "generator needs at least one worker".into(),
+        };
+        assert!(e.to_string().contains("invalid configuration"));
         let e: CoreError = SparseError::Io("boom".into()).into();
         assert!(matches!(e, CoreError::Sparse(_)));
         assert!(e.to_string().contains("boom"));

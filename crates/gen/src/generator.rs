@@ -99,11 +99,30 @@ impl ParallelGenerator {
     ///
     /// The split into `B ⊗ C` is chosen automatically (see
     /// [`choose_split`]); use [`ParallelGenerator::generate_with_split`] to
-    /// control it explicitly.
+    /// control it explicitly.  When no split can give every worker at least
+    /// one `B` triple, generation falls back to the best split for a single
+    /// worker and records the lost `nnz(B) ≥ workers` balance guarantee in
+    /// [`GenerationStats::warnings`].
     pub fn generate(&self, design: &KroneckerDesign) -> Result<DistributedGraph, CoreError> {
-        let plan = choose_split(design, self.config.max_c_edges, self.config.workers as u64)
-            .or_else(|_| choose_split(design, self.config.max_c_edges, 1))?;
-        self.generate_with_split(design, plan.split_index)
+        match choose_split(design, self.config.max_c_edges, self.config.workers as u64) {
+            Ok(plan) => self.generate_with_split(design, plan.split_index),
+            Err(_) => {
+                let plan = choose_split(design, self.config.max_c_edges, 1)?;
+                let mut graph = self.generate_with_split(design, plan.split_index)?;
+                graph.stats.warn(format!(
+                    "no split gives {} workers one B triple each; fell back to \
+                     split index {} with nnz(B) = {}, so {} worker(s) are idle \
+                     and the per-worker balance guarantee does not hold",
+                    self.config.workers,
+                    plan.split_index,
+                    plan.b_nnz,
+                    self.config
+                        .workers
+                        .saturating_sub(plan.b_nnz.to_u64().unwrap_or(u64::MAX) as usize),
+                ));
+                Ok(graph)
+            }
+        }
     }
 
     /// Generate using an explicit split index (`B` = first `split_index`
@@ -114,7 +133,7 @@ impl ParallelGenerator {
         split_index: usize,
     ) -> Result<DistributedGraph, CoreError> {
         if self.config.workers == 0 {
-            return Err(CoreError::DesignNotFound {
+            return Err(CoreError::InvalidConfig {
                 message: "generator needs at least one worker".into(),
             });
         }
@@ -191,7 +210,7 @@ impl ParallelGenerator {
 /// Global index of the product vertex that carries the single self-loop of a
 /// triangle-control design: the mixed-radix combination of each
 /// constituent's self-loop vertex index.
-fn self_loop_vertex_index(design: &KroneckerDesign) -> u64 {
+pub(crate) fn self_loop_vertex_index(design: &KroneckerDesign) -> u64 {
     let mut index = 0u64;
     for constituent in design.constituents() {
         let local = constituent
@@ -279,14 +298,41 @@ mod tests {
     }
 
     #[test]
-    fn zero_workers_rejected() {
+    fn zero_workers_rejected_with_typed_error() {
         let design = KroneckerDesign::from_star_points(&[3, 4], SelfLoop::None).unwrap();
         let gen = ParallelGenerator::new(GeneratorConfig {
             workers: 0,
             max_c_edges: 100,
             max_total_edges: 1_000,
         });
-        assert!(gen.generate_with_split(&design, 1).is_err());
+        let error = gen.generate_with_split(&design, 1).unwrap_err();
+        assert!(
+            matches!(error, CoreError::InvalidConfig { .. }),
+            "zero workers must be an InvalidConfig error, got {error:?}"
+        );
+    }
+
+    #[test]
+    fn fallback_split_is_surfaced_as_a_warning() {
+        // A two-star design has at most nnz(star) B triples, far fewer than
+        // 1,000 workers, so the primary choose_split fails and the fallback
+        // single-worker plan runs with most workers idle.
+        let design = KroneckerDesign::from_star_points(&[3, 4], SelfLoop::None).unwrap();
+        let gen = ParallelGenerator::new(GeneratorConfig {
+            workers: 1_000,
+            max_c_edges: 10_000,
+            max_total_edges: 1_000_000,
+        });
+        let graph = gen.generate(&design).unwrap();
+        assert_eq!(graph.edge_count(), design.edges().to_u64().unwrap());
+        assert_eq!(graph.stats.warnings.len(), 1, "fallback must warn");
+        assert!(graph.stats.warnings[0].contains("balance guarantee"));
+
+        // A run where the primary split succeeds stays warning-free.
+        let healthy = generator(4)
+            .generate(&KroneckerDesign::from_star_points(&[3, 4, 5, 9], SelfLoop::None).unwrap())
+            .unwrap();
+        assert!(healthy.stats.warnings.is_empty());
     }
 
     #[test]

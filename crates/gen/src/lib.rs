@@ -21,6 +21,11 @@
 //!    across blocks without ever assembling the full graph
 //!    ([`measure`]), reproducing the paper's "measured = predicted"
 //!    validation at whatever scale fits the machine.
+//! 6. For graphs whose *edges* do not fit in memory at all, the
+//!    out-of-core [`driver`] streams each worker's expansion straight into
+//!    a pluggable [`driver::EdgeSink`] (TSV shard, binary shard, counter)
+//!    while accumulating the degree histogram in `O(vertices)` memory, so
+//!    generation *and* validation both run as bounded-memory streams.
 //!
 //! On a shared-memory machine the "processors" are rayon tasks; the
 //! per-worker work and the communication structure (none) are identical to
@@ -32,6 +37,7 @@
 
 pub mod block;
 pub mod chunk;
+pub mod driver;
 pub mod generator;
 pub mod measure;
 pub mod partition;
@@ -43,6 +49,10 @@ pub mod writer;
 
 pub use block::GraphBlock;
 pub use chunk::EdgeChunk;
+pub use driver::{
+    BinaryShardSink, CooSink, CountingSink, DriverConfig, EdgeSink, ShardDriver, ShardRun,
+    TsvShardSink,
+};
 pub use generator::{DistributedGraph, GeneratorConfig, ParallelGenerator};
 pub use measure::{measured_degree_distribution, measured_properties, BalanceReport};
 pub use partition::Partition;

@@ -58,7 +58,7 @@ impl ScalingModel {
                 edges: plan.c_nnz.to_string(),
             })?;
         if seconds_per_edge <= 0.0 || !seconds_per_edge.is_finite() {
-            return Err(CoreError::DesignNotFound {
+            return Err(CoreError::InvalidConfig {
                 message: format!(
                     "per-edge cost must be positive and finite, got {seconds_per_edge}"
                 ),
@@ -80,7 +80,7 @@ impl ScalingModel {
         seconds: f64,
     ) -> Result<Self, CoreError> {
         if workers == 0 || edges == 0 || seconds <= 0.0 {
-            return Err(CoreError::DesignNotFound {
+            return Err(CoreError::InvalidConfig {
                 message: "calibration needs a non-trivial measured run".into(),
             });
         }
@@ -91,8 +91,13 @@ impl ScalingModel {
     }
 
     /// Total number of edges of the raw product the model describes.
-    pub fn total_edges(&self) -> u64 {
-        self.b_nnz * self.c_nnz
+    ///
+    /// Computed in `u128`: both factors individually fit in `u64` (the model
+    /// requires that), but their product does not for the paper's
+    /// quadrillion-edge-and-beyond designs — `u64` arithmetic would silently
+    /// wrap at ≈1.8 × 10¹⁹ edges.
+    pub fn total_edges(&self) -> u128 {
+        u128::from(self.b_nnz) * u128::from(self.c_nnz)
     }
 
     /// Predict time, rate, and efficiency at a given worker count.
@@ -234,6 +239,39 @@ mod tests {
             "extra workers beyond nnz(B) are idle"
         );
         assert!(beyond.efficiency < at.efficiency);
+    }
+
+    #[test]
+    fn total_edges_survives_paper_scale_without_overflow() {
+        // The Figure-7 decetta design split after 12 constituents: both
+        // factors fit in u64 but their product (the design's ~2.7e30 raw
+        // edges, here ~1.5e30 for the loop-free variant) overflows u64 by
+        // eleven orders of magnitude.
+        let design = KroneckerDesign::from_star_points(
+            &[
+                3, 4, 5, 7, 11, 9, 16, 25, 49, 81, 121, 256, 625, 2401, 14641,
+            ],
+            kron_core::SelfLoop::None,
+        )
+        .unwrap();
+        let (b, c) = design.split(12).unwrap();
+        let plan = SplitPlan {
+            split_index: 12,
+            b_nnz: b.nnz_with_loops(),
+            c_nnz: c.nnz_with_loops(),
+            c_vertices: c.vertices(),
+        };
+        let model = ScalingModel::new(&plan, 1e-8).unwrap();
+        let expected = design.nnz_with_loops();
+        assert!(
+            expected > kron_bignum::BigUint::from(u64::MAX),
+            "the regression design must exceed u64"
+        );
+        assert_eq!(model.total_edges(), expected.to_u128().unwrap());
+        // The prediction built on the total stays finite and positive.
+        let point = model.predict(41_472);
+        assert!(point.seconds.is_finite() && point.seconds > 0.0);
+        assert!(point.edges_per_second.is_finite() && point.edges_per_second > 0.0);
     }
 
     #[test]

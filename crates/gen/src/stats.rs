@@ -18,6 +18,10 @@ pub struct GenerationStats {
     pub seconds: f64,
     /// Edges generated per worker.
     pub edges_per_worker: Vec<u64>,
+    /// Conditions that degraded the run without failing it (e.g. a fallback
+    /// split that loses the `nnz(B) ≥ workers` balance guarantee).
+    #[serde(default)]
+    pub warnings: Vec<String>,
 }
 
 impl GenerationStats {
@@ -29,7 +33,13 @@ impl GenerationStats {
             total_edges,
             seconds: elapsed.as_secs_f64(),
             edges_per_worker,
+            warnings: Vec::new(),
         }
+    }
+
+    /// Record a degradation warning.
+    pub fn warn(&mut self, message: impl Into<String>) {
+        self.warnings.push(message.into());
     }
 
     /// Aggregate generation rate in edges per second.
@@ -81,6 +91,15 @@ mod tests {
         let stats = GenerationStats::new(vec![300, 200, 100], Duration::from_secs(1));
         assert_eq!(stats.imbalance(), 200);
         assert!(stats.balance_ratio() > 1.4);
+    }
+
+    #[test]
+    fn warnings_accumulate() {
+        let mut stats = GenerationStats::new(vec![10, 10], Duration::from_secs(1));
+        assert!(stats.warnings.is_empty());
+        stats.warn("fallback split in use");
+        assert_eq!(stats.warnings.len(), 1);
+        assert!(stats.warnings[0].contains("fallback"));
     }
 
     #[test]

@@ -153,7 +153,7 @@ pub fn count_edges_streaming(
     max_factor_edges: u64,
 ) -> Result<u64, CoreError> {
     if workers == 0 {
-        return Err(CoreError::DesignNotFound {
+        return Err(CoreError::InvalidConfig {
             message: "streaming generation needs at least one worker".into(),
         });
     }
@@ -250,6 +250,9 @@ mod tests {
     #[test]
     fn streaming_rejects_zero_workers() {
         let design = KroneckerDesign::from_star_points(&[3, 4], SelfLoop::None).unwrap();
-        assert!(count_edges_streaming(&design, 1, 0, 1_000).is_err());
+        assert!(matches!(
+            count_edges_streaming(&design, 1, 0, 1_000),
+            Err(CoreError::InvalidConfig { .. })
+        ));
     }
 }

@@ -32,8 +32,18 @@ use crate::stream::try_stream_block_edges_into;
 
 /// Magic bytes opening a binary block file.
 pub const BLOCK_MAGIC: [u8; 4] = *b"KBLK";
-/// Version of the binary block layout.
+/// Version of the binary block layout with split row/column arrays
+/// (see [`write_block_bin`]).
 pub const BLOCK_VERSION: u32 = 1;
+/// Version of the binary block layout with interleaved `(row, col)` pairs —
+/// the streaming shard layout: edges append sequentially as they are
+/// generated, and only the header's count is patched at the end, so a shard
+/// never has to be buffered in memory (see
+/// [`crate::driver::BinaryShardSink`]).
+pub const BLOCK_VERSION_PAIRS: u32 = 2;
+/// Size in bytes of the binary block header (magic, version, dimensions,
+/// entry count) shared by both layout versions.
+pub const BLOCK_HEADER_LEN: u64 = 4 + 4 + 8 + 8 + 8;
 
 /// On-disk format of a block file set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -72,7 +82,7 @@ impl BlockFileSet {
     }
 }
 
-fn prepare_directory(
+pub(crate) fn prepare_directory(
     directory: &Path,
     workers: usize,
     extension: &str,
@@ -106,6 +116,20 @@ pub fn write_blocks_tsv(
     })
 }
 
+/// Write one chunk of pattern edges in the TSV triple format
+/// (`row<TAB>col<TAB>1`) — the single definition of the line layout shared
+/// by every TSV emitter (and matched by the reader behind
+/// [`BlockFileSet::read_assembled`]).
+pub(crate) fn write_tsv_edges(
+    writer: &mut impl Write,
+    edges: &[(u64, u64)],
+) -> Result<(), std::io::Error> {
+    for &(row, col) in edges {
+        writeln!(writer, "{row}\t{col}\t1")?;
+    }
+    Ok(())
+}
+
 /// Stream one worker's block straight to a TSV file without materialising
 /// it: the Kronecker expansion fills the caller's reusable chunk, and each
 /// flush formats into a buffered writer.  Returns the number of edges
@@ -121,10 +145,7 @@ pub fn stream_block_tsv(
     // The first write error aborts the whole expansion (a full disk must
     // not cost the remaining hours of edge generation).
     let result = try_stream_block_edges_into(b_triples, c, chunk, |edges| {
-        for &(row, col) in edges {
-            writeln!(writer, "{row}\t{col}\t1")?;
-        }
-        Ok::<(), std::io::Error>(())
+        write_tsv_edges(&mut writer, edges)
     });
     let written = match result {
         Ok(written) => written,
@@ -145,7 +166,10 @@ pub fn stream_block_tsv(
 /// This writes the *raw* `B ⊗ C` product — the streaming pipeline's view of
 /// the graph, before any self-loop removal — and is the template every
 /// later sink (sockets, object stores, columnar files) follows: design →
-/// split → partition → chunked expand → per-worker buffered sink.
+/// split → partition → chunked expand → per-worker buffered sink.  To write
+/// the designed *final* graph (self-loop removed, plus the streamed degree
+/// histogram for validation), use
+/// [`ShardDriver::run_tsv`](crate::driver::ShardDriver::run_tsv) instead.
 pub fn stream_blocks_tsv(
     design: &kron_core::KroneckerDesign,
     split_index: usize,
@@ -154,7 +178,7 @@ pub fn stream_blocks_tsv(
     directory: &Path,
 ) -> Result<BlockFileSet, CoreError> {
     if workers == 0 {
-        return Err(CoreError::DesignNotFound {
+        return Err(CoreError::InvalidConfig {
             message: "streaming generation needs at least one worker".into(),
         });
     }
@@ -254,7 +278,7 @@ pub fn read_block_bin(path: &Path) -> Result<CooMatrix<u64>, SparseError> {
     let mut version = [0u8; 4];
     reader.read_exact(&mut version)?;
     let version = u32::from_le_bytes(version);
-    if version != BLOCK_VERSION {
+    if version != BLOCK_VERSION && version != BLOCK_VERSION_PAIRS {
         return Err(SparseError::Parse {
             line: 0,
             message: format!("unsupported block version {version}"),
@@ -267,10 +291,10 @@ pub fn read_block_bin(path: &Path) -> Result<CooMatrix<u64>, SparseError> {
     let nnz = u64::from_le_bytes(header[16..24].try_into().expect("sized"));
     // A corrupt header must fail cleanly, not abort on a huge allocation:
     // the declared entry count has to match the bytes actually present.
-    let header_len = 4 + 4 + 24;
+    // Both layouts store 16 bytes per edge after the shared header.
     let expected_len = nnz
         .checked_mul(16)
-        .and_then(|body| body.checked_add(header_len))
+        .and_then(|body| body.checked_add(BLOCK_HEADER_LEN))
         .ok_or(SparseError::TooLarge {
             what: "binary block entry count",
             requested: nnz as u128,
@@ -288,8 +312,29 @@ pub fn read_block_bin(path: &Path) -> Result<CooMatrix<u64>, SparseError> {
         requested: nnz as u128,
     })?;
 
-    let rows = read_u64_array(&mut reader, nnz)?;
-    let cols = read_u64_array(&mut reader, nnz)?;
+    let (rows, cols) = if version == BLOCK_VERSION {
+        let rows = read_u64_array(&mut reader, nnz)?;
+        let cols = read_u64_array(&mut reader, nnz)?;
+        (rows, cols)
+    } else {
+        // De-interleave while reading, in bounded buffers: the transient
+        // cost stays one I/O buffer, not a second full copy of the body.
+        let mut rows = Vec::with_capacity(nnz);
+        let mut cols = Vec::with_capacity(nnz);
+        let mut buffer = [0u8; 16 * 4096];
+        let mut remaining = nnz;
+        while remaining > 0 {
+            let pairs = remaining.min(4096);
+            let bytes = &mut buffer[..16 * pairs];
+            reader.read_exact(bytes)?;
+            for pair in bytes.chunks_exact(16) {
+                rows.push(u64::from_le_bytes(pair[..8].try_into().expect("sized")));
+                cols.push(u64::from_le_bytes(pair[8..].try_into().expect("sized")));
+            }
+            remaining -= pairs;
+        }
+        (rows, cols)
+    };
     for (&r, &c) in rows.iter().zip(cols.iter()) {
         if r >= nrows || c >= ncols {
             return Err(SparseError::IndexOutOfBounds {

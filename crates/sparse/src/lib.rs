@@ -57,4 +57,5 @@ pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
 pub use error::SparseError;
 pub use kron::{kron_coo, kron_dims, KronEdgeIter};
+pub use reduce::{DegreeAccumulator, SharedDegreeAccumulator};
 pub use semiring::{BoolOrAnd, MaxTimes, MinPlus, PlusTimes, Semiring};

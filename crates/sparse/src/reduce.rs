@@ -7,6 +7,7 @@
 //! *pattern* (stored entries), matching the paper's `nnz`-based definitions.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::coo::CooMatrix;
 use crate::csr::CsrMatrix;
@@ -82,6 +83,255 @@ pub fn degree_distribution<T: Scalar>(m: &CooMatrix<T>) -> BTreeMap<u64, u64> {
     // adjustment above only matters if row_counts was truncated, which it is
     // not; keep the invariant explicit anyway.
     hist
+}
+
+/// Streaming degree accumulator: per-chunk row/column endpoint counting for
+/// graphs that are never materialised.
+///
+/// A generation worker feeds every chunk of `(row, col)` edges it produces
+/// through [`DegreeAccumulator::record`]; the accumulator maintains exact
+/// per-vertex row and column endpoint counts (plus a diagonal tally) in
+/// flat `u64` vectors, so its memory cost is `O(vertices)` regardless of how
+/// many edges stream through it.  Per-worker accumulators are combined with
+/// [`DegreeAccumulator::merge`], and [`DegreeAccumulator::row_histogram`]
+/// produces the same degree histogram [`degree_distribution`] computes from a
+/// materialised matrix — including the degree-zero bucket.
+///
+/// When only row degrees are needed — a square graph's degree distribution
+/// is its row-endpoint histogram — [`DegreeAccumulator::rows_only`] skips
+/// the column vector entirely, halving both the memory per accumulator and
+/// the per-edge work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegreeAccumulator {
+    ncols: u64,
+    row_counts: Vec<u64>,
+    col_counts: Option<Vec<u64>>,
+    self_loops: u64,
+    edges: u64,
+}
+
+impl DegreeAccumulator {
+    /// Create an accumulator for a graph with the given dimensions,
+    /// tracking both row and column endpoint counts.
+    ///
+    /// # Panics
+    /// Panics if either dimension does not fit in addressable memory.
+    pub fn new(nrows: u64, ncols: u64) -> Self {
+        let rows = usize::try_from(nrows).expect("row count vector must fit in memory");
+        let cols = usize::try_from(ncols).expect("column count vector must fit in memory");
+        DegreeAccumulator {
+            ncols,
+            row_counts: vec![0u64; rows],
+            col_counts: Some(vec![0u64; cols]),
+            self_loops: 0,
+            edges: 0,
+        }
+    }
+
+    /// Create an accumulator that tracks only row endpoint counts (plus the
+    /// edge and self-loop tallies); [`DegreeAccumulator::col_counts`] and
+    /// [`DegreeAccumulator::col_histogram`] return `None`.
+    ///
+    /// # Panics
+    /// Panics if the row dimension does not fit in addressable memory.
+    pub fn rows_only(nrows: u64, ncols: u64) -> Self {
+        let rows = usize::try_from(nrows).expect("row count vector must fit in memory");
+        DegreeAccumulator {
+            ncols,
+            row_counts: vec![0u64; rows],
+            col_counts: None,
+            self_loops: 0,
+            edges: 0,
+        }
+    }
+
+    /// Number of rows the accumulator covers.
+    pub fn nrows(&self) -> u64 {
+        self.row_counts.len() as u64
+    }
+
+    /// Number of columns the accumulator covers.
+    pub fn ncols(&self) -> u64 {
+        self.ncols
+    }
+
+    /// Whether column endpoint counts are being tracked.
+    pub fn tracks_cols(&self) -> bool {
+        self.col_counts.is_some()
+    }
+
+    /// Count one chunk of edges: each edge contributes one row endpoint and
+    /// (when tracked) one column endpoint, and diagonal edges are tallied
+    /// separately.
+    ///
+    /// # Panics
+    /// Panics if an index is outside the declared dimensions.
+    pub fn record(&mut self, edges: &[(u64, u64)]) {
+        match self.col_counts.as_mut() {
+            Some(col_counts) => {
+                for &(row, col) in edges {
+                    self.row_counts[usize::try_from(row).expect("row index addressable")] += 1;
+                    col_counts[usize::try_from(col).expect("column index addressable")] += 1;
+                    self.self_loops += u64::from(row == col);
+                }
+            }
+            None => {
+                for &(row, col) in edges {
+                    assert!(col < self.ncols, "column index out of bounds");
+                    self.row_counts[usize::try_from(row).expect("row index addressable")] += 1;
+                    self.self_loops += u64::from(row == col);
+                }
+            }
+        }
+        self.edges += edges.len() as u64;
+    }
+
+    /// Total number of edges recorded so far.
+    pub fn edge_count(&self) -> u64 {
+        self.edges
+    }
+
+    /// Number of diagonal (self-loop) edges recorded so far.
+    pub fn self_loop_count(&self) -> u64 {
+        self.self_loops
+    }
+
+    /// Fold another accumulator (e.g. a different worker's) into this one.
+    ///
+    /// # Panics
+    /// Panics if the two accumulators cover different dimensions or track
+    /// different endpoint sets.
+    pub fn merge(&mut self, other: &DegreeAccumulator) {
+        assert_eq!(
+            (self.nrows(), self.ncols()),
+            (other.nrows(), other.ncols()),
+            "merged accumulators must cover the same graph dimensions"
+        );
+        assert_eq!(
+            self.tracks_cols(),
+            other.tracks_cols(),
+            "merged accumulators must track the same endpoint sets"
+        );
+        for (mine, theirs) in self.row_counts.iter_mut().zip(other.row_counts.iter()) {
+            *mine += theirs;
+        }
+        if let (Some(mine), Some(theirs)) = (self.col_counts.as_mut(), other.col_counts.as_ref()) {
+            for (m, t) in mine.iter_mut().zip(theirs.iter()) {
+                *m += t;
+            }
+        }
+        self.self_loops += other.self_loops;
+        self.edges += other.edges;
+    }
+
+    /// Row endpoint count of each vertex (the paper's row-nnz degree).
+    pub fn row_counts(&self) -> &[u64] {
+        &self.row_counts
+    }
+
+    /// Column endpoint count of each vertex, or `None` for a
+    /// [`rows_only`](DegreeAccumulator::rows_only) accumulator.
+    pub fn col_counts(&self) -> Option<&[u64]> {
+        self.col_counts.as_deref()
+    }
+
+    /// Histogram of row-endpoint degrees, including the degree-zero bucket —
+    /// identical to [`degree_distribution`] of the materialised matrix.
+    pub fn row_histogram(&self) -> BTreeMap<u64, u64> {
+        degree_histogram(&self.row_counts)
+    }
+
+    /// Histogram of column-endpoint degrees, including the degree-zero
+    /// bucket, or `None` for a
+    /// [`rows_only`](DegreeAccumulator::rows_only) accumulator.
+    pub fn col_histogram(&self) -> Option<BTreeMap<u64, u64>> {
+        self.col_counts.as_deref().map(degree_histogram)
+    }
+}
+
+/// A [`DegreeAccumulator`] shared by every worker of a parallel generation
+/// run: one atomic row-endpoint vector for the whole run, so the streaming
+/// validation side-channel costs exactly `O(vertices)` no matter how many
+/// workers record into it concurrently.
+///
+/// Increments use relaxed ordering — the counts are pure tallies with no
+/// ordering relationship to any other memory — and reads
+/// ([`SharedDegreeAccumulator::row_histogram`] and friends) are only
+/// meaningful once the recording workers have been joined.
+#[derive(Debug)]
+pub struct SharedDegreeAccumulator {
+    ncols: u64,
+    row_counts: Vec<AtomicU64>,
+    self_loops: AtomicU64,
+    edges: AtomicU64,
+}
+
+impl SharedDegreeAccumulator {
+    /// Create a shared accumulator tracking row endpoint counts (plus edge
+    /// and self-loop tallies) for a graph with the given dimensions.
+    ///
+    /// # Panics
+    /// Panics if the row dimension does not fit in addressable memory.
+    pub fn rows_only(nrows: u64, ncols: u64) -> Self {
+        let rows = usize::try_from(nrows).expect("row count vector must fit in memory");
+        let mut row_counts = Vec::with_capacity(rows);
+        row_counts.resize_with(rows, || AtomicU64::new(0));
+        SharedDegreeAccumulator {
+            ncols,
+            row_counts,
+            self_loops: AtomicU64::new(0),
+            edges: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of rows the accumulator covers.
+    pub fn nrows(&self) -> u64 {
+        self.row_counts.len() as u64
+    }
+
+    /// Number of columns the accumulator covers.
+    pub fn ncols(&self) -> u64 {
+        self.ncols
+    }
+
+    /// Count one chunk of edges; callable concurrently from any number of
+    /// workers.
+    ///
+    /// # Panics
+    /// Panics if an index is outside the declared dimensions.
+    pub fn record(&self, edges: &[(u64, u64)]) {
+        let mut loops = 0u64;
+        for &(row, col) in edges {
+            assert!(col < self.ncols, "column index out of bounds");
+            self.row_counts[usize::try_from(row).expect("row index addressable")]
+                .fetch_add(1, Ordering::Relaxed);
+            loops += u64::from(row == col);
+        }
+        self.self_loops.fetch_add(loops, Ordering::Relaxed);
+        self.edges.fetch_add(edges.len() as u64, Ordering::Relaxed);
+    }
+
+    /// Total number of edges recorded so far.
+    pub fn edge_count(&self) -> u64 {
+        self.edges.load(Ordering::Relaxed)
+    }
+
+    /// Number of diagonal (self-loop) edges recorded so far.
+    pub fn self_loop_count(&self) -> u64 {
+        self.self_loops.load(Ordering::Relaxed)
+    }
+
+    /// Histogram of row-endpoint degrees, including the degree-zero bucket —
+    /// identical to [`degree_distribution`] of the materialised matrix.
+    /// Built straight from the atomic vector, with no second `O(vertices)`
+    /// copy.
+    pub fn row_histogram(&self) -> BTreeMap<u64, u64> {
+        let mut hist = BTreeMap::new();
+        for count in &self.row_counts {
+            *hist.entry(count.load(Ordering::Relaxed)).or_insert(0) += 1;
+        }
+        hist
+    }
 }
 
 /// Total number of stored entries per row, returned as `(max, min, mean)`;
@@ -160,6 +410,129 @@ mod tests {
     }
 
     #[test]
+    fn accumulator_matches_materialised_histogram() {
+        let m = star5_with_center_loop();
+        let mut acc = DegreeAccumulator::new(m.nrows(), m.ncols());
+        let edges: Vec<(u64, u64)> = m.iter().map(|(r, c, _)| (r, c)).collect();
+        // Feed in two uneven chunks to exercise the chunk boundary.
+        acc.record(&edges[..4]);
+        acc.record(&edges[4..]);
+        assert_eq!(acc.row_histogram(), degree_distribution(&m));
+        assert_eq!(acc.row_counts(), row_counts(&m).as_slice());
+        assert_eq!(acc.col_counts(), Some(col_counts(&m).as_slice()));
+        assert_eq!(acc.col_histogram(), Some(degree_histogram(&col_counts(&m))));
+        assert_eq!(acc.edge_count(), m.nnz() as u64);
+        assert_eq!(acc.self_loop_count(), 1);
+    }
+
+    #[test]
+    fn rows_only_accumulator_matches_full_rows() {
+        let m = star5_with_center_loop();
+        let edges: Vec<(u64, u64)> = m.iter().map(|(r, c, _)| (r, c)).collect();
+        let mut acc = DegreeAccumulator::rows_only(m.nrows(), m.ncols());
+        assert!(!acc.tracks_cols());
+        acc.record(&edges);
+        assert_eq!(acc.row_histogram(), degree_distribution(&m));
+        assert_eq!(acc.col_counts(), None);
+        assert_eq!(acc.col_histogram(), None);
+        assert_eq!(acc.edge_count(), m.nnz() as u64);
+        assert_eq!(acc.self_loop_count(), 1);
+        assert_eq!((acc.nrows(), acc.ncols()), (m.nrows(), m.ncols()));
+
+        let mut other = DegreeAccumulator::rows_only(m.nrows(), m.ncols());
+        other.record(&edges);
+        other.merge(&acc);
+        assert_eq!(other.edge_count(), 2 * m.nnz() as u64);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rows_only_accumulator_still_bounds_checks_columns() {
+        let mut acc = DegreeAccumulator::rows_only(4, 4);
+        acc.record(&[(0, 9)]);
+    }
+
+    #[test]
+    fn shared_accumulator_matches_materialised_histogram() {
+        let m = star5_with_center_loop();
+        let edges: Vec<(u64, u64)> = m.iter().map(|(r, c, _)| (r, c)).collect();
+        let acc = SharedDegreeAccumulator::rows_only(m.nrows(), m.ncols());
+        // Record through shared references, as concurrent workers would.
+        let shared = &acc;
+        shared.record(&edges[..4]);
+        shared.record(&edges[4..]);
+        assert_eq!(acc.row_histogram(), degree_distribution(&m));
+        assert_eq!(acc.edge_count(), m.nnz() as u64);
+        assert_eq!(acc.self_loop_count(), 1);
+        assert_eq!((acc.nrows(), acc.ncols()), (m.nrows(), m.ncols()));
+    }
+
+    #[test]
+    fn shared_accumulator_sums_across_threads() {
+        let acc = SharedDegreeAccumulator::rows_only(4, 4);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..100 {
+                        acc.record(&[(0, 1), (2, 2)]);
+                    }
+                });
+            }
+        });
+        assert_eq!(acc.edge_count(), 800);
+        assert_eq!(acc.self_loop_count(), 400);
+        let hist = acc.row_histogram();
+        assert_eq!(hist.get(&400), Some(&2));
+        assert_eq!(hist.get(&0), Some(&2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn shared_accumulator_bounds_checks_columns() {
+        let acc = SharedDegreeAccumulator::rows_only(4, 4);
+        acc.record(&[(0, 9)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn merge_rejects_mixed_tracking_modes() {
+        let mut a = DegreeAccumulator::new(3, 3);
+        let b = DegreeAccumulator::rows_only(3, 3);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn accumulator_merge_equals_single_pass() {
+        let m = star5_with_center_loop();
+        let edges: Vec<(u64, u64)> = m.iter().map(|(r, c, _)| (r, c)).collect();
+        let mut whole = DegreeAccumulator::new(6, 6);
+        whole.record(&edges);
+        let mut left = DegreeAccumulator::new(6, 6);
+        let mut right = DegreeAccumulator::new(6, 6);
+        left.record(&edges[..5]);
+        right.record(&edges[5..]);
+        left.merge(&right);
+        assert_eq!(left, whole);
+    }
+
+    #[test]
+    fn accumulator_counts_zero_degree_vertices() {
+        let mut acc = DegreeAccumulator::new(4, 4);
+        acc.record(&[(0, 1), (1, 0)]);
+        let hist = acc.row_histogram();
+        assert_eq!(hist.get(&0), Some(&2));
+        assert_eq!(hist.get(&1), Some(&2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn accumulator_merge_rejects_mismatched_dimensions() {
+        let mut a = DegreeAccumulator::new(3, 3);
+        let b = DegreeAccumulator::new(4, 4);
+        a.merge(&b);
+    }
+
+    #[test]
     fn balance_stats_basics() {
         assert_eq!(balance_stats(&[]), (0, 0, 0.0));
         let (max, min, mean) = balance_stats(&[4, 4, 4, 4]);
@@ -198,6 +571,17 @@ mod proptests {
         #[test]
         fn transpose_swaps_row_col_counts(m in arb_coo()) {
             prop_assert_eq!(row_counts(&m), col_counts(&m.transpose()));
+        }
+
+        #[test]
+        fn accumulator_is_chunking_invariant(m in arb_coo(), chunk in 1usize..7) {
+            let edges: Vec<(u64, u64)> = m.iter().map(|(r, c, _)| (r, c)).collect();
+            let mut acc = DegreeAccumulator::new(m.nrows(), m.ncols());
+            for slice in edges.chunks(chunk) {
+                acc.record(slice);
+            }
+            prop_assert_eq!(acc.row_histogram(), degree_distribution(&m));
+            prop_assert_eq!(acc.edge_count() as usize, m.nnz());
         }
     }
 }

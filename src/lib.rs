@@ -51,7 +51,10 @@ pub use kron_core::{
     Constituent, DegreeDistribution, DesignSearch, DesignTargets, GraphProperties, KroneckerDesign,
     SelfLoop, StarGraph, ValidationReport,
 };
-pub use kron_gen::{DistributedGraph, GenerationStats, GeneratorConfig, ParallelGenerator};
+pub use kron_gen::{
+    DistributedGraph, DriverConfig, GenerationStats, GeneratorConfig, ParallelGenerator,
+    ShardDriver, ShardRun,
+};
 pub use kron_rmat::{RmatGenerator, RmatParams};
 
 #[cfg(test)]

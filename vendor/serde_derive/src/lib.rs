@@ -8,14 +8,16 @@
 
 use proc_macro::TokenStream;
 
-/// Accept `#[derive(Serialize)]` without generating an impl.
-#[proc_macro_derive(Serialize)]
+/// Accept `#[derive(Serialize)]` (and `#[serde(...)]` field/container
+/// attributes) without generating an impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_item: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
-/// Accept `#[derive(Deserialize)]` without generating an impl.
-#[proc_macro_derive(Deserialize)]
+/// Accept `#[derive(Deserialize)]` (and `#[serde(...)]` field/container
+/// attributes) without generating an impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
     TokenStream::new()
 }
