@@ -2,6 +2,10 @@
 //! function of worker count, for both the block-materialising and the
 //! streaming generator.
 
+// The legacy entry points are this benchmark's subject: they are measured
+// against the pipeline on purpose.
+#![allow(deprecated)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use rayon::prelude::*;

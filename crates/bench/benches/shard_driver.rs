@@ -19,6 +19,10 @@
 //! `BENCH_shard_driver.json` at the workspace root, so successive PRs can
 //! track the trajectory.
 
+// The legacy driver and generator entry points are this benchmark's
+// subject: they are measured against each other on purpose.
+#![allow(deprecated)]
+
 use std::time::{Duration, Instant};
 
 use kron_core::{KroneckerDesign, SelfLoop};

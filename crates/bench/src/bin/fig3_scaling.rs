@@ -7,7 +7,7 @@
 //! figure plots — plus the exact properties of the full-scale design, which
 //! this machine can compute but not materialise.
 
-use kron_bench::{design, figure_header, machine_driver, paper};
+use kron_bench::{design, figure_header, machine_pipeline, paper};
 use kron_bignum::grouped;
 use kron_core::SelfLoop;
 use kron_gen::{choose_split, ScalingModel};
@@ -53,11 +53,12 @@ fn main() {
     }
     let mut single_worker_rate = None;
     for &workers in &worker_counts {
-        // The sweep runs on the out-of-core shard driver with counting
-        // sinks: generation plus the streamed degree histogram, with no
-        // materialisation and no `max_total_edges` ceiling.
-        let run = machine_driver(workers)
-            .run_counting(&scaled, paper::MACHINE_SCALE_SPLIT)
+        // The sweep runs the pipeline with counting sinks: generation plus
+        // the streamed degree histogram, with no materialisation and no
+        // total-edge ceiling.
+        let run = machine_pipeline(&scaled, workers)
+            .split_index(paper::MACHINE_SCALE_SPLIT)
+            .count()
             .expect("machine-scale factors fit in memory");
         if workers == 1 {
             single_worker_rate = Some(run.stats.edges_per_second());

@@ -12,13 +12,10 @@
 //! Pass `--smoke` for the CI smoke mode: a small design, still streamed and
 //! still exact, finishing in well under a second.
 
-use kron_bench::{
-    design, figure_header, machine_driver, machine_generator, paper, print_distribution_series,
-};
+use kron_bench::{design, figure_header, machine_pipeline, paper, print_distribution_series};
 use kron_bignum::grouped;
-use kron_core::validate::compare_properties;
+use kron_core::validate::{compare_properties, measure_properties};
 use kron_core::SelfLoop;
-use kron_gen::measure::measured_properties;
 
 fn main() {
     let smoke = std::env::args().any(|arg| arg == "--smoke");
@@ -54,8 +51,9 @@ fn main() {
     };
     let scaled = design(points, SelfLoop::Centre);
     println!("\nstreaming generation with the same structure (m̂ = {points:?}):");
-    let run = machine_driver(workers)
-        .run_counting(&scaled, split)
+    let run = machine_pipeline(&scaled, workers)
+        .split_index(split)
+        .count()
         .expect("machine-scale factors fit in memory");
     println!(
         "  streamed {} edges on {} workers at {:.1} Medges/s (no edge was ever stored)",
@@ -65,18 +63,18 @@ fn main() {
     );
 
     println!("\npredicted vs measured (every streamable field exact):");
-    let report = run.validate();
-    println!("{report}");
-    assert!(report.is_exact_match());
+    println!("{}", run.validation);
+    assert!(run.validation.is_exact_match());
 
     if !smoke {
         // Triangles cannot be measured from a stream; at machine scale the
-        // graph still fits, so materialise it once and validate every field
-        // — the triangle count included.
-        let graph = machine_generator(workers)
-            .generate_with_split(&scaled, split)
+        // graph still fits, so collect it into COO blocks once and validate
+        // every field — the triangle count included.
+        let collected = machine_pipeline(&scaled, workers)
+            .split_index(split)
+            .collect_coo()
             .expect("machine-scale design fits in memory");
-        let measured = measured_properties(&graph, 60_000_000).expect("measurable");
+        let measured = measure_properties(&collected.assemble()).expect("measurable");
         let full_report = compare_properties(&scaled.properties(), &measured);
         println!("\nmaterialised cross-check (triangle count included):");
         println!("{full_report}");

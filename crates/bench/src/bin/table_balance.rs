@@ -2,7 +2,7 @@
 //! the generated graph has none of the structural artefacts (self-loops,
 //! empty vertices, duplicate edges) that random generators produce.
 
-use kron_bench::{design, figure_header, machine_generator, paper};
+use kron_bench::{design, figure_header, machine_pipeline, paper};
 use kron_core::SelfLoop;
 use kron_gen::measure::BalanceReport;
 use kron_sparse::select::{empty_vertices, has_duplicates, self_loop_count};
@@ -24,10 +24,11 @@ fn main() {
         "workers", "min edges", "max edges", "imbalance", "max/mean"
     );
     for workers in [1usize, 2, 4, 8, 16, 32] {
-        let graph = machine_generator(workers)
-            .generate_with_split(&scaled, paper::MACHINE_SCALE_SPLIT)
+        let run = machine_pipeline(&scaled, workers)
+            .split_index(paper::MACHINE_SCALE_SPLIT)
+            .count()
             .expect("machine-scale design fits in memory");
-        let balance = BalanceReport::of(&graph);
+        let balance = BalanceReport::from_stats(&run.stats);
         println!(
             "{:>8} {:>14} {:>14} {:>12} {:>12.4}",
             workers,
@@ -38,10 +39,11 @@ fn main() {
         );
     }
 
-    let graph = machine_generator(8)
-        .generate_with_split(&scaled, paper::MACHINE_SCALE_SPLIT)
+    let collected = machine_pipeline(&scaled, 8)
+        .split_index(paper::MACHINE_SCALE_SPLIT)
+        .collect_coo()
         .expect("machine-scale design fits in memory");
-    let assembled = graph.assemble();
+    let assembled = collected.assemble();
     println!("\nstructural checks on the assembled graph:");
     println!("  self-loops:       {}", self_loop_count(&assembled));
     println!("  duplicate edges:  {}", has_duplicates(&assembled));

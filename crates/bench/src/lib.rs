@@ -11,7 +11,7 @@
 
 use kron_bignum::BigUint;
 use kron_core::{DegreeDistribution, KroneckerDesign, SelfLoop};
-use kron_gen::{DriverConfig, GeneratorConfig, ParallelGenerator, ShardDriver};
+use kron_gen::Pipeline;
 
 /// The star sets used across the paper's evaluation section.
 pub mod paper {
@@ -74,24 +74,14 @@ pub fn truncate_decimal(value: &BigUint) -> String {
     }
 }
 
-/// A standard machine-scale generator used by the generation figures.
-pub fn machine_generator(workers: usize) -> ParallelGenerator {
-    ParallelGenerator::new(GeneratorConfig {
-        workers,
-        max_c_edges: 200_000,
-        max_total_edges: 60_000_000,
-    })
-}
-
-/// A standard machine-scale shard driver used by the streaming figures:
-/// same factor budgets as [`machine_generator`], but no total-edge ceiling
-/// (the driver streams, it never materialises the product).
-pub fn machine_driver(workers: usize) -> ShardDriver {
-    ShardDriver::new(DriverConfig {
-        workers,
-        max_c_edges: 200_000,
-        ..DriverConfig::default()
-    })
+/// A standard machine-scale pipeline used by every generating figure: the
+/// shared factor budgets, ready for a terminal (`.count()`,
+/// `.collect_coo()`, …).
+pub fn machine_pipeline(design: &KroneckerDesign, workers: usize) -> Pipeline<'_> {
+    Pipeline::for_design(design)
+        .workers(workers)
+        .max_c_edges(200_000)
+        .max_b_edges(1 << 26)
 }
 
 /// Build one of the paper's designs.
@@ -139,6 +129,17 @@ mod tests {
         assert_eq!(truncate_decimal(&BigUint::from(42u64)), "42");
         let huge: BigUint = "2705963586782877716483871216764".parse().unwrap();
         assert!(truncate_decimal(&huge).contains('e'));
+    }
+
+    #[test]
+    fn machine_pipeline_counts_and_validates() {
+        let d = design(paper::MACHINE_SCALE, SelfLoop::None);
+        let report = machine_pipeline(&d, 2)
+            .split_index(paper::MACHINE_SCALE_SPLIT)
+            .count()
+            .unwrap();
+        assert_eq!(report.edge_count(), 276_480);
+        assert!(report.is_valid());
     }
 
     #[test]

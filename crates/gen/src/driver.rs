@@ -1,246 +1,43 @@
-//! The out-of-core streaming shard driver.
+//! The legacy out-of-core shard-driver entry point.
 //!
-//! [`ParallelGenerator`](crate::generator::ParallelGenerator) materialises
-//! every [`GraphBlock`](crate::block::GraphBlock) in memory, which caps it at
-//! `max_total_edges`.  The shard driver removes that ceiling: each worker
-//! expands its partition slice of `B_p ⊗ C` straight through
-//! [`try_stream_block_edges_into`] into a pluggable per-worker [`EdgeSink`]
-//! — a TSV shard, a binary shard, a pure edge counter, or an in-memory COO
-//! block for tests — so the only memory a run needs is the two factors, one
-//! [`EdgeChunk`] per worker, and one shared streaming degree accumulator.
-//! The
-//! single self-loop of the triangle-control construction is removed
-//! *in-stream* by the one worker whose `B` slice produces it; no
-//! post-generation pass over the shards is ever required.
+//! [`ShardDriver`] predates the unified [`Pipeline`](crate::pipeline); its
+//! `run_*` conveniences survive as deprecated thin wrappers so existing
+//! callers keep working, but every run executes on the pipeline engine and
+//! therefore also emits a [`RunManifest`](crate::manifest::RunManifest) for
+//! file-writing sinks.  New code should build a
+//! [`Pipeline`] directly:
 //!
-//! Alongside its sink, every worker feeds a streaming degree histogram with
-//! the same chunks: private per-worker count vectors folded as each worker
-//! finishes while `workers × vertices × 8` bytes fit
-//! [`DriverConfig::max_histogram_bytes`], or one run-wide
-//! [`SharedDegreeAccumulator`] (`O(vertices)` total, relaxed atomic
-//! increments) beyond it.  The merged histogram yields the measured degree
-//! distribution, edge count, and self-loop count of the generated graph,
-//! from which [`ShardRun::validate`] reproduces the paper's
-//! measured-equals-predicted check (Figure 4) without ever assembling the
-//! graph — the full out-of-core design → generate → validate loop.
+//! | legacy | pipeline |
+//! |---|---|
+//! | `ShardDriver::run_counting(d, s)` | `Pipeline::for_design(d).split_index(s).count()` |
+//! | `ShardDriver::run_coo(d, s)` | `Pipeline::for_design(d).split_index(s).collect_coo()` |
+//! | `ShardDriver::run_tsv(d, s, dir)` | `Pipeline::for_design(d).split_index(s).write_tsv(dir)` |
+//! | `ShardDriver::run_binary(d, s, dir)` | `Pipeline::for_design(d).split_index(s).write_binary(dir)` |
+//! | `ShardDriver::run(d, s, factory)` | `Pipeline::for_design(d).split_index(s).into_sinks(factory)` |
+//!
+//! The sink types themselves moved to the public [`crate::sink`] module and
+//! are re-exported here for path compatibility.
 
-use std::io::{BufWriter, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
-use std::time::Instant;
 
-use rayon::prelude::*;
-
-use kron_core::validate::{measure_from_histogram, validate_streamed, ValidationReport};
+use kron_core::validate::{validate_streamed, ValidationReport};
 use kron_core::{CoreError, GraphProperties, KroneckerDesign};
-use kron_sparse::reduce::SharedDegreeAccumulator;
-use kron_sparse::{CooMatrix, DegreeAccumulator, SparseError};
+use kron_sparse::{CooMatrix, SparseError};
 
 use crate::chunk::EdgeChunk;
-use crate::generator::self_loop_vertex_index;
-use crate::partition::{csc_ordered_triples, Partition};
+use crate::pipeline::{Pipeline, RunReport};
 use crate::split::SplitPlan;
 use crate::stats::GenerationStats;
-use crate::stream::try_stream_block_edges_into;
-use crate::writer::{
-    prepare_directory, BlockFileSet, BlockFormat, BLOCK_HEADER_LEN, BLOCK_MAGIC,
-    BLOCK_VERSION_PAIRS,
-};
+use crate::writer::BlockFileSet;
 
-/// A per-worker consumer of generated edge chunks.
-///
-/// A sink receives every chunk its worker produces (already filtered of the
-/// removable self-loop) and is finalised exactly once at the end of the
-/// worker's stream.  Sinks that buffer nothing — writers, counters — keep
-/// the whole run in bounded memory no matter how many edges pass through.
-pub trait EdgeSink {
-    /// What the sink leaves behind when the stream ends (a path, a count, a
-    /// matrix, …).
-    type Output;
+pub use crate::sink::{BinaryShardSink, CooSink, CountingSink, EdgeSink, TsvShardSink};
 
-    /// Consume one chunk of `(row, col)` edges with global indices.
-    fn consume(&mut self, edges: &[(u64, u64)]) -> Result<(), SparseError>;
-
-    /// Finalise the sink (flush buffers, patch headers) and return its
-    /// output.
-    fn finish(self) -> Result<Self::Output, SparseError>;
-}
-
-/// An [`EdgeSink`] that only counts — the sink behind throughput
-/// measurements and histogram-only validation runs.
-#[derive(Debug, Default, Clone)]
-pub struct CountingSink {
-    edges: u64,
-}
-
-impl CountingSink {
-    /// Create a fresh counter.
-    pub fn new() -> Self {
-        CountingSink::default()
-    }
-}
-
-impl EdgeSink for CountingSink {
-    type Output = u64;
-
-    fn consume(&mut self, edges: &[(u64, u64)]) -> Result<(), SparseError> {
-        self.edges += edges.len() as u64;
-        Ok(())
-    }
-
-    fn finish(self) -> Result<u64, SparseError> {
-        Ok(self.edges)
-    }
-}
-
-/// An [`EdgeSink`] that materialises its worker's block as a COO matrix —
-/// for tests and small graphs, where it makes the driver directly comparable
-/// with [`crate::generator::ParallelGenerator`].
-#[derive(Debug, Clone)]
-pub struct CooSink {
-    block: CooMatrix<u64>,
-    rows: Vec<u64>,
-    cols: Vec<u64>,
-    ones: Vec<u64>,
-}
-
-impl CooSink {
-    /// Create a sink collecting into a `vertices × vertices` pattern matrix.
-    pub fn new(vertices: u64) -> Self {
-        CooSink {
-            block: CooMatrix::new(vertices, vertices),
-            rows: Vec::new(),
-            cols: Vec::new(),
-            ones: Vec::new(),
-        }
-    }
-}
-
-impl EdgeSink for CooSink {
-    type Output = CooMatrix<u64>;
-
-    fn consume(&mut self, edges: &[(u64, u64)]) -> Result<(), SparseError> {
-        // De-interleave into reusable scratch buffers and append in bulk —
-        // one capacity check per chunk instead of one per edge.
-        self.rows.clear();
-        self.cols.clear();
-        self.rows.extend(edges.iter().map(|&(row, _)| row));
-        self.cols.extend(edges.iter().map(|&(_, col)| col));
-        if self.ones.len() < edges.len() {
-            self.ones.resize(edges.len(), 1);
-        }
-        self.block
-            .extend_from_triples(&self.rows, &self.cols, &self.ones[..edges.len()])
-    }
-
-    fn finish(self) -> Result<CooMatrix<u64>, SparseError> {
-        Ok(self.block)
-    }
-}
-
-/// An [`EdgeSink`] writing `row<TAB>col<TAB>1` triples through a buffered
-/// writer — one TSV shard per worker.
-///
-/// Unlike [`crate::writer::stream_blocks_tsv`], which emits the *raw*
-/// product (triangle-control self-loops included), shards written through
-/// the driver contain the designed final graph: the removable self-loop is
-/// filtered in-stream before the sink sees it.
-pub struct TsvShardSink {
-    writer: BufWriter<std::fs::File>,
-    path: PathBuf,
-}
-
-impl TsvShardSink {
-    /// Create the shard file at `path`.
-    pub fn create(path: &Path) -> Result<Self, SparseError> {
-        let file = std::fs::File::create(path)?;
-        Ok(TsvShardSink {
-            writer: BufWriter::with_capacity(1 << 18, file),
-            path: path.to_path_buf(),
-        })
-    }
-}
-
-impl EdgeSink for TsvShardSink {
-    type Output = PathBuf;
-
-    fn consume(&mut self, edges: &[(u64, u64)]) -> Result<(), SparseError> {
-        crate::writer::write_tsv_edges(&mut self.writer, edges)?;
-        Ok(())
-    }
-
-    fn finish(mut self) -> Result<PathBuf, SparseError> {
-        self.writer.flush()?;
-        Ok(self.path)
-    }
-}
-
-/// An [`EdgeSink`] writing the interleaved binary shard layout
-/// ([`BLOCK_VERSION_PAIRS`]): the shared block header with a zero entry
-/// count, then `(row, col)` pairs appended as they stream; `finish` seeks
-/// back and patches the true count into the header.  16 bytes per edge, no
-/// buffering beyond the write buffer.
-pub struct BinaryShardSink {
-    writer: BufWriter<std::fs::File>,
-    path: PathBuf,
-    written: u64,
-    scratch: Vec<u8>,
-}
-
-impl BinaryShardSink {
-    /// Create the shard file at `path` for a `nrows × ncols` graph.
-    pub fn create(path: &Path, nrows: u64, ncols: u64) -> Result<Self, SparseError> {
-        let file = std::fs::File::create(path)?;
-        let mut writer = BufWriter::with_capacity(1 << 18, file);
-        writer.write_all(&BLOCK_MAGIC)?;
-        writer.write_all(&BLOCK_VERSION_PAIRS.to_le_bytes())?;
-        writer.write_all(&nrows.to_le_bytes())?;
-        writer.write_all(&ncols.to_le_bytes())?;
-        writer.write_all(&0u64.to_le_bytes())?; // patched by finish()
-        Ok(BinaryShardSink {
-            writer,
-            path: path.to_path_buf(),
-            written: 0,
-            scratch: Vec::new(),
-        })
-    }
-}
-
-impl EdgeSink for BinaryShardSink {
-    type Output = PathBuf;
-
-    fn consume(&mut self, edges: &[(u64, u64)]) -> Result<(), SparseError> {
-        // Serialise the whole chunk into a reusable buffer and issue one
-        // write per chunk, not two per edge.
-        self.scratch.clear();
-        self.scratch.reserve(16 * edges.len());
-        for &(row, col) in edges {
-            self.scratch.extend_from_slice(&row.to_le_bytes());
-            self.scratch.extend_from_slice(&col.to_le_bytes());
-        }
-        self.writer.write_all(&self.scratch)?;
-        self.written += edges.len() as u64;
-        Ok(())
-    }
-
-    fn finish(mut self) -> Result<PathBuf, SparseError> {
-        self.writer.flush()?;
-        let mut file = self
-            .writer
-            .into_inner()
-            .map_err(|e| SparseError::Io(e.to_string()))?;
-        file.seek(SeekFrom::Start(BLOCK_HEADER_LEN - 8))?;
-        file.write_all(&self.written.to_le_bytes())?;
-        file.sync_data()?;
-        Ok(self.path)
-    }
-}
-
-/// Configuration of a shard-driver run.
+/// Configuration of a shard-driver run (and the defaults of a
+/// [`Pipeline`]).
 ///
 /// Unlike [`crate::generator::GeneratorConfig`] there is no
-/// `max_total_edges`: the driver never materialises the product, so only the
-/// *factors* carry memory budgets.
+/// `max_total_edges`: the streaming engine never materialises the product,
+/// so only the *factors* carry memory budgets.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DriverConfig {
     /// Number of workers (rayon tasks; the paper's "processors").
@@ -262,14 +59,25 @@ pub struct DriverConfig {
     pub max_histogram_bytes: u64,
 }
 
+impl DriverConfig {
+    /// Default worker count.
+    pub const DEFAULT_WORKERS: usize = 4;
+    /// Default memory budget for the replicated `C` factor, in entries.
+    pub const DEFAULT_MAX_C_EDGES: u64 = 1 << 20;
+    /// Default memory budget for the partitioned `B` factor, in entries.
+    pub const DEFAULT_MAX_B_EDGES: u64 = 1 << 24;
+    /// Default streaming-histogram budget, in bytes (1 GiB).
+    pub const DEFAULT_MAX_HISTOGRAM_BYTES: u64 = 1 << 30;
+}
+
 impl Default for DriverConfig {
     fn default() -> Self {
         DriverConfig {
-            workers: 4,
-            max_c_edges: 1 << 20,
-            max_b_edges: 1 << 24,
+            workers: DriverConfig::DEFAULT_WORKERS,
+            max_c_edges: DriverConfig::DEFAULT_MAX_C_EDGES,
+            max_b_edges: DriverConfig::DEFAULT_MAX_B_EDGES,
             chunk_capacity: EdgeChunk::DEFAULT_CAPACITY,
-            max_histogram_bytes: 1 << 30,
+            max_histogram_bytes: DriverConfig::DEFAULT_MAX_HISTOGRAM_BYTES,
         }
     }
 }
@@ -293,6 +101,17 @@ pub struct ShardRun<O> {
 }
 
 impl<O> ShardRun<O> {
+    fn from_report(report: RunReport<O>) -> Self {
+        ShardRun {
+            outputs: report.outputs,
+            vertices: report.vertices,
+            split: report.split,
+            predicted: report.predicted,
+            measured: report.measured,
+            stats: report.stats,
+        }
+    }
+
     /// Total number of edges delivered to the sinks.
     pub fn edge_count(&self) -> u64 {
         self.stats.total_edges
@@ -305,46 +124,11 @@ impl<O> ShardRun<O> {
     }
 }
 
-/// The streaming shard driver.
+/// The legacy streaming shard driver — a thin wrapper over
+/// [`Pipeline`].
 #[derive(Debug, Clone, Default)]
 pub struct ShardDriver {
     config: DriverConfig,
-}
-
-/// Everything one worker hands back when its stream ends.
-struct WorkerResult<O> {
-    output: O,
-    delivered: u64,
-}
-
-/// One worker's view of the run's degree histogram: a private local vector
-/// (fast, `O(vertices)` per concurrent worker) or the run-wide shared
-/// atomic vector (`O(vertices)` total) — see
-/// [`DriverConfig::max_histogram_bytes`].
-enum WorkerHistogram<'a> {
-    Local(DegreeAccumulator),
-    Shared(&'a SharedDegreeAccumulator),
-}
-
-impl WorkerHistogram<'_> {
-    fn record(&mut self, edges: &[(u64, u64)]) {
-        match self {
-            WorkerHistogram::Local(local) => local.record(edges),
-            WorkerHistogram::Shared(shared) => shared.record(edges),
-        }
-    }
-}
-
-/// The design's vertex count as a `u64`, or [`CoreError::TooLargeToRealise`]
-/// when the graph cannot be indexed on this machine at all.
-fn realisable_vertices(design: &KroneckerDesign) -> Result<u64, CoreError> {
-    design
-        .vertices()
-        .to_u64()
-        .ok_or_else(|| CoreError::TooLargeToRealise {
-            vertices: design.vertices().to_string(),
-            edges: design.nnz_with_loops().to_string(),
-        })
 }
 
 impl ShardDriver {
@@ -358,14 +142,20 @@ impl ShardDriver {
         &self.config
     }
 
+    /// The equivalent pipeline for `design` with this driver's knobs and an
+    /// explicit split index.
+    fn pipeline<'d>(&self, design: &'d KroneckerDesign, split_index: usize) -> Pipeline<'d> {
+        Pipeline::from_config(design, &self.config).split_index(split_index)
+    }
+
     /// Run the driver: expand `B_p ⊗ C` on every worker, stream the chunks
     /// into the sink `make_sink` creates for that worker, and accumulate the
     /// streaming degree histogram.  `split_index` selects the `B ⊗ C` split
     /// (see [`KroneckerDesign::split`]).
-    ///
-    /// The removable self-loop of a triangle-control design is dropped
-    /// in-stream by the worker that owns the `B` diagonal triple, so the
-    /// sinks receive exactly the designed final graph.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use kron_gen::Pipeline::for_design(..).split_index(..).into_sinks(..)"
+    )]
     pub fn run<S, F>(
         &self,
         design: &KroneckerDesign,
@@ -377,219 +167,82 @@ impl ShardDriver {
         S::Output: Send,
         F: Fn(usize) -> Result<S, SparseError> + Sync,
     {
-        if self.config.workers == 0 {
-            return Err(CoreError::InvalidConfig {
-                message: "shard driver needs at least one worker".into(),
-            });
-        }
-        let vertices = realisable_vertices(design)?;
-
-        let (b_design, c_design) = design.split(split_index)?;
-        // Both factors keep their self-loops: the raw product is exactly the
-        // designed product, and the one surviving loop is filtered below.
-        let b = b_design.realize_raw(self.config.max_b_edges)?;
-        let c = c_design.realize_raw(self.config.max_c_edges)?;
-        let triples = csc_ordered_triples(&b);
-        let partition = Partition::even(triples.len(), self.config.workers);
-        let split_plan = SplitPlan {
-            split_index,
-            b_nnz: b_design.nnz_with_loops(),
-            c_nnz: c_design.nnz_with_loops(),
-            c_vertices: c_design.vertices(),
-        };
-
-        // The product self-loop lands in the worker whose B slice holds the
-        // diagonal triple (v_B, v_B); that worker filters the single global
-        // edge (v, v) out of its stream.
-        let loop_filter: Option<(usize, u64)> = if design.has_removable_self_loop() {
-            let b_loop = self_loop_vertex_index(&b_design);
-            let position = triples
-                .iter()
-                .position(|&(r, c, _)| r == b_loop && c == b_loop)
-                .expect("a triangle-control B factor has exactly one diagonal triple");
-            let owner = (0..self.config.workers)
-                .find(|&w| partition.range(w).contains(&position))
-                .expect("every triple index belongs to one worker");
-            Some((owner, self_loop_vertex_index(design)))
-        } else {
-            None
-        };
-
-        let started = Instant::now();
-        // Local accumulators are folded and dropped as each worker finishes,
-        // so at most one per pool thread is live at once (plus the merged
-        // one) — size the budget check on that peak, not the worker count.
-        let concurrent = self.config.workers.min(rayon::current_num_threads()) + 1;
-        let local_histogram_bytes = (concurrent as u128) * (vertices as u128) * 8;
-        let shared = if local_histogram_bytes > u128::from(self.config.max_histogram_bytes) {
-            Some(SharedDegreeAccumulator::rows_only(vertices, vertices))
-        } else {
-            None
-        };
-        let merged_local: Mutex<Option<DegreeAccumulator>> = Mutex::new(None);
-        let worker_results: Vec<Result<WorkerResult<S::Output>, CoreError>> =
-            (0..self.config.workers)
-                .into_par_iter()
-                .map(|worker| {
-                    let slice = &triples[partition.range(worker)];
-                    let mut sink = make_sink(worker).map_err(CoreError::Sparse)?;
-                    let mut accumulator = match shared.as_ref() {
-                        Some(shared) => WorkerHistogram::Shared(shared),
-                        None => {
-                            WorkerHistogram::Local(DegreeAccumulator::rows_only(vertices, vertices))
-                        }
-                    };
-                    let mut chunk = EdgeChunk::new(self.config.chunk_capacity);
-                    let filter =
-                        loop_filter.and_then(|(owner, vertex)| (owner == worker).then_some(vertex));
-                    let mut removed = false;
-                    let produced = try_stream_block_edges_into(slice, &c, &mut chunk, |edges| {
-                        if let Some(vertex) = filter {
-                            if !removed {
-                                if let Some(at) =
-                                    edges.iter().position(|&(r, c)| r == vertex && c == vertex)
-                                {
-                                    removed = true;
-                                    accumulator.record(&edges[..at]);
-                                    sink.consume(&edges[..at])?;
-                                    accumulator.record(&edges[at + 1..]);
-                                    return sink.consume(&edges[at + 1..]);
-                                }
-                            }
-                        }
-                        accumulator.record(edges);
-                        sink.consume(edges)
-                    })
-                    .map_err(CoreError::Sparse)?;
-                    if filter.is_some() {
-                        debug_assert!(removed, "the owning worker must see the product loop");
-                    }
-                    let output = sink.finish().map_err(CoreError::Sparse)?;
-                    // A local histogram is folded into the run-wide one the
-                    // moment its worker finishes and is dropped here, so the
-                    // peak is bounded by the workers running concurrently.
-                    if let WorkerHistogram::Local(local) = accumulator {
-                        let mut guard = merged_local.lock().expect("histogram mutex poisoned");
-                        match guard.as_mut() {
-                            Some(acc) => acc.merge(&local),
-                            None => *guard = Some(local),
-                        }
-                    }
-                    Ok(WorkerResult {
-                        output,
-                        delivered: produced - u64::from(removed),
-                    })
-                })
-                .collect();
-        let elapsed = started.elapsed();
-
-        let mut outputs = Vec::with_capacity(self.config.workers);
-        let mut delivered = Vec::with_capacity(self.config.workers);
-        for result in worker_results {
-            let result = result?;
-            outputs.push(result.output);
-            delivered.push(result.delivered);
-        }
-        let (histogram, self_loops, recorded) = match shared {
-            Some(shared) => (
-                shared.row_histogram(),
-                shared.self_loop_count(),
-                shared.edge_count(),
-            ),
-            None => {
-                let merged = merged_local
-                    .into_inner()
-                    .expect("histogram mutex poisoned")
-                    .expect("at least one worker ran");
-                (
-                    merged.row_histogram(),
-                    merged.self_loop_count(),
-                    merged.edge_count(),
-                )
-            }
-        };
-        let measured = measure_from_histogram(vertices, &histogram, self_loops);
-        let stats = GenerationStats::new(delivered, elapsed);
-        debug_assert_eq!(stats.total_edges, recorded);
-
-        Ok(ShardRun {
-            outputs,
-            vertices,
-            split: split_plan,
-            predicted: design.properties(),
-            measured,
-            stats,
-        })
+        self.pipeline(design, split_index)
+            .into_sinks(make_sink)
+            .map(ShardRun::from_report)
     }
 
     /// Run with a [`CountingSink`] per worker: generation and streamed
-    /// validation with no output at all — the cheapest way to reproduce
-    /// measured-equals-predicted at scales far beyond memory for edges.
+    /// validation with no output at all.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use kron_gen::Pipeline::for_design(..).split_index(..).count()"
+    )]
     pub fn run_counting(
         &self,
         design: &KroneckerDesign,
         split_index: usize,
     ) -> Result<ShardRun<u64>, CoreError> {
-        self.run::<CountingSink, _>(design, split_index, |_| Ok(CountingSink::new()))
+        self.pipeline(design, split_index)
+            .count()
+            .map(ShardRun::from_report)
     }
 
     /// Run with an in-memory [`CooSink`] per worker (tests and small
     /// graphs).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use kron_gen::Pipeline::for_design(..).split_index(..).collect_coo()"
+    )]
     pub fn run_coo(
         &self,
         design: &KroneckerDesign,
         split_index: usize,
     ) -> Result<ShardRun<CooMatrix<u64>>, CoreError> {
-        let vertices = realisable_vertices(design)?;
-        self.run::<CooSink, _>(design, split_index, |_| Ok(CooSink::new(vertices)))
+        self.pipeline(design, split_index)
+            .collect_coo()
+            .map(ShardRun::from_report)
     }
 
     /// Run with one TSV shard per worker under `directory`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use kron_gen::Pipeline::for_design(..).split_index(..).write_tsv(dir)"
+    )]
     pub fn run_tsv(
         &self,
         design: &KroneckerDesign,
         split_index: usize,
         directory: &Path,
     ) -> Result<(ShardRun<PathBuf>, BlockFileSet), CoreError> {
-        let files = prepare_directory(directory, self.config.workers, "tsv")?;
-        let run = self.run::<TsvShardSink, _>(design, split_index, |worker| {
-            TsvShardSink::create(&files[worker])
-        })?;
-        let set = BlockFileSet {
-            directory: directory.to_path_buf(),
-            files,
-            vertices: run.vertices,
-            format: BlockFormat::Tsv,
-        };
-        Ok((run, set))
+        let report = self.pipeline(design, split_index).write_tsv(directory)?;
+        let files = report.files.clone().expect("file terminal produces files");
+        Ok((ShardRun::from_report(report), files))
     }
 
     /// Run with one interleaved binary shard per worker under `directory`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use kron_gen::Pipeline::for_design(..).split_index(..).write_binary(dir)"
+    )]
     pub fn run_binary(
         &self,
         design: &KroneckerDesign,
         split_index: usize,
         directory: &Path,
     ) -> Result<(ShardRun<PathBuf>, BlockFileSet), CoreError> {
-        let vertices = realisable_vertices(design)?;
-        let files = prepare_directory(directory, self.config.workers, "kbk")?;
-        let run = self.run::<BinaryShardSink, _>(design, split_index, |worker| {
-            BinaryShardSink::create(&files[worker], vertices, vertices)
-        })?;
-        let set = BlockFileSet {
-            directory: directory.to_path_buf(),
-            files,
-            vertices: run.vertices,
-            format: BlockFormat::Binary,
-        };
-        Ok((run, set))
+        let report = self.pipeline(design, split_index).write_binary(directory)?;
+        let files = report.files.clone().expect("file terminal produces files");
+        Ok((ShardRun::from_report(report), files))
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // these tests pin the legacy wrappers to the pipeline
 mod tests {
     use super::*;
     use crate::generator::{GeneratorConfig, ParallelGenerator};
+    use crate::writer::{BlockFormat, BLOCK_HEADER_LEN};
     use kron_bignum::BigUint;
     use kron_core::SelfLoop;
 
@@ -707,6 +360,7 @@ mod tests {
         let dir = temp_dir("binary_shards");
         let (run, files) = driver(3).run_binary(&design, 1, &dir).unwrap();
         assert!(run.validate().is_exact_match());
+        assert_eq!(files.format, BlockFormat::Binary);
 
         let mut from_disk = files.read_assembled().unwrap();
         let mut expected = design.realize(1_000_000).unwrap();

@@ -1,14 +1,14 @@
-//! The communication-free parallel generator.
+//! The legacy materialising parallel generator.
 //!
-//! [`ParallelGenerator`] turns a [`KroneckerDesign`] into a
-//! [`DistributedGraph`]: one [`GraphBlock`] per worker, generated entirely
-//! independently on the rayon thread pool, with the single self-loop of the
-//! triangle-control construction removed afterwards.  The union of the
-//! blocks is exactly the designed graph.
+//! [`ParallelGenerator`] predates the unified
+//! [`Pipeline`]; its `generate*` methods survive
+//! as deprecated thin wrappers that run the pipeline with in-memory
+//! [`CooSink`](crate::sink::CooSink)s and re-shape the per-worker blocks
+//! into a [`DistributedGraph`].  New code should call
+//! `Pipeline::for_design(design).collect_coo()` — same blocks, plus the
+//! streamed validation report and run manifest, and no
+//! [`GeneratorConfig::max_total_edges`] ceiling.
 
-use std::time::Instant;
-
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use kron_bignum::BigUint;
@@ -17,7 +17,8 @@ use kron_sparse::CooMatrix;
 
 use crate::block::GraphBlock;
 use crate::partition::{csc_ordered_triples, Partition};
-use crate::split::{choose_split, SplitPlan};
+use crate::pipeline::Pipeline;
+use crate::split::{choose_split_with_fallback, SplitPlan};
 use crate::stats::GenerationStats;
 
 /// Configuration of a parallel generation run.
@@ -28,9 +29,15 @@ pub struct GeneratorConfig {
     /// Memory budget for the replicated `C` factor, in stored entries.
     pub max_c_edges: u64,
     /// Safety cap on the total number of edges that may be materialised.
+    #[deprecated(
+        since = "0.1.0",
+        note = "the Pipeline streams into sinks and has no total-edge ceiling; \
+                this cap only guards the materialising legacy path"
+    )]
     pub max_total_edges: u64,
 }
 
+#[allow(deprecated)] // the legacy ceiling keeps its default until removal
 impl Default for GeneratorConfig {
     fn default() -> Self {
         GeneratorConfig {
@@ -78,7 +85,8 @@ impl DistributedGraph {
     }
 }
 
-/// The parallel Kronecker graph generator.
+/// The legacy parallel Kronecker graph generator — a thin wrapper over
+/// [`Pipeline`].
 #[derive(Debug, Clone, Default)]
 pub struct ParallelGenerator {
     config: GeneratorConfig,
@@ -98,35 +106,42 @@ impl ParallelGenerator {
     /// Generate the designed graph as a set of per-worker blocks.
     ///
     /// The split into `B ⊗ C` is chosen automatically (see
-    /// [`choose_split`]); use [`ParallelGenerator::generate_with_split`] to
+    /// [`choose_split_with_fallback`]); use
+    /// [`ParallelGenerator::generate_with_split`] to
     /// control it explicitly.  When no split can give every worker at least
     /// one `B` triple, generation falls back to the best split for a single
     /// worker and records the lost `nnz(B) ≥ workers` balance guarantee in
     /// [`GenerationStats::warnings`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use kron_gen::Pipeline::for_design(..).collect_coo()"
+    )]
+    #[allow(deprecated)] // delegates to its deprecated sibling
     pub fn generate(&self, design: &KroneckerDesign) -> Result<DistributedGraph, CoreError> {
-        match choose_split(design, self.config.max_c_edges, self.config.workers as u64) {
-            Ok(plan) => self.generate_with_split(design, plan.split_index),
-            Err(_) => {
-                let plan = choose_split(design, self.config.max_c_edges, 1)?;
-                let mut graph = self.generate_with_split(design, plan.split_index)?;
-                graph.stats.warn(format!(
-                    "no split gives {} workers one B triple each; fell back to \
-                     split index {} with nnz(B) = {}, so {} worker(s) are idle \
-                     and the per-worker balance guarantee does not hold",
-                    self.config.workers,
-                    plan.split_index,
-                    plan.b_nnz,
-                    self.config
-                        .workers
-                        .saturating_sub(plan.b_nnz.to_u64().unwrap_or(u64::MAX) as usize),
-                ));
-                Ok(graph)
-            }
+        let (plan, warning) =
+            choose_split_with_fallback(design, self.config.max_c_edges, self.config.workers)?;
+        let mut graph = self.generate_with_split(design, plan.split_index)?;
+        if let Some(warning) = warning {
+            graph.stats.warn(warning);
         }
+        Ok(graph)
     }
 
     /// Generate using an explicit split index (`B` = first `split_index`
     /// constituents, `C` = the rest).
+    ///
+    /// The edge *set* of every block is unchanged from the pre-pipeline
+    /// implementation, but for a triangle-control design the stored *order*
+    /// within the block that carried the removable self-loop differs: the
+    /// loop is now filtered in-stream (later edges shift up one place)
+    /// instead of swap-removed after generation (last edge moved into the
+    /// hole).  Byte-level comparisons against artifacts written by older
+    /// releases should sort first.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use kron_gen::Pipeline::for_design(..).split_index(..).collect_coo()"
+    )]
+    #[allow(deprecated)] // reads the deprecated legacy ceiling on purpose
     pub fn generate_with_split(
         &self,
         design: &KroneckerDesign,
@@ -137,72 +152,55 @@ impl ParallelGenerator {
                 message: "generator needs at least one worker".into(),
             });
         }
+        // The one legacy behaviour the pipeline dropped: a ceiling on the
+        // total number of edges, kept here because this wrapper's contract
+        // is "everything ends up in memory".
+        let ceiling = self.config.max_total_edges;
         let total_edges = design.nnz_with_loops();
-        if total_edges > BigUint::from(self.config.max_total_edges) {
+        if total_edges > BigUint::from(ceiling) {
             return Err(CoreError::TooLargeToRealise {
                 vertices: design.vertices().to_string(),
                 edges: total_edges.to_string(),
             });
         }
-        let vertices = design
-            .vertices()
-            .to_u64()
-            .ok_or_else(|| CoreError::TooLargeToRealise {
-                vertices: design.vertices().to_string(),
-                edges: total_edges.to_string(),
-            })?;
 
-        let (b_design, c_design) = design.split(split_index)?;
-        // Both factors must keep their self-loops so that the product of the
-        // blocks is exactly the designed raw product; the single surviving
-        // product self-loop is removed after generation.
-        let b = b_design.realize_raw(self.config.max_total_edges)?;
-        let c = c_design.realize_raw(self.config.max_total_edges)?;
+        // The legacy generator budgeted both factors with the total-edge
+        // cap, so the wrapper does too.
+        let report = Pipeline::for_design(design)
+            .workers(self.config.workers)
+            .split_index(split_index)
+            .max_b_edges(ceiling)
+            .max_c_edges(ceiling)
+            .collect_coo()?;
 
+        // Re-derive the per-worker partition metadata the pipeline's COO
+        // outputs do not carry (the factor realisation is cheap next to the
+        // product expansion, and bit-deterministic).
+        let (b_design, _) = design.split(split_index)?;
+        let b = b_design.realize_raw(ceiling)?;
         let triples = csc_ordered_triples(&b);
         let partition = Partition::even(triples.len(), self.config.workers);
-        let split_plan = SplitPlan {
-            split_index,
-            b_nnz: b_design.nnz_with_loops(),
-            c_nnz: c_design.nnz_with_loops(),
-            c_vertices: c_design.vertices(),
-        };
-
-        let started = Instant::now();
-        let mut blocks: Vec<GraphBlock> = (0..self.config.workers)
-            .into_par_iter()
-            .map(|worker| {
-                GraphBlock::generate(
+        let blocks = report
+            .outputs
+            .into_iter()
+            .enumerate()
+            .map(|(worker, edges)| {
+                let slice = &triples[partition.range(worker)];
+                GraphBlock {
                     worker,
-                    &triples[partition.range(worker)],
-                    &c,
-                    vertices,
-                    vertices,
-                )
+                    edges,
+                    b_col_offset: slice.iter().map(|&(_, c, _)| c).min(),
+                    b_triples: slice.len(),
+                }
             })
             .collect();
-        let elapsed = started.elapsed();
 
-        // Remove the single surviving self-loop of the triangle-control
-        // construction from whichever block contains it.
-        if design.has_removable_self_loop() {
-            let loop_vertex = self_loop_vertex_index(design);
-            let removed = blocks
-                .iter_mut()
-                .any(|block| block.remove_entry(loop_vertex, loop_vertex));
-            debug_assert!(removed, "the product must contain exactly one self-loop");
-        }
-
-        let stats = GenerationStats::new(
-            blocks.iter().map(|b| b.edge_count() as u64).collect(),
-            elapsed,
-        );
         Ok(DistributedGraph {
             blocks,
-            vertices,
-            split: split_plan,
-            predicted: design.properties(),
-            stats,
+            vertices: report.vertices,
+            split: report.split,
+            predicted: report.predicted,
+            stats: report.stats,
         })
     }
 }
@@ -225,6 +223,7 @@ pub(crate) fn self_loop_vertex_index(design: &KroneckerDesign) -> u64 {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // these tests pin the legacy wrapper to the pipeline
 mod tests {
     use super::*;
     use kron_core::{validate::measure_properties, SelfLoop};
@@ -288,6 +287,25 @@ mod tests {
         assert_eq!(graph.split.c_nnz, BigUint::from(18u64));
         let assembled = graph.assemble();
         assert_eq!(BigUint::from(assembled.nnz() as u64), design.edges());
+    }
+
+    #[test]
+    fn block_metadata_matches_the_partition() {
+        let design = KroneckerDesign::from_star_points(&[3, 4, 5], SelfLoop::Centre).unwrap();
+        let graph = generator(3).generate_with_split(&design, 1).unwrap();
+        let total_triples: usize = graph.blocks.iter().map(|b| b.b_triples).sum();
+        assert_eq!(
+            total_triples,
+            graph.split.b_nnz.to_u64().unwrap() as usize,
+            "per-worker B-triple counts must partition nnz(B)"
+        );
+        for block in &graph.blocks {
+            assert_eq!(
+                block.b_col_offset.is_some(),
+                block.b_triples > 0,
+                "offset present iff the worker received triples"
+            );
+        }
     }
 
     #[test]

@@ -21,11 +21,19 @@
 //!    across blocks without ever assembling the full graph
 //!    ([`measure`]), reproducing the paper's "measured = predicted"
 //!    validation at whatever scale fits the machine.
-//! 6. For graphs whose *edges* do not fit in memory at all, the
-//!    out-of-core [`driver`] streams each worker's expansion straight into
-//!    a pluggable [`driver::EdgeSink`] (TSV shard, binary shard, counter)
-//!    while accumulating the degree histogram in `O(vertices)` memory, so
-//!    generation *and* validation both run as bounded-memory streams.
+//! 6. The whole line — design, split, partition, chunked expand, sink,
+//!    streamed validation — is one API: the [`pipeline::Pipeline`] builder.
+//!    Each worker streams its expansion straight into a pluggable
+//!    [`sink::EdgeSink`] (TSV shard, binary shard, counter, COO block, or
+//!    any custom impl — [`sink`] also provides tee/filter-map combinators
+//!    and a degree-only validator) while accumulating the degree histogram
+//!    in `O(vertices)` memory, so generation *and* validation both run as
+//!    bounded-memory streams at scales whose edges never fit in memory.
+//!    Every run yields a [`manifest::RunManifest`] reproducibility record,
+//!    written as `manifest.json` next to file output.  The earlier entry
+//!    points — the materialising [`generator::ParallelGenerator`] and the
+//!    out-of-core [`driver::ShardDriver`] — survive as deprecated thin
+//!    wrappers over the pipeline.
 //!
 //! On a shared-memory machine the "processors" are rayon tasks; the
 //! per-worker work and the communication structure (none) are identical to
@@ -39,9 +47,12 @@ pub mod block;
 pub mod chunk;
 pub mod driver;
 pub mod generator;
+pub mod manifest;
 pub mod measure;
 pub mod partition;
+pub mod pipeline;
 pub mod scaling;
+pub mod sink;
 pub mod split;
 pub mod stats;
 pub mod stream;
@@ -49,21 +60,26 @@ pub mod writer;
 
 pub use block::GraphBlock;
 pub use chunk::EdgeChunk;
-pub use driver::{
-    BinaryShardSink, CooSink, CountingSink, DriverConfig, EdgeSink, ShardDriver, ShardRun,
-    TsvShardSink,
-};
+pub use driver::{DriverConfig, ShardDriver, ShardRun};
 pub use generator::{DistributedGraph, GeneratorConfig, ParallelGenerator};
+pub use manifest::{RunManifest, MANIFEST_FILE_NAME};
 pub use measure::{measured_degree_distribution, measured_properties, BalanceReport};
 pub use partition::Partition;
+pub use pipeline::{Pipeline, RunReport, SelfLoopPolicy};
 pub use scaling::{ScalingModel, ScalingPoint};
-pub use split::{choose_split, SplitPlan};
+pub use sink::{
+    BinaryShardSink, CooSink, CountingSink, DegreeOnlySink, EdgeSink, FilterMapSink, TeeSink,
+    TsvShardSink,
+};
+pub use split::{choose_split, choose_split_with_fallback, SplitPlan};
 pub use stats::GenerationStats;
 pub use stream::{
     count_block_edges, count_edges_streaming, stream_block_edges, stream_block_edges_chunked,
     stream_block_edges_into, try_stream_block_edges_into,
 };
+#[allow(deprecated)] // the legacy path must keep compiling at its old address
+pub use writer::stream_blocks_tsv;
 pub use writer::{
-    read_block_bin, stream_block_tsv, stream_blocks_tsv, write_block_bin, write_blocks_bin,
-    write_blocks_tsv, BlockFileSet, BlockFormat,
+    read_block_bin, stream_block_tsv, write_block_bin, write_blocks_bin, write_blocks_tsv,
+    BlockFileSet, BlockFormat,
 };

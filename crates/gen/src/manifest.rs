@@ -1,0 +1,629 @@
+//! Run manifests: the reproducibility record of a pipeline run.
+//!
+//! Every [`Pipeline`](crate::pipeline::Pipeline) run produces a
+//! [`RunManifest`] capturing the design spec, the full generation
+//! configuration, the output paths, and the per-worker edge counts — enough
+//! to re-run the exact same generation or to audit a directory of shards
+//! long after the run.  File-writing terminals drop the manifest as
+//! `manifest.json` next to the shards.
+//!
+//! The manifest derives the workspace's serde traits, but the vendored serde
+//! is API-only, so the JSON encoding that actually ships is implemented here:
+//! [`RunManifest::to_json`] emits it and [`RunManifest::from_json`] parses it
+//! back, and the two are round-trip exact (including `u64` counts beyond
+//! 2^53 and shortest-representation `f64` seconds).
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use kron_sparse::SparseError;
+
+/// The name under which file-writing pipeline terminals store the manifest,
+/// inside the shard directory.
+pub const MANIFEST_FILE_NAME: &str = "manifest.json";
+
+/// The serialisable record of one pipeline run: design spec, configuration,
+/// outputs, and per-worker results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Star points `m̂` of the design, in constituent order (empty when the
+    /// design is not a pure star product).
+    pub star_points: Vec<u64>,
+    /// Self-loop placement of the design (`"None"`, `"Centre"`, `"Leaf"`).
+    pub self_loop: String,
+    /// Exact designed vertex count, as a decimal string (may exceed `u64`).
+    pub vertices: String,
+    /// Exact predicted edge count of the run's target, as a decimal string
+    /// (may exceed `u64`): the designed final graph's edges, or the raw
+    /// product's `nnz_with_loops` for a `keep_raw` run — always the count
+    /// the run's validation compared `total_edges` against.
+    pub predicted_edges: String,
+    /// Number of workers the run used.
+    pub workers: usize,
+    /// The `B ⊗ C` split index the run executed.
+    pub split_index: usize,
+    /// Memory budget for the replicated `C` factor, in stored entries.
+    pub max_c_edges: u64,
+    /// Memory budget for the partitioned `B` factor, in stored entries.
+    pub max_b_edges: u64,
+    /// Capacity of each worker's reusable edge chunk.
+    pub chunk_capacity: usize,
+    /// Memory budget for the streaming degree histogram, in bytes.
+    pub max_histogram_bytes: u64,
+    /// Self-loop policy of the run (`"remove_designed"` or `"keep_raw"`).
+    pub self_loop_policy: String,
+    /// The terminal sink kind (`"counting"`, `"coo"`, `"tsv"`, `"binary"`,
+    /// `"custom"`).
+    pub sink: String,
+    /// Output directory of a file-writing run, if any.
+    pub directory: Option<String>,
+    /// Output file paths, in worker order (empty for non-file sinks).
+    pub outputs: Vec<String>,
+    /// Edges delivered per worker, in worker order.
+    pub edges_per_worker: Vec<u64>,
+    /// Total edges delivered to the sinks.
+    pub total_edges: u64,
+    /// Wall-clock generation time in seconds.
+    pub seconds: f64,
+    /// Whether the streamed validation matched the prediction exactly.
+    pub exact_match: bool,
+    /// Warnings recorded during the run (e.g. a fallback split).
+    pub warnings: Vec<String>,
+}
+
+impl RunManifest {
+    /// Serialise the manifest as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        write_u64_array(&mut out, "star_points", &self.star_points);
+        write_string(&mut out, "self_loop", &self.self_loop);
+        write_string(&mut out, "vertices", &self.vertices);
+        write_string(&mut out, "predicted_edges", &self.predicted_edges);
+        write_number(&mut out, "workers", &self.workers.to_string());
+        write_number(&mut out, "split_index", &self.split_index.to_string());
+        write_number(&mut out, "max_c_edges", &self.max_c_edges.to_string());
+        write_number(&mut out, "max_b_edges", &self.max_b_edges.to_string());
+        write_number(&mut out, "chunk_capacity", &self.chunk_capacity.to_string());
+        write_number(
+            &mut out,
+            "max_histogram_bytes",
+            &self.max_histogram_bytes.to_string(),
+        );
+        write_string(&mut out, "self_loop_policy", &self.self_loop_policy);
+        write_string(&mut out, "sink", &self.sink);
+        match &self.directory {
+            Some(dir) => write_string(&mut out, "directory", dir),
+            None => write_number(&mut out, "directory", "null"),
+        }
+        write_string_array(&mut out, "outputs", &self.outputs);
+        write_u64_array(&mut out, "edges_per_worker", &self.edges_per_worker);
+        write_number(&mut out, "total_edges", &self.total_edges.to_string());
+        // `{:?}` prints the shortest decimal that parses back to the same
+        // f64, which is what makes the round-trip exact.
+        write_number(&mut out, "seconds", &format!("{:?}", self.seconds));
+        write_number(
+            &mut out,
+            "exact_match",
+            if self.exact_match { "true" } else { "false" },
+        );
+        write_string_array(&mut out, "warnings", &self.warnings);
+        // Strip the trailing comma of the last entry.
+        let trimmed = out.trim_end_matches([',', '\n']).len();
+        out.truncate(trimmed);
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Parse a manifest back from its JSON form.
+    pub fn from_json(text: &str) -> Result<Self, SparseError> {
+        let value = JsonValue::parse(text)?;
+        let obj = value.as_object("manifest root")?;
+        Ok(RunManifest {
+            star_points: get(obj, "star_points")?.as_u64_array("star_points")?,
+            self_loop: get(obj, "self_loop")?.as_string("self_loop")?,
+            vertices: get(obj, "vertices")?.as_string("vertices")?,
+            predicted_edges: get(obj, "predicted_edges")?.as_string("predicted_edges")?,
+            workers: get(obj, "workers")?.as_u64("workers")? as usize,
+            split_index: get(obj, "split_index")?.as_u64("split_index")? as usize,
+            max_c_edges: get(obj, "max_c_edges")?.as_u64("max_c_edges")?,
+            max_b_edges: get(obj, "max_b_edges")?.as_u64("max_b_edges")?,
+            chunk_capacity: get(obj, "chunk_capacity")?.as_u64("chunk_capacity")? as usize,
+            max_histogram_bytes: get(obj, "max_histogram_bytes")?.as_u64("max_histogram_bytes")?,
+            self_loop_policy: get(obj, "self_loop_policy")?.as_string("self_loop_policy")?,
+            sink: get(obj, "sink")?.as_string("sink")?,
+            directory: match get(obj, "directory")? {
+                JsonValue::Null => None,
+                value => Some(value.as_string("directory")?),
+            },
+            outputs: get(obj, "outputs")?.as_string_array("outputs")?,
+            edges_per_worker: get(obj, "edges_per_worker")?.as_u64_array("edges_per_worker")?,
+            total_edges: get(obj, "total_edges")?.as_u64("total_edges")?,
+            seconds: get(obj, "seconds")?.as_f64("seconds")?,
+            exact_match: get(obj, "exact_match")?.as_bool("exact_match")?,
+            warnings: get(obj, "warnings")?.as_string_array("warnings")?,
+        })
+    }
+
+    /// Write the manifest as JSON to `path`.
+    pub fn write_to(&self, path: &Path) -> Result<(), SparseError> {
+        std::fs::write(path, self.to_json()).map_err(|e| SparseError::with_path(path, e.into()))
+    }
+
+    /// Read a manifest back from a JSON file.
+    pub fn read_from(path: &Path) -> Result<Self, SparseError> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| SparseError::with_path(path, e.into()))?;
+        RunManifest::from_json(&text).map_err(|e| SparseError::with_path(path, e))
+    }
+}
+
+fn write_key(out: &mut String, key: &str) {
+    let _ = write!(out, "  \"{key}\": ");
+}
+
+fn write_number(out: &mut String, key: &str, literal: &str) {
+    write_key(out, key);
+    out.push_str(literal);
+    out.push_str(",\n");
+}
+
+fn write_string(out: &mut String, key: &str, value: &str) {
+    write_key(out, key);
+    push_json_string(out, value);
+    out.push_str(",\n");
+}
+
+fn write_u64_array(out: &mut String, key: &str, values: &[u64]) {
+    write_key(out, key);
+    out.push('[');
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push_str("],\n");
+}
+
+fn write_string_array(out: &mut String, key: &str, values: &[String]) {
+    write_key(out, key);
+    out.push('[');
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        push_json_string(out, v);
+    }
+    out.push_str("],\n");
+}
+
+fn push_json_string(out: &mut String, value: &str) {
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// The JSON subset the manifest round-trips through.  Numbers keep their
+/// source text so `u64` counts beyond 2^53 survive exactly.
+#[derive(Debug, Clone, PartialEq)]
+enum JsonValue {
+    Null,
+    Bool(bool),
+    Number(String),
+    String(String),
+    Array(Vec<JsonValue>),
+    Object(Vec<(String, JsonValue)>),
+}
+
+fn parse_error(message: impl Into<String>) -> SparseError {
+    SparseError::Parse {
+        line: 0,
+        message: message.into(),
+    }
+}
+
+fn get<'v>(obj: &'v [(String, JsonValue)], key: &str) -> Result<&'v JsonValue, SparseError> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| parse_error(format!("manifest is missing the \"{key}\" field")))
+}
+
+impl JsonValue {
+    fn parse(text: &str) -> Result<JsonValue, SparseError> {
+        let mut cursor = Cursor {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let value = cursor.value()?;
+        cursor.skip_whitespace();
+        if cursor.pos != cursor.bytes.len() {
+            return Err(parse_error("trailing content after the JSON document"));
+        }
+        Ok(value)
+    }
+
+    fn as_object(&self, what: &str) -> Result<&[(String, JsonValue)], SparseError> {
+        match self {
+            JsonValue::Object(fields) => Ok(fields),
+            _ => Err(parse_error(format!("{what} must be a JSON object"))),
+        }
+    }
+
+    fn as_string(&self, what: &str) -> Result<String, SparseError> {
+        match self {
+            JsonValue::String(s) => Ok(s.clone()),
+            _ => Err(parse_error(format!("{what} must be a JSON string"))),
+        }
+    }
+
+    fn as_bool(&self, what: &str) -> Result<bool, SparseError> {
+        match self {
+            JsonValue::Bool(b) => Ok(*b),
+            _ => Err(parse_error(format!("{what} must be a JSON boolean"))),
+        }
+    }
+
+    fn as_u64(&self, what: &str) -> Result<u64, SparseError> {
+        match self {
+            JsonValue::Number(text) => text
+                .parse::<u64>()
+                .map_err(|_| parse_error(format!("{what} is not a u64: {text}"))),
+            _ => Err(parse_error(format!("{what} must be a JSON number"))),
+        }
+    }
+
+    fn as_f64(&self, what: &str) -> Result<f64, SparseError> {
+        match self {
+            JsonValue::Number(text) => text
+                .parse::<f64>()
+                .map_err(|_| parse_error(format!("{what} is not a number: {text}"))),
+            _ => Err(parse_error(format!("{what} must be a JSON number"))),
+        }
+    }
+
+    fn as_u64_array(&self, what: &str) -> Result<Vec<u64>, SparseError> {
+        match self {
+            JsonValue::Array(items) => items.iter().map(|item| item.as_u64(what)).collect(),
+            _ => Err(parse_error(format!("{what} must be a JSON array"))),
+        }
+    }
+
+    fn as_string_array(&self, what: &str) -> Result<Vec<String>, SparseError> {
+        match self {
+            JsonValue::Array(items) => items.iter().map(|item| item.as_string(what)).collect(),
+            _ => Err(parse_error(format!("{what} must be a JSON array"))),
+        }
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn skip_whitespace(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, SparseError> {
+        self.skip_whitespace();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| parse_error("unexpected end of JSON"))
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), SparseError> {
+        if self.peek()? == byte {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(parse_error(format!(
+                "expected '{}' at byte {}",
+                byte as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, SparseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(parse_error(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, SparseError> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(JsonValue::String(self.string()?)),
+            b't' => self.literal("true", JsonValue::Bool(true)),
+            b'f' => self.literal("false", JsonValue::Bool(false)),
+            b'n' => self.literal("null", JsonValue::Null),
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(parse_error(format!(
+                "unexpected character '{}' at byte {}",
+                other as char, self.pos
+            ))),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, SparseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.string()?;
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                other => {
+                    return Err(parse_error(format!(
+                        "expected ',' or '}}' in object, found '{}'",
+                        other as char
+                    )))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, SparseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                other => {
+                    return Err(parse_error(format!(
+                        "expected ',' or ']' in array, found '{}'",
+                        other as char
+                    )))
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, SparseError> {
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(parse_error("empty number"));
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number bytes are ASCII")
+            .to_string();
+        Ok(JsonValue::Number(text))
+    }
+
+    fn string(&mut self) -> Result<String, SparseError> {
+        if self.peek()? != b'"' {
+            return Err(parse_error(format!("expected string at byte {}", self.pos)));
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| parse_error("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| parse_error("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'u' => {
+                            let first = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&first) {
+                                // Surrogate pair: a following \uXXXX low half.
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let low = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&low) {
+                                        return Err(parse_error(
+                                            "high surrogate not followed by a low surrogate",
+                                        ));
+                                    }
+                                    0x10000 + ((first - 0xD800) << 10) + (low - 0xDC00)
+                                } else {
+                                    return Err(parse_error("lone high surrogate"));
+                                }
+                            } else {
+                                first
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| parse_error("invalid \\u escape"))?,
+                            );
+                        }
+                        other => {
+                            return Err(parse_error(format!(
+                                "unknown escape '\\{}'",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+                b => {
+                    // Collect the full UTF-8 sequence starting at this byte.
+                    let len = match b {
+                        0x00..=0x7F => 1,
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let start = self.pos - 1;
+                    let end = start + len;
+                    let slice = self
+                        .bytes
+                        .get(start..end)
+                        .ok_or_else(|| parse_error("truncated UTF-8 sequence"))?;
+                    let s = std::str::from_utf8(slice)
+                        .map_err(|_| parse_error("invalid UTF-8 in string"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, SparseError> {
+        let slice = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| parse_error("truncated \\u escape"))?;
+        let text = std::str::from_utf8(slice).map_err(|_| parse_error("invalid \\u escape"))?;
+        let code = u32::from_str_radix(text, 16).map_err(|_| parse_error("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunManifest {
+        RunManifest {
+            star_points: vec![3, 4, 5, 9],
+            self_loop: "Centre".into(),
+            vertices: "3600".into(),
+            predicted_edges: "13166".into(),
+            workers: 4,
+            split_index: 2,
+            max_c_edges: 1 << 20,
+            max_b_edges: 1 << 24,
+            chunk_capacity: 65536,
+            max_histogram_bytes: 1 << 30,
+            self_loop_policy: "remove_designed".into(),
+            sink: "binary".into(),
+            directory: Some("/tmp/run with \"quotes\" and \\slashes\\".into()),
+            outputs: vec!["/tmp/block_00000.kbk".into(), "/tmp/block_00001.kbk".into()],
+            edges_per_worker: vec![3292, 3291, 3292, 3291],
+            total_edges: 13166,
+            seconds: 0.123456789,
+            exact_match: true,
+            warnings: vec!["unicode é → ok\nsecond line".into()],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let manifest = sample();
+        let json = manifest.to_json();
+        let parsed = RunManifest::from_json(&json).unwrap();
+        assert_eq!(parsed, manifest);
+    }
+
+    #[test]
+    fn round_trip_preserves_u64_beyond_f64_precision_and_null_directory() {
+        let mut manifest = sample();
+        manifest.total_edges = u64::MAX - 1;
+        manifest.edges_per_worker = vec![u64::MAX - 1, 9_007_199_254_740_993];
+        manifest.directory = None;
+        manifest.outputs.clear();
+        manifest.warnings.clear();
+        manifest.seconds = 1.0 / 3.0;
+        let parsed = RunManifest::from_json(&manifest.to_json()).unwrap();
+        assert_eq!(parsed, manifest);
+    }
+
+    #[test]
+    fn missing_fields_and_garbage_fail_cleanly() {
+        assert!(RunManifest::from_json("not json").is_err());
+        assert!(RunManifest::from_json("{}").is_err());
+        assert!(RunManifest::from_json("{\"star_points\": [1,2]}").is_err());
+        let json = sample().to_json();
+        assert!(RunManifest::from_json(&json[..json.len() - 3]).is_err());
+        assert!(RunManifest::from_json(&format!("{json} trailing")).is_err());
+    }
+
+    #[test]
+    fn surrogate_pairs_round_trip() {
+        let parsed = JsonValue::parse("\"\\ud83d\\ude00\"").unwrap();
+        assert_eq!(parsed, JsonValue::String("😀".to_string()));
+    }
+
+    #[test]
+    fn malformed_surrogates_fail_cleanly() {
+        // High surrogate followed by a non-surrogate escape must be a parse
+        // error, not an arithmetic underflow.
+        assert!(JsonValue::parse("\"\\ud800\\u0041\"").is_err());
+        // Lone halves are errors too.
+        assert!(JsonValue::parse("\"\\ud800\"").is_err());
+        assert!(JsonValue::parse("\"\\udc00\"").is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("kron_gen_manifest_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(MANIFEST_FILE_NAME);
+        let manifest = sample();
+        manifest.write_to(&path).unwrap();
+        assert_eq!(RunManifest::read_from(&path).unwrap(), manifest);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

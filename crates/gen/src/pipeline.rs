@@ -1,0 +1,847 @@
+//! The unified design → generate → validate pipeline.
+//!
+//! The paper's workflow is one straight line — design a Kronecker graph with
+//! exact properties, generate it communication-free, validate that measured
+//! equals predicted — and [`Pipeline`] is that line as one API.  A pipeline
+//! is built fluently from a [`KroneckerDesign`], owns every generation knob
+//! (workers, `B ⊗ C` split, chunk size, histogram budget, self-loop policy),
+//! and terminates in one of five sinks:
+//!
+//! ```no_run
+//! use kron_core::{KroneckerDesign, SelfLoop};
+//! use kron_gen::Pipeline;
+//!
+//! let design = KroneckerDesign::from_star_points(&[3, 4, 5, 9], SelfLoop::Centre)?;
+//! let report = Pipeline::for_design(&design)
+//!     .workers(8)
+//!     .write_binary(std::path::Path::new("/data/run1"))?;
+//! assert!(report.validation.is_exact_match());
+//! println!("{}", report.manifest.to_json());
+//! # Ok::<(), kron_core::CoreError>(())
+//! ```
+//!
+//! * [`Pipeline::count`] — generate and validate, store nothing.
+//! * [`Pipeline::collect_coo`] — per-worker in-memory COO blocks.
+//! * [`Pipeline::write_tsv`] / [`Pipeline::write_binary`] — one shard file
+//!   per worker, plus a `manifest.json` reproducibility record.
+//! * [`Pipeline::into_sinks`] — any custom [`EdgeSink`] factory.
+//!
+//! Every terminal returns a [`RunReport`]: the sink outputs, the
+//! [`GenerationStats`], the streamed measured-equals-predicted
+//! [`ValidationReport`], and a serialisable [`RunManifest`].  Generation is
+//! always the communication-free streaming engine of the out-of-core shard
+//! driver — each worker expands its partition slice of `B_p ⊗ C` through a
+//! reusable chunk into its sink while feeding an adaptive streaming degree
+//! histogram — so every backend, in-memory or on-disk, gets bounded-memory
+//! generation *and* validation.  The legacy
+//! [`ParallelGenerator`](crate::generator::ParallelGenerator) and
+//! [`ShardDriver::run_*`](crate::driver::ShardDriver) entry points are thin
+//! wrappers over this module.
+
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use rayon::prelude::*;
+
+use kron_core::validate::{
+    measure_from_histogram, validate_streamed, FieldCheck, ValidationReport,
+};
+use kron_core::{CoreError, GraphProperties, KroneckerDesign, SelfLoop};
+use kron_sparse::reduce::SharedDegreeAccumulator;
+use kron_sparse::{CooMatrix, DegreeAccumulator, SparseError};
+
+use crate::chunk::EdgeChunk;
+use crate::driver::DriverConfig;
+use crate::generator::self_loop_vertex_index;
+use crate::manifest::{RunManifest, MANIFEST_FILE_NAME};
+use crate::partition::{csc_ordered_triples, Partition};
+use crate::sink::{BinaryShardSink, CooSink, CountingSink, EdgeSink, TsvShardSink};
+use crate::split::{choose_split_with_fallback, SplitPlan};
+use crate::stats::GenerationStats;
+use crate::stream::try_stream_block_edges_into;
+use crate::writer::{prepare_directory, BlockFileSet, BlockFormat};
+
+/// What a run does with the single removable self-loop of a triangle-control
+/// design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelfLoopPolicy {
+    /// Remove it in-stream, so the sinks receive exactly the designed final
+    /// graph (the default, and the paper's construction).
+    #[default]
+    RemoveDesigned,
+    /// Keep every self-loop: the sinks receive the raw `B ⊗ C` product.
+    /// Validation then checks the raw counts (vertices, raw edges, product
+    /// self-loops) instead of the final-graph property sheet.
+    KeepRaw,
+}
+
+impl SelfLoopPolicy {
+    fn label(self) -> &'static str {
+        match self {
+            SelfLoopPolicy::RemoveDesigned => "remove_designed",
+            SelfLoopPolicy::KeepRaw => "keep_raw",
+        }
+    }
+}
+
+/// The design's vertex count as a `u64`, or [`CoreError::TooLargeToRealise`]
+/// when the graph cannot be indexed on this machine at all.
+pub(crate) fn realisable_vertices(design: &KroneckerDesign) -> Result<u64, CoreError> {
+    design
+        .vertices()
+        .to_u64()
+        .ok_or_else(|| CoreError::TooLargeToRealise {
+            vertices: design.vertices().to_string(),
+            edges: design.nnz_with_loops().to_string(),
+        })
+}
+
+/// A fluent builder for one design → generate → validate run.
+///
+/// Defaults mirror [`DriverConfig::default`]; every knob has a setter.  The
+/// split is chosen automatically (largest `C` under the budget that still
+/// gives every worker a `B` triple, falling back to a single-worker split
+/// with a recorded warning) unless pinned with
+/// [`Pipeline::split_index`].
+#[derive(Debug, Clone)]
+pub struct Pipeline<'d> {
+    design: &'d KroneckerDesign,
+    workers: usize,
+    split: Option<usize>,
+    max_c_edges: u64,
+    max_b_edges: u64,
+    chunk_capacity: usize,
+    max_histogram_bytes: u64,
+    self_loop_policy: SelfLoopPolicy,
+}
+
+impl<'d> Pipeline<'d> {
+    /// Start a pipeline over `design` with default configuration.
+    pub fn for_design(design: &'d KroneckerDesign) -> Self {
+        Pipeline::from_config(design, &DriverConfig::default())
+    }
+
+    /// Start a pipeline with every knob taken from a [`DriverConfig`].
+    pub fn from_config(design: &'d KroneckerDesign, config: &DriverConfig) -> Self {
+        Pipeline {
+            design,
+            workers: config.workers,
+            split: None,
+            max_c_edges: config.max_c_edges,
+            max_b_edges: config.max_b_edges,
+            chunk_capacity: config.chunk_capacity,
+            max_histogram_bytes: config.max_histogram_bytes,
+            self_loop_policy: SelfLoopPolicy::default(),
+        }
+    }
+
+    /// Set the number of workers (rayon tasks; the paper's "processors").
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Pin the `B ⊗ C` split index (`B` = first `split_index` constituents)
+    /// instead of choosing it automatically.
+    pub fn split_index(mut self, split_index: usize) -> Self {
+        self.split = Some(split_index);
+        self
+    }
+
+    /// Set the memory budget for the replicated `C` factor, in stored
+    /// entries (also the budget the automatic split choice honours).
+    pub fn max_c_edges(mut self, max_c_edges: u64) -> Self {
+        self.max_c_edges = max_c_edges;
+        self
+    }
+
+    /// Set the memory budget for the partitioned `B` factor, in stored
+    /// entries.
+    pub fn max_b_edges(mut self, max_b_edges: u64) -> Self {
+        self.max_b_edges = max_b_edges;
+        self
+    }
+
+    /// Set the capacity of each worker's reusable edge chunk.
+    pub fn chunk_capacity(mut self, chunk_capacity: usize) -> Self {
+        self.chunk_capacity = chunk_capacity;
+        self
+    }
+
+    /// Set the memory budget for the streaming degree histogram, in bytes
+    /// (see [`DriverConfig::max_histogram_bytes`]).
+    pub fn max_histogram_bytes(mut self, max_histogram_bytes: u64) -> Self {
+        self.max_histogram_bytes = max_histogram_bytes;
+        self
+    }
+
+    /// Set the self-loop policy.
+    pub fn self_loop_policy(mut self, policy: SelfLoopPolicy) -> Self {
+        self.self_loop_policy = policy;
+        self
+    }
+
+    /// Shorthand for [`SelfLoopPolicy::KeepRaw`]: stream the raw `B ⊗ C`
+    /// product, self-loops included.
+    pub fn raw_product(self) -> Self {
+        self.self_loop_policy(SelfLoopPolicy::KeepRaw)
+    }
+
+    /// Generate and validate with a [`CountingSink`] per worker: no output
+    /// at all — the cheapest way to reproduce measured-equals-predicted at
+    /// scales far beyond memory for edges.
+    pub fn count(self) -> Result<RunReport<u64>, CoreError> {
+        self.run(SinkSpec::plain("counting"), |_| Ok(CountingSink::new()))
+    }
+
+    /// Generate into one in-memory [`CooSink`] block per worker (tests and
+    /// small graphs).
+    pub fn collect_coo(self) -> Result<RunReport<CooMatrix<u64>>, CoreError> {
+        let vertices = realisable_vertices(self.design)?;
+        self.run(SinkSpec::plain("coo"), |_| Ok(CooSink::new(vertices)))
+    }
+
+    /// Generate into one TSV shard per worker under `directory`, and write
+    /// the run's `manifest.json` next to the shards.
+    pub fn write_tsv(self, directory: &Path) -> Result<RunReport<PathBuf>, CoreError> {
+        let files = prepare_directory(directory, self.workers, "tsv")?;
+        let spec = SinkSpec::files("tsv", directory, &files, BlockFormat::Tsv);
+        self.run(spec, |worker| TsvShardSink::create(&files[worker]))
+    }
+
+    /// Generate into one interleaved binary shard per worker under
+    /// `directory`, and write the run's `manifest.json` next to the shards.
+    pub fn write_binary(self, directory: &Path) -> Result<RunReport<PathBuf>, CoreError> {
+        let vertices = realisable_vertices(self.design)?;
+        let files = prepare_directory(directory, self.workers, "kbk")?;
+        let spec = SinkSpec::files("binary", directory, &files, BlockFormat::Binary);
+        self.run(spec, |worker| {
+            BinaryShardSink::create(&files[worker], vertices, vertices)
+        })
+    }
+
+    /// Generate into custom sinks: `make_sink(worker)` creates the sink each
+    /// worker streams into.  This is the extension point every new backend
+    /// (sockets, compressed files, columnar stores) plugs into.
+    pub fn into_sinks<S, F>(self, make_sink: F) -> Result<RunReport<S::Output>, CoreError>
+    where
+        S: EdgeSink,
+        S::Output: Send,
+        F: Fn(usize) -> Result<S, SparseError> + Sync,
+    {
+        self.run(SinkSpec::plain("custom"), make_sink)
+    }
+
+    /// Resolve the split to run with: the pinned index, or the automatic
+    /// choice with its single-worker fallback (which records a warning).
+    fn resolve_split(&self) -> Result<(usize, Vec<String>), CoreError> {
+        if let Some(index) = self.split {
+            return Ok((index, Vec::new()));
+        }
+        let (plan, warning) =
+            choose_split_with_fallback(self.design, self.max_c_edges, self.workers)?;
+        Ok((plan.split_index, warning.into_iter().collect()))
+    }
+
+    /// The engine: expand `B_p ⊗ C` on every worker, stream the chunks into
+    /// the per-worker sinks, accumulate the streaming degree histogram, and
+    /// assemble the report (validation + manifest included).
+    fn run<S, F>(self, spec: SinkSpec, make_sink: F) -> Result<RunReport<S::Output>, CoreError>
+    where
+        S: EdgeSink,
+        S::Output: Send,
+        F: Fn(usize) -> Result<S, SparseError> + Sync,
+    {
+        if self.workers == 0 {
+            return Err(CoreError::InvalidConfig {
+                message: "the pipeline needs at least one worker".into(),
+            });
+        }
+        let design = self.design;
+        let vertices = realisable_vertices(design)?;
+        let (split_index, warnings) = self.resolve_split()?;
+
+        let (b_design, c_design) = design.split(split_index)?;
+        // Both factors keep their self-loops: the raw product is exactly the
+        // designed product, and the one surviving loop is filtered below
+        // (unless the policy keeps the raw product).
+        let b = b_design.realize_raw(self.max_b_edges)?;
+        let c = c_design.realize_raw(self.max_c_edges)?;
+        let triples = csc_ordered_triples(&b);
+        let partition = Partition::even(triples.len(), self.workers);
+        let split_plan = SplitPlan {
+            split_index,
+            b_nnz: b_design.nnz_with_loops(),
+            c_nnz: c_design.nnz_with_loops(),
+            c_vertices: c_design.vertices(),
+        };
+
+        // The product self-loop lands in the worker whose B slice holds the
+        // diagonal triple (v_B, v_B); that worker filters the single global
+        // edge (v, v) out of its stream.
+        let remove_loop = self.self_loop_policy == SelfLoopPolicy::RemoveDesigned
+            && design.has_removable_self_loop();
+        let loop_filter: Option<(usize, u64)> = if remove_loop {
+            let b_loop = self_loop_vertex_index(&b_design);
+            let position = triples
+                .iter()
+                .position(|&(r, c, _)| r == b_loop && c == b_loop)
+                .expect("a triangle-control B factor has exactly one diagonal triple");
+            let owner = (0..self.workers)
+                .find(|&w| partition.range(w).contains(&position))
+                .expect("every triple index belongs to one worker");
+            Some((owner, self_loop_vertex_index(design)))
+        } else {
+            None
+        };
+
+        let started = Instant::now();
+        // Local accumulators are folded and dropped as each worker finishes,
+        // so at most one per pool thread is live at once (plus the merged
+        // one) — size the budget check on that peak, not the worker count.
+        let concurrent = self.workers.min(rayon::current_num_threads()) + 1;
+        let local_histogram_bytes = (concurrent as u128) * (vertices as u128) * 8;
+        let shared = if local_histogram_bytes > u128::from(self.max_histogram_bytes) {
+            Some(SharedDegreeAccumulator::rows_only(vertices, vertices))
+        } else {
+            None
+        };
+        let merged_local: Mutex<Option<DegreeAccumulator>> = Mutex::new(None);
+        let worker_results: Vec<Result<WorkerResult<S::Output>, CoreError>> = (0..self.workers)
+            .into_par_iter()
+            .map(|worker| {
+                let slice = &triples[partition.range(worker)];
+                let mut sink = make_sink(worker).map_err(CoreError::Sparse)?;
+                let mut accumulator = match shared.as_ref() {
+                    Some(shared) => WorkerHistogram::Shared(shared),
+                    None => {
+                        WorkerHistogram::Local(DegreeAccumulator::rows_only(vertices, vertices))
+                    }
+                };
+                let mut chunk = EdgeChunk::new(self.chunk_capacity);
+                let filter =
+                    loop_filter.and_then(|(owner, vertex)| (owner == worker).then_some(vertex));
+                let mut removed = false;
+                let produced = try_stream_block_edges_into(slice, &c, &mut chunk, |edges| {
+                    if let Some(vertex) = filter {
+                        if !removed {
+                            if let Some(at) =
+                                edges.iter().position(|&(r, c)| r == vertex && c == vertex)
+                            {
+                                removed = true;
+                                accumulator.record(&edges[..at]);
+                                sink.consume(&edges[..at])?;
+                                accumulator.record(&edges[at + 1..]);
+                                return sink.consume(&edges[at + 1..]);
+                            }
+                        }
+                    }
+                    accumulator.record(edges);
+                    sink.consume(edges)
+                })
+                .map_err(CoreError::Sparse)?;
+                if filter.is_some() {
+                    debug_assert!(removed, "the owning worker must see the product loop");
+                }
+                let output = sink.finish().map_err(CoreError::Sparse)?;
+                // A local histogram is folded into the run-wide one the
+                // moment its worker finishes and is dropped here, so the
+                // peak is bounded by the workers running concurrently.
+                if let WorkerHistogram::Local(local) = accumulator {
+                    let mut guard = merged_local.lock().expect("histogram mutex poisoned");
+                    match guard.as_mut() {
+                        Some(acc) => acc.merge(&local),
+                        None => *guard = Some(local),
+                    }
+                }
+                Ok(WorkerResult {
+                    output,
+                    delivered: produced - u64::from(removed),
+                })
+            })
+            .collect();
+        let elapsed = started.elapsed();
+
+        let mut outputs = Vec::with_capacity(self.workers);
+        let mut delivered = Vec::with_capacity(self.workers);
+        for result in worker_results {
+            let result = result?;
+            outputs.push(result.output);
+            delivered.push(result.delivered);
+        }
+        let (histogram, self_loops, recorded) = match shared {
+            Some(shared) => (
+                shared.row_histogram(),
+                shared.self_loop_count(),
+                shared.edge_count(),
+            ),
+            None => {
+                let merged = merged_local
+                    .into_inner()
+                    .expect("histogram mutex poisoned")
+                    .expect("at least one worker ran");
+                (
+                    merged.row_histogram(),
+                    merged.self_loop_count(),
+                    merged.edge_count(),
+                )
+            }
+        };
+        let measured = measure_from_histogram(vertices, &histogram, self_loops);
+        let mut stats = GenerationStats::new(delivered, elapsed);
+        for warning in warnings {
+            stats.warn(warning);
+        }
+        debug_assert_eq!(stats.total_edges, recorded);
+
+        let predicted = design.properties();
+        let validation = match self.self_loop_policy {
+            SelfLoopPolicy::RemoveDesigned => validate_streamed(&predicted, &measured),
+            SelfLoopPolicy::KeepRaw => validate_raw(design, &measured),
+        };
+
+        // The manifest records the edge count the validation above actually
+        // compared against: the final graph's, or the raw product's for a
+        // keep-raw run.
+        let predicted_edges = match self.self_loop_policy {
+            SelfLoopPolicy::RemoveDesigned => design.edges(),
+            SelfLoopPolicy::KeepRaw => design.nnz_with_loops(),
+        };
+        let manifest = RunManifest {
+            star_points: design.star_points().unwrap_or_default(),
+            self_loop: format!("{:?}", design_self_loop(design)),
+            vertices: design.vertices().to_string(),
+            predicted_edges: predicted_edges.to_string(),
+            workers: self.workers,
+            split_index,
+            max_c_edges: self.max_c_edges,
+            max_b_edges: self.max_b_edges,
+            chunk_capacity: self.chunk_capacity,
+            max_histogram_bytes: self.max_histogram_bytes,
+            self_loop_policy: self.self_loop_policy.label().to_string(),
+            sink: spec.label.to_string(),
+            directory: spec.directory.as_ref().map(|d| d.display().to_string()),
+            outputs: spec
+                .outputs
+                .iter()
+                .map(|p| p.display().to_string())
+                .collect(),
+            edges_per_worker: stats.edges_per_worker.clone(),
+            total_edges: stats.total_edges,
+            seconds: stats.seconds,
+            exact_match: validation.is_exact_match(),
+            warnings: stats.warnings.clone(),
+        };
+        let files = spec.directory.as_ref().map(|directory| {
+            manifest
+                .write_to(&directory.join(MANIFEST_FILE_NAME))
+                .map(|()| BlockFileSet {
+                    directory: directory.clone(),
+                    files: spec.outputs.clone(),
+                    vertices,
+                    format: spec.format.expect("file sinks declare a format"),
+                })
+        });
+        let files = match files {
+            Some(result) => Some(result.map_err(CoreError::Sparse)?),
+            None => None,
+        };
+
+        Ok(RunReport {
+            outputs,
+            vertices,
+            split: split_plan,
+            predicted,
+            measured,
+            stats,
+            validation,
+            manifest,
+            files,
+        })
+    }
+}
+
+/// The self-loop placement of a pure star design (the manifest's design
+/// spec).  Mixed or non-star designs report the first constituent's
+/// placement — the manifest's `star_points` being empty flags those.
+fn design_self_loop(design: &KroneckerDesign) -> SelfLoop {
+    design
+        .constituents()
+        .first()
+        .and_then(|c| c.as_star())
+        .map(|s| s.self_loop())
+        .unwrap_or(SelfLoop::None)
+}
+
+/// Validate a raw-product run: the streamable fields whose raw values the
+/// design predicts exactly — vertices, raw edge count, and product
+/// self-loop count.  The degree distribution is not checked (the analytic
+/// distribution describes the final graph, not the raw product).
+fn validate_raw(design: &KroneckerDesign, measured: &GraphProperties) -> ValidationReport {
+    let mut checks = Vec::new();
+    let mut push = |field: &str, p: String, m: String| {
+        checks.push(FieldCheck {
+            field: field.to_string(),
+            matches: p == m,
+            predicted: p,
+            measured: m,
+        });
+    };
+    push(
+        "vertices",
+        design.vertices().to_string(),
+        measured.vertices.to_string(),
+    );
+    push(
+        "raw_edges",
+        design.nnz_with_loops().to_string(),
+        measured.edges.to_string(),
+    );
+    push(
+        "raw_self_loops",
+        design.product_self_loops().to_string(),
+        measured.self_loops.to_string(),
+    );
+    ValidationReport {
+        checks,
+        no_empty_vertices: None,
+        no_duplicate_edges: None,
+    }
+}
+
+/// Everything one worker hands back when its stream ends.
+struct WorkerResult<O> {
+    output: O,
+    delivered: u64,
+}
+
+/// One worker's view of the run's degree histogram: a private local vector
+/// (fast, `O(vertices)` per concurrent worker) or the run-wide shared
+/// atomic vector (`O(vertices)` total) — see
+/// [`DriverConfig::max_histogram_bytes`].
+enum WorkerHistogram<'a> {
+    Local(DegreeAccumulator),
+    Shared(&'a SharedDegreeAccumulator),
+}
+
+impl WorkerHistogram<'_> {
+    fn record(&mut self, edges: &[(u64, u64)]) {
+        match self {
+            WorkerHistogram::Local(local) => local.record(edges),
+            WorkerHistogram::Shared(shared) => shared.record(edges),
+        }
+    }
+}
+
+/// How a terminal labels itself in the manifest and, for file terminals,
+/// where its outputs live.
+struct SinkSpec {
+    label: &'static str,
+    directory: Option<PathBuf>,
+    outputs: Vec<PathBuf>,
+    format: Option<BlockFormat>,
+}
+
+impl SinkSpec {
+    fn plain(label: &'static str) -> Self {
+        SinkSpec {
+            label,
+            directory: None,
+            outputs: Vec::new(),
+            format: None,
+        }
+    }
+
+    fn files(
+        label: &'static str,
+        directory: &Path,
+        files: &[PathBuf],
+        format: BlockFormat,
+    ) -> Self {
+        SinkSpec {
+            label,
+            directory: Some(directory.to_path_buf()),
+            outputs: files.to_vec(),
+            format: Some(format),
+        }
+    }
+}
+
+/// The result of one pipeline run: per-worker sink outputs plus everything
+/// the paper's validation loop needs.
+#[derive(Debug, Clone)]
+#[must_use = "a run report carries the validation verdict and the sink outputs"]
+pub struct RunReport<O> {
+    /// Per-worker sink outputs, in worker order.
+    pub outputs: Vec<O>,
+    /// Number of rows/columns of the generated graph.
+    pub vertices: u64,
+    /// The split plan the run executed.
+    pub split: SplitPlan,
+    /// Exact predicted properties of the design.
+    pub predicted: GraphProperties,
+    /// Properties measured from the merged streaming degree histograms
+    /// (triangles are never measured in streaming mode).
+    pub measured: GraphProperties,
+    /// Timing and balance statistics.
+    pub stats: GenerationStats,
+    /// The streamed measured-equals-predicted comparison (the paper's
+    /// Figure 4), computed field by field as part of the run.
+    pub validation: ValidationReport,
+    /// The run's reproducibility record; file terminals also write it as
+    /// `manifest.json` next to the shards.
+    pub manifest: RunManifest,
+    /// The shard files of a file-writing terminal, if any.
+    pub files: Option<BlockFileSet>,
+}
+
+impl<O> RunReport<O> {
+    /// Total number of edges delivered to the sinks.
+    pub fn edge_count(&self) -> u64 {
+        self.stats.total_edges
+    }
+
+    /// Whether the streamed validation matched the prediction exactly.
+    pub fn is_valid(&self) -> bool {
+        self.validation.is_exact_match()
+    }
+}
+
+impl RunReport<CooMatrix<u64>> {
+    /// Assemble the per-worker COO blocks into the full adjacency matrix
+    /// (tests and small graphs only).
+    pub fn assemble(&self) -> CooMatrix<u64> {
+        let mut all = CooMatrix::new(self.vertices, self.vertices);
+        for block in &self.outputs {
+            all.append(block)
+                .expect("blocks share the full graph dimensions");
+        }
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::MANIFEST_FILE_NAME;
+    use crate::sink::{DegreeOnlySink, FilterMapSink, TeeSink};
+    use kron_bignum::BigUint;
+
+    fn pipeline(design: &KroneckerDesign, workers: usize) -> Pipeline<'_> {
+        Pipeline::for_design(design)
+            .workers(workers)
+            .max_c_edges(100_000)
+            .chunk_capacity(512)
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("kron_gen_pipeline_tests")
+            .join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn count_validates_every_self_loop_variant() {
+        for self_loop in [SelfLoop::None, SelfLoop::Centre, SelfLoop::Leaf] {
+            let design = KroneckerDesign::from_star_points(&[3, 4, 5, 9], self_loop).unwrap();
+            let report = pipeline(&design, 4).split_index(2).count().unwrap();
+            assert!(
+                report.is_valid(),
+                "pipeline validation failed for {self_loop:?}: {:?}",
+                report.validation.failures()
+            );
+            assert_eq!(BigUint::from(report.edge_count()), design.edges());
+            assert_eq!(report.manifest.sink, "counting");
+            assert_eq!(report.manifest.total_edges, report.edge_count());
+            assert!(report.files.is_none());
+        }
+    }
+
+    #[test]
+    fn automatic_split_falls_back_with_a_warning() {
+        let design = KroneckerDesign::from_star_points(&[3, 4], SelfLoop::None).unwrap();
+        let report = pipeline(&design, 1_000).count().unwrap();
+        assert_eq!(BigUint::from(report.edge_count()), design.edges());
+        assert_eq!(report.stats.warnings.len(), 1, "fallback must warn");
+        assert!(report.stats.warnings[0].contains("balance guarantee"));
+        assert_eq!(report.manifest.warnings, report.stats.warnings);
+
+        let healthy = KroneckerDesign::from_star_points(&[3, 4, 5, 9], SelfLoop::None).unwrap();
+        let report = pipeline(&healthy, 4).count().unwrap();
+        assert!(report.stats.warnings.is_empty());
+    }
+
+    #[test]
+    fn write_binary_emits_a_manifest_that_matches_the_run() {
+        let design = KroneckerDesign::from_star_points(&[3, 4, 5], SelfLoop::Centre).unwrap();
+        let dir = temp_dir("manifest_binary");
+        let report = pipeline(&design, 3)
+            .split_index(1)
+            .write_binary(&dir)
+            .unwrap();
+        assert!(report.is_valid());
+
+        let files = report.files.as_ref().expect("binary run produces files");
+        assert_eq!(files.files.len(), 3);
+        assert_eq!(files.format, BlockFormat::Binary);
+        let mut from_disk = files.read_assembled().unwrap();
+        let mut expected = design.realize(1_000_000).unwrap();
+        from_disk.sort();
+        expected.sort();
+        assert_eq!(from_disk, expected);
+
+        let on_disk = RunManifest::read_from(&dir.join(MANIFEST_FILE_NAME)).unwrap();
+        assert_eq!(on_disk, report.manifest);
+        assert_eq!(on_disk.sink, "binary");
+        assert_eq!(on_disk.star_points, vec![3, 4, 5]);
+        assert_eq!(on_disk.self_loop, "Centre");
+        assert_eq!(on_disk.workers, 3);
+        assert_eq!(on_disk.split_index, 1);
+        assert_eq!(
+            on_disk.edges_per_worker.iter().sum::<u64>(),
+            report.edge_count()
+        );
+        assert_eq!(on_disk.outputs.len(), 3);
+        assert!(on_disk.exact_match);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_tsv_round_trips_and_emits_a_manifest() {
+        let design = KroneckerDesign::from_star_points(&[3, 4, 5], SelfLoop::Leaf).unwrap();
+        let dir = temp_dir("manifest_tsv");
+        let report = pipeline(&design, 2).split_index(2).write_tsv(&dir).unwrap();
+        assert!(report.is_valid());
+        let files = report.files.as_ref().expect("tsv run produces files");
+        let mut from_disk = files.read_assembled().unwrap();
+        let mut expected = design.realize(1_000_000).unwrap();
+        from_disk.sort();
+        expected.sort();
+        assert_eq!(from_disk, expected);
+        assert!(dir.join(MANIFEST_FILE_NAME).exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn raw_product_keeps_loops_and_validates_raw_counts() {
+        let design = KroneckerDesign::from_star_points(&[3, 4, 5], SelfLoop::Centre).unwrap();
+        let report = pipeline(&design, 3)
+            .split_index(1)
+            .raw_product()
+            .collect_coo()
+            .unwrap();
+        assert!(
+            report.is_valid(),
+            "raw validation failed: {:?}",
+            report.validation.failures()
+        );
+        assert_eq!(
+            BigUint::from(report.edge_count()),
+            design.nnz_with_loops(),
+            "raw product keeps every self-loop"
+        );
+        assert_eq!(report.measured.self_loops, design.product_self_loops());
+        assert_eq!(report.manifest.self_loop_policy, "keep_raw");
+        // The manifest's predicted count is the one the run validated
+        // against — the raw product's, so predicted == delivered.
+        assert_eq!(
+            report.manifest.predicted_edges,
+            design.nnz_with_loops().to_string()
+        );
+        assert_eq!(
+            report.manifest.predicted_edges,
+            report.manifest.total_edges.to_string()
+        );
+
+        let mut raw = report.assemble();
+        let mut expected = design.realize_raw(1_000_000).unwrap();
+        raw.sort();
+        expected.sort();
+        assert_eq!(raw, expected);
+    }
+
+    #[test]
+    fn custom_sink_combinators_run_through_the_pipeline() {
+        let design = KroneckerDesign::from_star_points(&[3, 4, 5], SelfLoop::Centre).unwrap();
+        let vertices = realisable_vertices(&design).unwrap();
+        // Tee a degree-only validator with a filtered counter that keeps
+        // only upper-triangle edges.
+        let report = pipeline(&design, 2)
+            .split_index(1)
+            .into_sinks(|_| {
+                Ok(TeeSink::new(
+                    DegreeOnlySink::new(vertices),
+                    FilterMapSink::new(CountingSink::new(), |row, col| {
+                        (row < col).then_some((row, col))
+                    }),
+                ))
+            })
+            .unwrap();
+        assert!(report.is_valid());
+        assert_eq!(report.manifest.sink, "custom");
+        let mut merged: Option<DegreeAccumulator> = None;
+        let mut upper = 0;
+        for (degrees, count) in &report.outputs {
+            upper += count;
+            match merged.as_mut() {
+                Some(m) => m.merge(degrees),
+                None => merged = Some(degrees.clone()),
+            }
+        }
+        let merged = merged.unwrap();
+        assert_eq!(merged.edge_count(), report.edge_count());
+        // The designed graph is loop-free and symmetric: upper-triangle
+        // edges are exactly half.
+        assert_eq!(upper * 2, report.edge_count());
+        let streamed = measure_from_histogram(
+            report.vertices,
+            &merged.row_histogram(),
+            merged.self_loop_count(),
+        );
+        assert_eq!(
+            streamed.degree_distribution,
+            report.measured.degree_distribution
+        );
+    }
+
+    #[test]
+    fn zero_workers_rejected_with_typed_error() {
+        let design = KroneckerDesign::from_star_points(&[3, 4], SelfLoop::None).unwrap();
+        assert!(matches!(
+            pipeline(&design, 0).count(),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn chunk_capacity_does_not_change_the_graph() {
+        let design = KroneckerDesign::from_star_points(&[3, 4], SelfLoop::Centre).unwrap();
+        for chunk_capacity in [1usize, 7, 4096] {
+            let report = pipeline(&design, 3)
+                .split_index(1)
+                .chunk_capacity(chunk_capacity)
+                .count()
+                .unwrap();
+            assert_eq!(BigUint::from(report.edge_count()), design.edges());
+            assert!(report.is_valid());
+            assert_eq!(report.measured.self_loops, BigUint::zero());
+        }
+    }
+
+    #[test]
+    fn shared_and_local_histogram_modes_measure_identically() {
+        let design = KroneckerDesign::from_star_points(&[3, 4, 5, 9], SelfLoop::Centre).unwrap();
+        let local = pipeline(&design, 4).split_index(2).count().unwrap();
+        let shared = pipeline(&design, 4)
+            .split_index(2)
+            .max_histogram_bytes(0)
+            .count()
+            .unwrap();
+        assert_eq!(local.measured, shared.measured);
+        assert_eq!(local.edge_count(), shared.edge_count());
+        assert!(shared.is_valid());
+    }
+}

@@ -1,0 +1,386 @@
+//! Edge sinks: the pluggable consumers every generation backend streams
+//! into.
+//!
+//! A sink is one worker's view of "where the edges go".  The
+//! [`Pipeline`](crate::pipeline::Pipeline) expands each worker's slice of
+//! `B_p ⊗ C` straight into the sink the run's factory creates for that
+//! worker, so adding a new output backend — a socket, a compressed file, a
+//! columnar store — is one [`EdgeSink`] impl, not a new generation entry
+//! point.
+//!
+//! Concrete sinks:
+//!
+//! * [`CountingSink`] — counts edges, stores nothing (throughput and
+//!   validation-only runs).
+//! * [`CooSink`] — materialises the worker's block as a COO matrix (tests
+//!   and small graphs).
+//! * [`TsvShardSink`] / [`BinaryShardSink`] — one buffered TSV or
+//!   interleaved-binary shard per worker.
+//! * [`DegreeOnlySink`] — accumulates the worker's exact degree counts and
+//!   writes nothing: measured-equals-predicted validation with zero output.
+//!
+//! Combinators:
+//!
+//! * [`TeeSink`] — fan one stream out to two sinks.
+//! * [`FilterMapSink`] — transform or drop edges before an inner sink sees
+//!   them.
+
+use std::io::{BufWriter, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use kron_sparse::reduce::DegreeAccumulator;
+use kron_sparse::{CooMatrix, SparseError};
+
+use crate::writer::{write_tsv_edges, BLOCK_HEADER_LEN, BLOCK_MAGIC, BLOCK_VERSION_PAIRS};
+
+/// A per-worker consumer of generated edge chunks.
+///
+/// A sink receives every chunk its worker produces (already filtered of the
+/// removable self-loop unless the run keeps the raw product) and is
+/// finalised exactly once at the end of the worker's stream.  Sinks that
+/// buffer nothing — writers, counters — keep the whole run in bounded memory
+/// no matter how many edges pass through.
+pub trait EdgeSink {
+    /// What the sink leaves behind when the stream ends (a path, a count, a
+    /// matrix, …).
+    type Output;
+
+    /// Consume one chunk of `(row, col)` edges with global indices.
+    fn consume(&mut self, edges: &[(u64, u64)]) -> Result<(), SparseError>;
+
+    /// Finalise the sink (flush buffers, patch headers) and return its
+    /// output.
+    #[must_use = "finish flushes buffers and returns the sink's output; dropping the result loses both"]
+    fn finish(self) -> Result<Self::Output, SparseError>;
+}
+
+/// An [`EdgeSink`] that only counts — the sink behind throughput
+/// measurements and histogram-only validation runs.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct CountingSink {
+    edges: u64,
+}
+
+impl CountingSink {
+    /// Create a fresh counter (identical to [`CountingSink::default`]).
+    pub fn new() -> Self {
+        CountingSink::default()
+    }
+}
+
+impl EdgeSink for CountingSink {
+    type Output = u64;
+
+    fn consume(&mut self, edges: &[(u64, u64)]) -> Result<(), SparseError> {
+        self.edges += edges.len() as u64;
+        Ok(())
+    }
+
+    fn finish(self) -> Result<u64, SparseError> {
+        Ok(self.edges)
+    }
+}
+
+/// An [`EdgeSink`] that materialises its worker's block as a COO matrix —
+/// for tests and small graphs, where it makes the streaming pipeline
+/// directly comparable with the materialising generator.
+#[derive(Debug, Clone)]
+pub struct CooSink {
+    block: CooMatrix<u64>,
+    rows: Vec<u64>,
+    cols: Vec<u64>,
+    ones: Vec<u64>,
+}
+
+impl CooSink {
+    /// Create a sink collecting into a `vertices × vertices` pattern matrix.
+    pub fn new(vertices: u64) -> Self {
+        CooSink {
+            block: CooMatrix::new(vertices, vertices),
+            rows: Vec::new(),
+            cols: Vec::new(),
+            ones: Vec::new(),
+        }
+    }
+}
+
+impl EdgeSink for CooSink {
+    type Output = CooMatrix<u64>;
+
+    fn consume(&mut self, edges: &[(u64, u64)]) -> Result<(), SparseError> {
+        // De-interleave into reusable scratch buffers and append in bulk —
+        // one capacity check per chunk instead of one per edge.
+        self.rows.clear();
+        self.cols.clear();
+        self.rows.extend(edges.iter().map(|&(row, _)| row));
+        self.cols.extend(edges.iter().map(|&(_, col)| col));
+        if self.ones.len() < edges.len() {
+            self.ones.resize(edges.len(), 1);
+        }
+        self.block
+            .extend_from_triples(&self.rows, &self.cols, &self.ones[..edges.len()])
+    }
+
+    fn finish(self) -> Result<CooMatrix<u64>, SparseError> {
+        Ok(self.block)
+    }
+}
+
+/// An [`EdgeSink`] writing `row<TAB>col<TAB>1` triples through a buffered
+/// writer — one TSV shard per worker.
+pub struct TsvShardSink {
+    writer: BufWriter<std::fs::File>,
+    path: PathBuf,
+}
+
+impl TsvShardSink {
+    /// Create the shard file at `path`.
+    pub fn create(path: &Path) -> Result<Self, SparseError> {
+        let file = std::fs::File::create(path)?;
+        Ok(TsvShardSink {
+            writer: BufWriter::with_capacity(1 << 18, file),
+            path: path.to_path_buf(),
+        })
+    }
+}
+
+impl EdgeSink for TsvShardSink {
+    type Output = PathBuf;
+
+    fn consume(&mut self, edges: &[(u64, u64)]) -> Result<(), SparseError> {
+        write_tsv_edges(&mut self.writer, edges)?;
+        Ok(())
+    }
+
+    fn finish(mut self) -> Result<PathBuf, SparseError> {
+        self.writer.flush()?;
+        Ok(self.path)
+    }
+}
+
+/// An [`EdgeSink`] writing the interleaved binary shard layout
+/// ([`BLOCK_VERSION_PAIRS`]): the shared block header with a zero entry
+/// count, then `(row, col)` pairs appended as they stream; `finish` seeks
+/// back and patches the true count into the header.  16 bytes per edge, no
+/// buffering beyond the write buffer.
+pub struct BinaryShardSink {
+    writer: BufWriter<std::fs::File>,
+    path: PathBuf,
+    written: u64,
+    scratch: Vec<u8>,
+}
+
+impl BinaryShardSink {
+    /// Create the shard file at `path` for a `nrows × ncols` graph.
+    pub fn create(path: &Path, nrows: u64, ncols: u64) -> Result<Self, SparseError> {
+        let file = std::fs::File::create(path)?;
+        let mut writer = BufWriter::with_capacity(1 << 18, file);
+        writer.write_all(&BLOCK_MAGIC)?;
+        writer.write_all(&BLOCK_VERSION_PAIRS.to_le_bytes())?;
+        writer.write_all(&nrows.to_le_bytes())?;
+        writer.write_all(&ncols.to_le_bytes())?;
+        writer.write_all(&0u64.to_le_bytes())?; // patched by finish()
+        Ok(BinaryShardSink {
+            writer,
+            path: path.to_path_buf(),
+            written: 0,
+            scratch: Vec::new(),
+        })
+    }
+}
+
+impl EdgeSink for BinaryShardSink {
+    type Output = PathBuf;
+
+    fn consume(&mut self, edges: &[(u64, u64)]) -> Result<(), SparseError> {
+        // Serialise the whole chunk into a reusable buffer and issue one
+        // write per chunk, not two per edge.
+        self.scratch.clear();
+        self.scratch.reserve(16 * edges.len());
+        for &(row, col) in edges {
+            self.scratch.extend_from_slice(&row.to_le_bytes());
+            self.scratch.extend_from_slice(&col.to_le_bytes());
+        }
+        self.writer.write_all(&self.scratch)?;
+        self.written += edges.len() as u64;
+        Ok(())
+    }
+
+    fn finish(mut self) -> Result<PathBuf, SparseError> {
+        self.writer.flush()?;
+        let mut file = self
+            .writer
+            .into_inner()
+            .map_err(|e| SparseError::Io(e.to_string()))?;
+        file.seek(SeekFrom::Start(BLOCK_HEADER_LEN - 8))?;
+        file.write_all(&self.written.to_le_bytes())?;
+        file.sync_data()?;
+        Ok(self.path)
+    }
+}
+
+/// An [`EdgeSink`] that accumulates exact per-vertex degree counts and
+/// writes nothing at all — the cheapest way to run the paper's
+/// measured-equals-predicted validation when the edges themselves are not
+/// wanted.  Its output is the worker's [`DegreeAccumulator`]; merge the
+/// per-worker outputs for a run-wide histogram.
+#[derive(Debug, Clone)]
+pub struct DegreeOnlySink {
+    degrees: DegreeAccumulator,
+}
+
+impl DegreeOnlySink {
+    /// Create a sink counting row-endpoint degrees of a
+    /// `vertices × vertices` graph.
+    pub fn new(vertices: u64) -> Self {
+        DegreeOnlySink {
+            degrees: DegreeAccumulator::rows_only(vertices, vertices),
+        }
+    }
+}
+
+impl EdgeSink for DegreeOnlySink {
+    type Output = DegreeAccumulator;
+
+    fn consume(&mut self, edges: &[(u64, u64)]) -> Result<(), SparseError> {
+        self.degrees.record(edges);
+        Ok(())
+    }
+
+    fn finish(self) -> Result<DegreeAccumulator, SparseError> {
+        Ok(self.degrees)
+    }
+}
+
+/// An [`EdgeSink`] that fans every chunk out to two inner sinks — write a
+/// shard *and* count, or feed two independent backends from one expansion.
+#[derive(Debug, Clone)]
+pub struct TeeSink<A, B> {
+    first: A,
+    second: B,
+}
+
+impl<A: EdgeSink, B: EdgeSink> TeeSink<A, B> {
+    /// Fan the stream out to `first` and `second` (in that order per chunk).
+    pub fn new(first: A, second: B) -> Self {
+        TeeSink { first, second }
+    }
+}
+
+impl<A: EdgeSink, B: EdgeSink> EdgeSink for TeeSink<A, B> {
+    type Output = (A::Output, B::Output);
+
+    fn consume(&mut self, edges: &[(u64, u64)]) -> Result<(), SparseError> {
+        self.first.consume(edges)?;
+        self.second.consume(edges)
+    }
+
+    fn finish(self) -> Result<(A::Output, B::Output), SparseError> {
+        let first = self.first.finish()?;
+        let second = self.second.finish()?;
+        Ok((first, second))
+    }
+}
+
+/// An [`EdgeSink`] that applies a `(row, col) → Option<(row, col)>`
+/// transform to every edge before an inner sink sees it — drop edges by
+/// returning `None`, or rewrite them (relabelling, masking, sampling by
+/// index arithmetic) by returning `Some` of the new pair.
+///
+/// Transformed chunks are staged in an internal buffer so the inner sink
+/// still receives whole slices; the buffer is reused across chunks, so the
+/// steady state allocates nothing.
+#[derive(Debug, Clone)]
+pub struct FilterMapSink<S, F> {
+    inner: S,
+    transform: F,
+    buffer: Vec<(u64, u64)>,
+}
+
+impl<S, F> FilterMapSink<S, F>
+where
+    S: EdgeSink,
+    F: FnMut(u64, u64) -> Option<(u64, u64)>,
+{
+    /// Wrap `inner`, passing every edge through `transform` first.
+    pub fn new(inner: S, transform: F) -> Self {
+        FilterMapSink {
+            inner,
+            transform,
+            buffer: Vec::new(),
+        }
+    }
+}
+
+impl<S, F> EdgeSink for FilterMapSink<S, F>
+where
+    S: EdgeSink,
+    F: FnMut(u64, u64) -> Option<(u64, u64)>,
+{
+    type Output = S::Output;
+
+    fn consume(&mut self, edges: &[(u64, u64)]) -> Result<(), SparseError> {
+        self.buffer.clear();
+        let transform = &mut self.transform;
+        self.buffer
+            .extend(edges.iter().filter_map(|&(row, col)| transform(row, col)));
+        self.inner.consume(&self.buffer)
+    }
+
+    fn finish(self) -> Result<S::Output, SparseError> {
+        self.inner.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EDGES: &[(u64, u64)] = &[(0, 1), (1, 1), (2, 0), (3, 3)];
+
+    #[test]
+    fn counting_sink_counts_and_default_is_new() {
+        assert_eq!(CountingSink::new(), CountingSink::default());
+        let mut sink = CountingSink::new();
+        sink.consume(EDGES).unwrap();
+        sink.consume(&EDGES[..2]).unwrap();
+        assert_eq!(sink.finish().unwrap(), 6);
+    }
+
+    #[test]
+    fn tee_sink_feeds_both_branches() {
+        let mut tee = TeeSink::new(CountingSink::new(), CooSink::new(4));
+        tee.consume(EDGES).unwrap();
+        let (count, block) = tee.finish().unwrap();
+        assert_eq!(count, 4);
+        assert_eq!(block.nnz(), 4);
+        assert_eq!(
+            block.iter().map(|(r, c, _)| (r, c)).collect::<Vec<_>>(),
+            EDGES
+        );
+    }
+
+    #[test]
+    fn filter_map_sink_drops_and_rewrites() {
+        // Drop self-loops, transpose everything else.
+        let mut sink = FilterMapSink::new(CooSink::new(4), |row, col| {
+            (row != col).then_some((col, row))
+        });
+        sink.consume(EDGES).unwrap();
+        let block = sink.finish().unwrap();
+        assert_eq!(
+            block.iter().map(|(r, c, _)| (r, c)).collect::<Vec<_>>(),
+            vec![(1, 0), (0, 2)]
+        );
+    }
+
+    #[test]
+    fn degree_only_sink_measures_without_writing() {
+        let mut sink = DegreeOnlySink::new(4);
+        sink.consume(EDGES).unwrap();
+        let degrees = sink.finish().unwrap();
+        assert_eq!(degrees.edge_count(), 4);
+        assert_eq!(degrees.self_loop_count(), 2);
+        assert_eq!(degrees.row_counts(), &[1, 1, 1, 1]);
+    }
+}

@@ -36,6 +36,33 @@ impl SplitPlan {
     }
 }
 
+/// [`choose_split`] with the single-worker fallback every generation entry
+/// point shares: when no split can give `workers` workers at least one `B`
+/// triple each, fall back to the best split for a single worker and return
+/// the warning recording the lost `nnz(B) ≥ workers` balance guarantee
+/// alongside it.
+pub fn choose_split_with_fallback(
+    design: &KroneckerDesign,
+    max_c_edges: u64,
+    workers: usize,
+) -> Result<(SplitPlan, Option<String>), CoreError> {
+    match choose_split(design, max_c_edges, workers as u64) {
+        Ok(plan) => Ok((plan, None)),
+        Err(_) => {
+            let plan = choose_split(design, max_c_edges, 1)?;
+            let warning = format!(
+                "no split gives {workers} workers one B triple each; fell back to \
+                 split index {} with nnz(B) = {}, so {} worker(s) are idle \
+                 and the per-worker balance guarantee does not hold",
+                plan.split_index,
+                plan.b_nnz,
+                workers.saturating_sub(plan.b_nnz.to_u64().unwrap_or(u64::MAX) as usize),
+            );
+            Ok((plan, Some(warning)))
+        }
+    }
+}
+
 /// Choose a split of `design` into `B ⊗ C` such that:
 ///
 /// * `C` has at most `max_c_edges` stored entries (the per-worker memory

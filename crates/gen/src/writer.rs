@@ -69,14 +69,20 @@ pub struct BlockFileSet {
 
 impl BlockFileSet {
     /// Read every block file back and assemble the full adjacency matrix.
+    ///
+    /// A failure names the shard it occurred in
+    /// ([`SparseError::WithPath`]), so a corrupt file in a large set is
+    /// identifiable from the error alone.
     pub fn read_assembled(&self) -> Result<CooMatrix<u64>, CoreError> {
         let mut all = CooMatrix::new(self.vertices, self.vertices);
         for file in &self.files {
             let block = match self.format {
-                BlockFormat::Tsv => read_tsv_file(self.vertices, self.vertices, file)?,
-                BlockFormat::Binary => read_block_bin(file)?,
-            };
-            all.append(&block)?;
+                BlockFormat::Tsv => read_tsv_file(self.vertices, self.vertices, file),
+                BlockFormat::Binary => read_block_bin(file),
+            }
+            .map_err(|e| SparseError::with_path(file, e))?;
+            all.append(&block)
+                .map_err(|e| SparseError::with_path(file, e))?;
         }
         Ok(all)
     }
@@ -164,12 +170,17 @@ pub fn stream_block_tsv(
 /// holding more than one [`EdgeChunk`] per worker in memory.
 ///
 /// This writes the *raw* `B ⊗ C` product — the streaming pipeline's view of
-/// the graph, before any self-loop removal — and is the template every
-/// later sink (sockets, object stores, columnar files) follows: design →
-/// split → partition → chunked expand → per-worker buffered sink.  To write
-/// the designed *final* graph (self-loop removed, plus the streamed degree
-/// histogram for validation), use
-/// [`ShardDriver::run_tsv`](crate::driver::ShardDriver::run_tsv) instead.
+/// the graph, before any self-loop removal — with **no** per-vertex state at
+/// all: unlike `Pipeline::raw_product().write_tsv(dir)`, which also streams
+/// an `O(vertices)` degree histogram for validation and drops a
+/// `manifest.json`, this raw dump keeps only the factors and one chunk per
+/// worker in memory.  Prefer the pipeline unless the vertex count itself is
+/// too large for a histogram.
+#[deprecated(
+    since = "0.1.0",
+    note = "use kron_gen::Pipeline::for_design(..).raw_product().write_tsv(dir) \
+            (adds streamed validation and a run manifest at O(vertices) memory)"
+)]
 pub fn stream_blocks_tsv(
     design: &kron_core::KroneckerDesign,
     split_index: usize,
@@ -374,6 +385,7 @@ pub fn write_blocks_bin(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercises the legacy wrappers on purpose
 mod tests {
     use super::*;
     use crate::generator::{GeneratorConfig, ParallelGenerator};

@@ -41,6 +41,28 @@ pub enum SparseError {
     },
     /// An underlying I/O error (stringified to keep the error type `Clone`).
     Io(String),
+    /// An error annotated with the file it occurred in — multi-file readers
+    /// wrap per-file failures so the caller learns *which* shard was bad.
+    WithPath {
+        /// The file the wrapped error occurred in.
+        path: String,
+        /// The underlying error.
+        source: Box<SparseError>,
+    },
+}
+
+impl SparseError {
+    /// Annotate an error with the file it occurred in.  Already-annotated
+    /// errors are returned unchanged so nested readers never double-wrap.
+    pub fn with_path(path: &std::path::Path, source: SparseError) -> SparseError {
+        match source {
+            already @ SparseError::WithPath { .. } => already,
+            source => SparseError::WithPath {
+                path: path.display().to_string(),
+                source: Box::new(source),
+            },
+        }
+    }
 }
 
 impl fmt::Display for SparseError {
@@ -67,6 +89,7 @@ impl fmt::Display for SparseError {
                 write!(f, "parse error at line {line}: {message}")
             }
             SparseError::Io(msg) => write!(f, "i/o error: {msg}"),
+            SparseError::WithPath { path, source } => write!(f, "{path}: {source}"),
         }
     }
 }
@@ -108,6 +131,20 @@ mod tests {
             message: "bad".into(),
         };
         assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn with_path_annotates_and_never_double_wraps() {
+        let path = std::path::Path::new("/data/block_00003.kbk");
+        let inner = SparseError::Parse {
+            line: 7,
+            message: "bad magic".into(),
+        };
+        let wrapped = SparseError::with_path(path, inner.clone());
+        assert!(wrapped.to_string().contains("block_00003.kbk"));
+        assert!(wrapped.to_string().contains("bad magic"));
+        let rewrapped = SparseError::with_path(std::path::Path::new("/other"), wrapped.clone());
+        assert_eq!(rewrapped, wrapped, "annotation must be idempotent");
     }
 
     #[test]

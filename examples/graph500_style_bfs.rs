@@ -15,7 +15,7 @@ use std::time::Instant;
 
 use extreme_graphs::sparse::bfs::{bfs, connected_components};
 use extreme_graphs::sparse::{CsrMatrix, PlusTimes};
-use extreme_graphs::{GeneratorConfig, KroneckerDesign, ParallelGenerator, SelfLoop};
+use extreme_graphs::{KroneckerDesign, Pipeline, SelfLoop};
 
 fn main() {
     // Design and generate: centre-loop construction so the graph is connected
@@ -29,22 +29,22 @@ fn main() {
         design.triangles().expect("triangle-countable"),
     );
 
-    let generator = ParallelGenerator::new(GeneratorConfig {
-        workers: 8,
-        max_c_edges: 200_000,
-        max_total_edges: 60_000_000,
-    });
     let started = Instant::now();
-    let graph = generator.generate(&design).expect("fits in memory");
+    let report = Pipeline::for_design(&design)
+        .workers(8)
+        .max_c_edges(200_000)
+        .collect_coo()
+        .expect("fits in memory");
     println!(
-        "generated in {:?} on {} workers ({:.1} Medges/s)",
+        "generated in {:?} on {} workers ({:.1} Medges/s), streamed validation exact: {}",
         started.elapsed(),
-        graph.stats.workers,
-        graph.stats.edges_per_second() / 1e6
+        report.stats.workers,
+        report.stats.edges_per_second() / 1e6,
+        report.validation.is_exact_match(),
     );
 
     // Build the CSR the traversal kernels consume.
-    let assembled = graph.assemble();
+    let assembled = report.assemble();
     let csr = CsrMatrix::from_coo::<PlusTimes>(&assembled).expect("fits in memory");
 
     // Connectivity: the centre-loop star product is a single connected

@@ -1,6 +1,6 @@
 //! Quickstart: design a power-law graph, predict its exact properties,
-//! generate it in parallel, and validate that prediction and measurement
-//! agree exactly.
+//! run the design → generate → validate pipeline, and inspect the run
+//! manifest.
 //!
 //! Run with:
 //!
@@ -8,9 +8,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use extreme_graphs::core::validate::{compare_properties, measure_properties};
-use extreme_graphs::gen::measure::measured_properties;
-use extreme_graphs::{GeneratorConfig, KroneckerDesign, ParallelGenerator, SelfLoop};
+use extreme_graphs::core::validate::measure_properties;
+use extreme_graphs::{KroneckerDesign, Pipeline, SelfLoop};
 
 fn main() {
     // 1. Design: Kronecker product of stars with m̂ = {3, 4, 5, 9} points and
@@ -24,39 +23,46 @@ fn main() {
     println!("{}", design.properties());
     println!();
 
-    // 2. Generate: split into B ⊗ C, give each of 4 workers an equal slice of
-    //    B's triples, and let every worker build its block independently —
-    //    no inter-worker communication.
-    let generator = ParallelGenerator::new(GeneratorConfig {
-        workers: 4,
-        max_c_edges: 10_000,
-        max_total_edges: 10_000_000,
-    });
-    let graph = generator.generate(&design).expect("design fits in memory");
+    // 2. Generate + validate, one builder: split into B ⊗ C, give each of 4
+    //    workers an equal slice of B's triples, stream every worker's
+    //    expansion into an in-memory block — no inter-worker communication —
+    //    while a streaming degree histogram measures the result.
+    let report = Pipeline::for_design(&design)
+        .workers(4)
+        .collect_coo()
+        .expect("design fits in memory");
     println!("=== generation ===");
     println!(
         "workers: {}   edges: {}   rate: {:.1} Medges/s   balance (max/mean): {:.4}",
-        graph.stats.workers,
-        graph.stats.total_edges,
-        graph.stats.edges_per_second() / 1e6,
-        graph.stats.balance_ratio(),
+        report.stats.workers,
+        report.stats.total_edges,
+        report.stats.edges_per_second() / 1e6,
+        report.stats.balance_ratio(),
     );
-    println!("edges per worker: {:?}", graph.stats.edges_per_worker);
+    println!("edges per worker: {:?}", report.stats.edges_per_worker);
     println!();
 
-    // 3. Validate: measure the distributed blocks and compare field by field.
-    let measured = measured_properties(&graph, 10_000_000).expect("measurement succeeds");
-    let report = compare_properties(&design.properties(), &measured);
-    println!("=== validation (predicted vs measured) ===");
-    println!("{report}");
+    // 3. The run already validated itself: the streamed degree histogram is
+    //    compared with the prediction field by field (the paper's Figure 4).
+    println!("=== validation (predicted vs measured, streamed) ===");
+    println!("{}", report.validation);
     assert!(
-        report.is_exact_match(),
+        report.validation.is_exact_match(),
         "generated graph must match the design exactly"
     );
 
-    // 4. The same exactness holds for the assembled matrix.
-    let assembled = graph.assemble();
+    // 4. The same exactness holds for the assembled matrix — including the
+    //    triangle count, which a stream cannot measure.
+    let assembled = report.assemble();
     let assembled_props = measure_properties(&assembled).expect("assembled measurement");
     assert!(design.properties().exactly_matches(&assembled_props));
-    println!("\nquickstart: all predictions verified exactly ✓");
+
+    // 5. Every run carries a serialisable manifest: the design spec, the
+    //    full configuration, and the per-worker results.  File-writing
+    //    terminals (`.write_tsv(dir)` / `.write_binary(dir)`) drop this as
+    //    `manifest.json` next to the shards.
+    println!("=== run manifest ===");
+    println!("{}", report.manifest.to_json());
+
+    println!("quickstart: all predictions verified exactly ✓");
 }

@@ -12,7 +12,7 @@ use std::time::Instant;
 
 use extreme_graphs::core::validate::measure_properties;
 use extreme_graphs::rmat::{measure_edge_list, RmatGenerator, RmatParams};
-use extreme_graphs::{GeneratorConfig, KroneckerDesign, ParallelGenerator, SelfLoop};
+use extreme_graphs::{KroneckerDesign, Pipeline, SelfLoop};
 
 fn main() {
     // Pick designs of comparable size: the Kronecker design below has
@@ -33,21 +33,20 @@ fn main() {
     println!("{properties}");
 
     let generate_start = Instant::now();
-    let generator = ParallelGenerator::new(GeneratorConfig {
-        workers: 8,
-        max_c_edges: 200_000,
-        max_total_edges: 20_000_000,
-    });
-    let graph = generator.generate(&design).expect("design fits in memory");
+    let report = Pipeline::for_design(&design)
+        .workers(8)
+        .max_c_edges(200_000)
+        .collect_coo()
+        .expect("design fits in memory");
     let generate_elapsed = generate_start.elapsed();
     println!(
         "\ngenerated {} edges in {:?} ({:.1} Medges/s), per-worker imbalance {} edges",
-        graph.edge_count(),
+        report.edge_count(),
         generate_elapsed,
-        graph.stats.edges_per_second() / 1e6,
-        graph.stats.imbalance(),
+        report.stats.edges_per_second() / 1e6,
+        report.stats.imbalance(),
     );
-    let assembled = graph.assemble();
+    let assembled = report.assemble();
     let measured = measure_properties(&assembled).expect("measurement succeeds");
     println!(
         "structural artefacts: {} self-loops, {} duplicate edges, {} empty vertices",

@@ -16,9 +16,9 @@
 //! ```
 
 use extreme_graphs::bignum::grouped;
-use extreme_graphs::core::validate::compare_properties;
-use extreme_graphs::gen::measure::{measured_properties, BalanceReport};
-use extreme_graphs::{GeneratorConfig, KroneckerDesign, ParallelGenerator, SelfLoop};
+use extreme_graphs::core::validate::{compare_properties, measure_properties};
+use extreme_graphs::gen::measure::BalanceReport;
+use extreme_graphs::{KroneckerDesign, Pipeline, SelfLoop};
 
 fn main() {
     // --- 1. The paper's exact trillion-edge numbers, reproduced analytically.
@@ -66,15 +66,11 @@ fn main() {
         );
     }
 
-    // --- 2. The same workflow, generated for real at machine scale.
+    // --- 2. The same workflow, generated for real at machine scale through
+    //        the pipeline.
     let scaled = KroneckerDesign::from_star_points(&[3, 4, 5, 9, 16], SelfLoop::Centre)
         .expect("scaled design is valid");
     let workers = 8;
-    let generator = ParallelGenerator::new(GeneratorConfig {
-        workers,
-        max_c_edges: 50_000,
-        max_total_edges: 50_000_000,
-    });
 
     println!("\n=== same structure generated at machine scale ===");
     println!(
@@ -82,24 +78,32 @@ fn main() {
         grouped(&scaled.vertices().to_string()),
         grouped(&scaled.edges().to_string()),
     );
-    let graph = generator
-        .generate(&scaled)
+    let run = Pipeline::for_design(&scaled)
+        .workers(workers)
+        .max_c_edges(50_000)
+        .collect_coo()
         .expect("scaled design fits in memory");
     println!(
         "generated with {} workers in {:.3} s ({:.1} Medges/s)",
         workers,
-        graph.stats.seconds,
-        graph.stats.edges_per_second() / 1e6
+        run.stats.seconds,
+        run.stats.edges_per_second() / 1e6
     );
-    let balance = BalanceReport::of(&graph);
+    let balance = BalanceReport::from_stats(&run.stats);
     println!(
         "per-worker edges: min {}, max {} (max/mean = {:.4})",
         balance.min_edges, balance.max_edges, balance.max_over_mean
     );
 
-    let measured = measured_properties(&graph, 50_000_000).expect("measurement succeeds");
+    // The run validated its streamed degree histogram already; the
+    // materialised cross-check below adds the triangle count.
+    assert!(
+        run.validation.is_exact_match(),
+        "streamed validation must be exact"
+    );
+    let measured = measure_properties(&run.assemble()).expect("measurement succeeds");
     let report = compare_properties(&scaled.properties(), &measured);
-    println!("\npredicted vs measured:\n{report}");
+    println!("\npredicted vs measured (triangles included):\n{report}");
     assert!(
         report.is_exact_match(),
         "measured properties must equal the prediction exactly"

@@ -11,31 +11,53 @@
 //!   matrix substrate (semirings, COO/CSR/CSC, Kronecker products, SpGEMM).
 //! * [`core`] (re-export of `kron-core`) — the paper's contribution: exact
 //!   design of power-law Kronecker graphs from star constituents.
-//! * [`gen`] (re-export of `kron-gen`) — communication-free parallel
-//!   generation with rayon workers standing in for the paper's processors.
+//! * [`gen`] (re-export of `kron-gen`) — the unified design → generate →
+//!   validate [`Pipeline`], its [`gen::sink`] module of pluggable edge
+//!   sinks, and the streaming engine underneath them.
 //! * [`rmat`] (re-export of `kron-rmat`) — the R-MAT / Graph500 baseline and
 //!   its trial-and-error design loop.
 //!
-//! The most common entry points are re-exported at the top level:
+//! The paper's whole workflow is one builder:
 //!
 //! ```
-//! use extreme_graphs::{KroneckerDesign, ParallelGenerator, GeneratorConfig, SelfLoop};
+//! use extreme_graphs::{KroneckerDesign, Pipeline, SelfLoop};
 //!
 //! // Design a graph with exactly known properties…
 //! let design = KroneckerDesign::from_star_points(&[3, 4, 5, 9], SelfLoop::Centre).unwrap();
 //! assert_eq!(design.edges().to_string(), "13166");
 //!
-//! // …generate it in parallel with no inter-worker communication…
-//! let generator = ParallelGenerator::new(GeneratorConfig {
-//!     workers: 4,
-//!     max_c_edges: 10_000,
-//!     max_total_edges: 1_000_000,
-//! });
-//! let graph = generator.generate(&design).unwrap();
+//! // …generate it in parallel with no inter-worker communication, streaming
+//! // every edge through per-worker sinks (here: counters) while a streaming
+//! // degree histogram measures the result…
+//! let report = Pipeline::for_design(&design).workers(4).count().unwrap();
 //!
-//! // …and verify the realisation matches the design exactly.
-//! assert_eq!(graph.edge_count().to_string(), design.edges().to_string());
+//! // …and the run has already validated measured == predicted, field by
+//! // field, and recorded a reproducibility manifest.
+//! assert!(report.validation.is_exact_match());
+//! assert_eq!(report.edge_count().to_string(), design.edges().to_string());
+//! assert_eq!(report.manifest.total_edges, report.edge_count());
 //! ```
+//!
+//! Other terminals: [`Pipeline::collect_coo`] for in-memory blocks,
+//! [`Pipeline::write_tsv`] / [`Pipeline::write_binary`] for one shard file
+//! per worker (plus a `manifest.json`), and [`Pipeline::into_sinks`] for any
+//! custom [`gen::sink::EdgeSink`].
+//!
+//! ## Migrating from the pre-pipeline entry points
+//!
+//! The earlier entry points remain as deprecated thin wrappers:
+//!
+//! | deprecated | pipeline replacement |
+//! |---|---|
+//! | `ParallelGenerator::new(cfg).generate(&d)` | `Pipeline::for_design(&d).workers(n).collect_coo()` |
+//! | `ParallelGenerator::generate_with_split(&d, s)` | `Pipeline::for_design(&d).split_index(s).collect_coo()` |
+//! | `ShardDriver::new(cfg).run_counting(&d, s)` | `Pipeline::for_design(&d).split_index(s).count()` |
+//! | `ShardDriver::run_coo(&d, s)` | `Pipeline::for_design(&d).split_index(s).collect_coo()` |
+//! | `ShardDriver::run_tsv(&d, s, dir)` | `Pipeline::for_design(&d).split_index(s).write_tsv(dir)` |
+//! | `ShardDriver::run_binary(&d, s, dir)` | `Pipeline::for_design(&d).split_index(s).write_binary(dir)` |
+//! | `ShardDriver::run(&d, s, factory)` | `Pipeline::for_design(&d).split_index(s).into_sinks(factory)` |
+//! | `gen::writer::stream_blocks_tsv(&d, s, w, max, dir)` | `Pipeline::for_design(&d).raw_product().write_tsv(dir)` |
+//! | `GeneratorConfig::max_total_edges` | gone — the pipeline streams and has no total-edge ceiling |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -52,8 +74,8 @@ pub use kron_core::{
     SelfLoop, StarGraph, ValidationReport,
 };
 pub use kron_gen::{
-    DistributedGraph, DriverConfig, GenerationStats, GeneratorConfig, ParallelGenerator,
-    ShardDriver, ShardRun,
+    DistributedGraph, DriverConfig, GenerationStats, GeneratorConfig, ParallelGenerator, Pipeline,
+    RunManifest, RunReport, SelfLoopPolicy, ShardDriver, ShardRun,
 };
 pub use kron_rmat::{RmatGenerator, RmatParams};
 
@@ -67,5 +89,16 @@ mod tests {
         assert_eq!(design.vertices(), BigUint::from(20u64));
         let params = RmatParams::graph500(5);
         assert!(params.is_valid());
+    }
+
+    #[test]
+    fn pipeline_reexport_runs_end_to_end() {
+        let design = KroneckerDesign::from_star_points(&[3, 4], SelfLoop::Centre).unwrap();
+        let report = Pipeline::for_design(&design).workers(2).count().unwrap();
+        assert!(report.is_valid());
+        assert_eq!(
+            RunManifest::from_json(&report.manifest.to_json()).unwrap(),
+            report.manifest
+        );
     }
 }

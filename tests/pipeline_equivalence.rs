@@ -1,0 +1,277 @@
+//! The pipeline is the single engine: every legacy entry point must be a
+//! pure re-plumbing of it.
+//!
+//! These tests pin `Pipeline` output bit-identical to the deprecated
+//! `ShardDriver::run_*` and `ParallelGenerator::generate().assemble()`
+//! wrappers across worker counts, chunk capacities, and every `SelfLoop`
+//! variant (deterministically and under proptest), verify that the shard
+//! files the two paths write are byte-for-byte identical, and round-trip
+//! the `RunManifest` JSON that every shard-producing run now emits.
+
+// The deprecated wrappers are half of every comparison here.
+#![allow(deprecated)]
+
+use std::path::PathBuf;
+
+use extreme_graphs::gen::manifest::MANIFEST_FILE_NAME;
+use extreme_graphs::gen::{DriverConfig, Pipeline, RunManifest};
+use extreme_graphs::sparse::CooMatrix;
+use extreme_graphs::{GeneratorConfig, KroneckerDesign, ParallelGenerator, SelfLoop, ShardDriver};
+
+const SELF_LOOPS: [SelfLoop; 3] = [SelfLoop::None, SelfLoop::Centre, SelfLoop::Leaf];
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("extreme_graphs_pipeline_equivalence")
+        .join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn pipeline(design: &KroneckerDesign, workers: usize, chunk: usize) -> Pipeline<'_> {
+    Pipeline::for_design(design)
+        .workers(workers)
+        .max_c_edges(200_000)
+        .chunk_capacity(chunk)
+}
+
+fn driver(workers: usize, chunk: usize) -> ShardDriver {
+    ShardDriver::new(DriverConfig {
+        workers,
+        max_c_edges: 200_000,
+        chunk_capacity: chunk,
+        ..DriverConfig::default()
+    })
+}
+
+#[test]
+fn pipeline_blocks_equal_generator_blocks_bit_for_bit() {
+    for self_loop in SELF_LOOPS {
+        let design = KroneckerDesign::from_star_points(&[3, 4, 5, 9], self_loop).unwrap();
+        for workers in [1usize, 3, 8] {
+            for chunk in [1usize, 64, 4096] {
+                let report = pipeline(&design, workers, chunk)
+                    .split_index(2)
+                    .collect_coo()
+                    .unwrap();
+                assert!(report.is_valid());
+
+                let legacy = ParallelGenerator::new(GeneratorConfig {
+                    workers,
+                    max_c_edges: 200_000,
+                    max_total_edges: 10_000_000,
+                })
+                .generate_with_split(&design, 2)
+                .unwrap();
+
+                // Same number of blocks, same per-worker edge counts…
+                assert_eq!(report.outputs.len(), legacy.blocks.len());
+                assert_eq!(
+                    report.stats.edges_per_worker,
+                    legacy.edges_per_worker(),
+                    "per-worker counts differ for {self_loop:?} w{workers} c{chunk}"
+                );
+                // …and identical assembled graphs, triple for triple.
+                let mut streamed = report.assemble();
+                let mut materialised = legacy.assemble();
+                streamed.sort();
+                materialised.sort();
+                assert_eq!(
+                    streamed, materialised,
+                    "pipeline differs from generator for {self_loop:?} w{workers} c{chunk}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pipeline_counts_equal_driver_counts() {
+    for self_loop in SELF_LOOPS {
+        let design = KroneckerDesign::from_star_points(&[3, 4, 5, 9], self_loop).unwrap();
+        for workers in [1usize, 2, 5] {
+            let report = pipeline(&design, workers, 512)
+                .split_index(2)
+                .count()
+                .unwrap();
+            let legacy = driver(workers, 512).run_counting(&design, 2).unwrap();
+            assert_eq!(report.outputs, legacy.outputs);
+            assert_eq!(report.measured, legacy.measured);
+            assert_eq!(report.edge_count(), legacy.edge_count());
+            assert_eq!(
+                report.validation.is_exact_match(),
+                legacy.validate().is_exact_match()
+            );
+        }
+    }
+}
+
+#[test]
+fn shard_files_are_byte_identical_across_entry_points() {
+    let design = KroneckerDesign::from_star_points(&[3, 4, 5], SelfLoop::Centre).unwrap();
+    for (format, ext) in [("binary", "kbk"), ("tsv", "tsv")] {
+        let via_pipeline = temp_dir(&format!("pipeline_{format}"));
+        let via_driver = temp_dir(&format!("driver_{format}"));
+
+        let (report, legacy_files) = if format == "binary" {
+            let report = pipeline(&design, 3, 512)
+                .split_index(1)
+                .write_binary(&via_pipeline)
+                .unwrap();
+            let (_, files) = driver(3, 512).run_binary(&design, 1, &via_driver).unwrap();
+            (report, files)
+        } else {
+            let report = pipeline(&design, 3, 512)
+                .split_index(1)
+                .write_tsv(&via_pipeline)
+                .unwrap();
+            let (_, files) = driver(3, 512).run_tsv(&design, 1, &via_driver).unwrap();
+            (report, files)
+        };
+
+        let pipeline_files = report.files.as_ref().expect("file terminal");
+        assert_eq!(pipeline_files.files.len(), legacy_files.files.len());
+        for (a, b) in pipeline_files.files.iter().zip(legacy_files.files.iter()) {
+            assert_eq!(a.file_name(), b.file_name(), "shard naming must not change");
+            assert_eq!(a.extension().and_then(|e| e.to_str()), Some(ext));
+            let left = std::fs::read(a).unwrap();
+            let right = std::fs::read(b).unwrap();
+            assert_eq!(left, right, "{format} shard {a:?} differs from {b:?}");
+        }
+
+        // Both entry points emit the same manifest (modulo the paths and
+        // wall-clock timing, which necessarily differ).
+        let mut from_pipeline =
+            RunManifest::read_from(&via_pipeline.join(MANIFEST_FILE_NAME)).unwrap();
+        let mut from_driver = RunManifest::read_from(&via_driver.join(MANIFEST_FILE_NAME)).unwrap();
+        assert_eq!(from_pipeline, report.manifest);
+        from_pipeline.seconds = 0.0;
+        from_driver.seconds = 0.0;
+        from_pipeline.directory = None;
+        from_driver.directory = None;
+        from_pipeline.outputs.clear();
+        from_driver.outputs.clear();
+        assert_eq!(from_pipeline, from_driver);
+
+        std::fs::remove_dir_all(&via_pipeline).ok();
+        std::fs::remove_dir_all(&via_driver).ok();
+    }
+}
+
+#[test]
+fn every_shard_producing_run_emits_a_round_tripping_manifest() {
+    let design = KroneckerDesign::from_star_points(&[3, 4, 5], SelfLoop::Leaf).unwrap();
+    let dir = temp_dir("manifest_round_trip");
+    let report = pipeline(&design, 4, 2048)
+        .split_index(2)
+        .write_binary(&dir)
+        .unwrap();
+
+    let path = dir.join(MANIFEST_FILE_NAME);
+    assert!(path.exists(), "shard runs must write manifest.json");
+    let manifest = RunManifest::read_from(&path).unwrap();
+    assert_eq!(manifest, report.manifest);
+    // Full JSON round trip: parse(serialise(m)) == m.
+    assert_eq!(
+        RunManifest::from_json(&manifest.to_json()).unwrap(),
+        manifest
+    );
+
+    // The manifest records the run faithfully.
+    assert_eq!(manifest.star_points, vec![3, 4, 5]);
+    assert_eq!(manifest.self_loop, "Leaf");
+    assert_eq!(manifest.workers, 4);
+    assert_eq!(manifest.split_index, 2);
+    assert_eq!(manifest.chunk_capacity, 2048);
+    assert_eq!(manifest.sink, "binary");
+    assert_eq!(manifest.total_edges, report.edge_count());
+    assert_eq!(manifest.edges_per_worker, report.stats.edges_per_worker);
+    assert_eq!(manifest.outputs.len(), 4);
+    assert!(manifest.exact_match);
+    assert_eq!(manifest.vertices, design.vertices().to_string());
+    assert_eq!(manifest.predicted_edges, design.edges().to_string());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_shard_errors_name_the_failing_file() {
+    let design = KroneckerDesign::from_star_points(&[3, 4], SelfLoop::None).unwrap();
+    let dir = temp_dir("corrupt_named");
+    let report = pipeline(&design, 2, 512)
+        .split_index(1)
+        .write_binary(&dir)
+        .unwrap();
+    let files = report.files.unwrap();
+    // Corrupt the second shard's magic.
+    let victim = &files.files[1];
+    let mut bytes = std::fs::read(victim).unwrap();
+    bytes[..4].copy_from_slice(b"NOPE");
+    std::fs::write(victim, &bytes).unwrap();
+
+    let error = files.read_assembled().unwrap_err();
+    let message = error.to_string();
+    assert!(
+        message.contains("block_00001"),
+        "error must name the failing shard, got: {message}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+mod random_designs {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        #[test]
+        fn pipeline_is_bit_identical_to_both_legacy_paths(
+            left_points in 2u64..6,
+            right_points in 2u64..6,
+            workers in 1usize..8,
+            chunk_choice in 0usize..3,
+            loop_choice in 0u8..3,
+        ) {
+            let self_loop = SELF_LOOPS[loop_choice as usize];
+            let chunk = [1usize, 7, 4096][chunk_choice];
+            let design =
+                KroneckerDesign::from_star_points(&[left_points, right_points], self_loop)
+                    .unwrap();
+
+            let report = pipeline(&design, workers, chunk)
+                .split_index(1)
+                .collect_coo()
+                .unwrap();
+            prop_assert!(report.is_valid());
+
+            // Legacy path 1: the materialising generator.
+            let generated = ParallelGenerator::new(GeneratorConfig {
+                workers,
+                max_c_edges: 200_000,
+                max_total_edges: 1_000_000,
+            })
+            .generate_with_split(&design, 1)
+            .unwrap();
+
+            // Legacy path 2: the shard driver's COO sinks.
+            let run = driver(workers, chunk).run_coo(&design, 1).unwrap();
+            let mut via_driver = CooMatrix::new(run.vertices, run.vertices);
+            for block in &run.outputs {
+                via_driver.append(block).unwrap();
+            }
+
+            let mut via_pipeline = report.assemble();
+            let mut via_generator = generated.assemble();
+            via_pipeline.sort();
+            via_generator.sort();
+            via_driver.sort();
+            prop_assert_eq!(&via_pipeline, &via_generator);
+            prop_assert_eq!(&via_pipeline, &via_driver);
+
+            // And the manifest of any run round-trips through JSON.
+            prop_assert_eq!(
+                RunManifest::from_json(&report.manifest.to_json()).unwrap(),
+                report.manifest
+            );
+        }
+    }
+}
