@@ -1,0 +1,165 @@
+//! Edge-source throughput through identical pipeline terminals.
+//!
+//! The generic pipeline runs every source — the exact Kronecker expansion
+//! and the R-MAT sampler — through the same engine, sinks, and streamed
+//! histogram, which makes their generation rates directly comparable for
+//! the first time: same counting sink, same validation work, only the
+//! source differs.  This bench measures
+//!
+//! * `kronecker_counting_w{N}` — the exact expansion at 1 and 4 workers,
+//! * `rmat_counting_w{N}` — the indexed R-MAT sampler at 1 and 4 workers,
+//! * `*_permuted_w4` — both sources with the in-stream Feistel
+//!   vertex-permutation stage enabled, to price the O(1)-memory relabelling.
+//!
+//! Results are printed and written as machine-readable JSON to
+//! `BENCH_source_throughput.json` at the workspace root, so successive PRs
+//! can track the trajectory.
+
+use std::time::{Duration, Instant};
+
+use kron_core::{KroneckerDesign, SelfLoop};
+use kron_gen::Pipeline;
+use kron_rmat::{RmatParams, RmatSource};
+
+/// The paper's `B` factor from Figures 3/4 (13,824,000 edges).
+const KRON_POINTS: &[u64] = &[3, 4, 5, 9, 16, 25];
+const KRON_SPLIT: usize = 2;
+/// Scale 18 / edge factor 16: 4,194,304 samples over 262,144 vertices —
+/// the R-MAT side of the comparison at a size every pass finishes quickly.
+const RMAT_SCALE: u32 = 18;
+const RMAT_SEED: u64 = 20180304;
+const PERMUTE_SEED: u64 = 0x5EED;
+const SAMPLES: usize = 5;
+
+struct Measurement {
+    name: String,
+    median: Duration,
+    edges_per_sec: f64,
+}
+
+fn measure(name: impl Into<String>, edges: u64, mut pass: impl FnMut() -> u64) -> Measurement {
+    let name = name.into();
+    assert_eq!(pass(), edges, "{name} produced the wrong number of edges");
+    let mut samples: Vec<Duration> = (0..SAMPLES)
+        .map(|_| {
+            let started = Instant::now();
+            criterion::black_box(pass());
+            started.elapsed()
+        })
+        .collect();
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    Measurement {
+        name,
+        median,
+        edges_per_sec: edges as f64 / median.as_secs_f64(),
+    }
+}
+
+fn kron_pass(design: &KroneckerDesign, workers: usize, permute: bool) -> u64 {
+    let mut pipeline = Pipeline::for_design(design)
+        .workers(workers)
+        .split_index(KRON_SPLIT)
+        .max_c_edges(1 << 20);
+    if permute {
+        pipeline = pipeline.permute_vertices(PERMUTE_SEED);
+    }
+    let report = pipeline.count().expect("factors fit");
+    assert!(report.is_valid());
+    report.edge_count()
+}
+
+fn rmat_pass(params: RmatParams, workers: usize, permute: bool) -> u64 {
+    let source = RmatSource::new(params, RMAT_SEED).expect("valid parameters");
+    let mut pipeline = Pipeline::for_source(source).workers(workers);
+    if permute {
+        pipeline = pipeline.permute_vertices(PERMUTE_SEED);
+    }
+    let report = pipeline.count().expect("counting cannot fail");
+    assert!(report.is_valid());
+    report.edge_count()
+}
+
+fn main() {
+    let design =
+        KroneckerDesign::from_star_points(KRON_POINTS, SelfLoop::None).expect("valid design");
+    let kron_edges = design.edges().to_u64().expect("bench scale");
+    let params = RmatParams::graph500(RMAT_SCALE);
+    let rmat_edges = params.requested_edges();
+    println!("source_throughput: kronecker {kron_edges} edges, rmat {rmat_edges} samples per pass");
+
+    let mut results: Vec<Measurement> = Vec::new();
+    for &workers in &[1usize, 4] {
+        results.push(measure(
+            format!("kronecker_counting_w{workers}"),
+            kron_edges,
+            || kron_pass(&design, workers, false),
+        ));
+    }
+    results.push(measure("kronecker_permuted_w4", kron_edges, || {
+        kron_pass(&design, 4, true)
+    }));
+    for &workers in &[1usize, 4] {
+        results.push(measure(
+            format!("rmat_counting_w{workers}"),
+            rmat_edges,
+            || rmat_pass(params, workers, false),
+        ));
+    }
+    results.push(measure("rmat_permuted_w4", rmat_edges, || {
+        rmat_pass(params, 4, true)
+    }));
+
+    for m in &results {
+        println!(
+            "  {:<26} median {:>12?}  {:>9.1} Medges/s",
+            m.name,
+            m.median,
+            m.edges_per_sec / 1e6
+        );
+    }
+    let rate_of = |name: &str| {
+        results
+            .iter()
+            .find(|m| m.name == name)
+            .unwrap_or_else(|| panic!("no measurement named {name}"))
+            .edges_per_sec
+    };
+    let kron_vs_rmat_w4 = rate_of("kronecker_counting_w4") / rate_of("rmat_counting_w4");
+    let kron_permute_cost = rate_of("kronecker_counting_w4") / rate_of("kronecker_permuted_w4");
+    let rmat_permute_cost = rate_of("rmat_counting_w4") / rate_of("rmat_permuted_w4");
+    println!("  kronecker(4) vs rmat(4):              {kron_vs_rmat_w4:.2}x");
+    println!("  kronecker permutation slowdown (w4):  {kron_permute_cost:.2}x");
+    println!("  rmat permutation slowdown (w4):       {rmat_permute_cost:.2}x");
+
+    let json_entries: Vec<String> = results
+        .iter()
+        .map(|m| {
+            format!(
+                "    {{\"name\": \"{}\", \"seconds\": {:.6}, \"edges_per_sec\": {:.0}}}",
+                m.name,
+                m.median.as_secs_f64(),
+                m.edges_per_sec
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"source_throughput\",\n  \"kronecker\": {{\"points\": {:?}, \"split_index\": {}, \"edges\": {}}},\n  \"rmat\": {{\"scale\": {}, \"edge_factor\": 16, \"samples\": {}}},\n  \"samples\": {},\n  \"results\": [\n{}\n  ],\n  \"kronecker_vs_rmat_w4\": {:.3},\n  \"kronecker_permute_slowdown_w4\": {:.3},\n  \"rmat_permute_slowdown_w4\": {:.3}\n}}\n",
+        KRON_POINTS,
+        KRON_SPLIT,
+        kron_edges,
+        RMAT_SCALE,
+        rmat_edges,
+        SAMPLES,
+        json_entries.join(",\n"),
+        kron_vs_rmat_w4,
+        kron_permute_cost,
+        rmat_permute_cost
+    );
+    let out_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_source_throughput.json"
+    );
+    std::fs::write(out_path, &json).expect("write BENCH_source_throughput.json");
+    println!("wrote {out_path}");
+}

@@ -11,7 +11,7 @@
 
 use kron_bignum::BigUint;
 use kron_core::{DegreeDistribution, KroneckerDesign, SelfLoop};
-use kron_gen::Pipeline;
+use kron_gen::{DesignPipeline, Pipeline};
 
 /// The star sets used across the paper's evaluation section.
 pub mod paper {
@@ -77,7 +77,7 @@ pub fn truncate_decimal(value: &BigUint) -> String {
 /// A standard machine-scale pipeline used by every generating figure: the
 /// shared factor budgets, ready for a terminal (`.count()`,
 /// `.collect_coo()`, …).
-pub fn machine_pipeline(design: &KroneckerDesign, workers: usize) -> Pipeline<'_> {
+pub fn machine_pipeline(design: &KroneckerDesign, workers: usize) -> DesignPipeline<'_> {
     Pipeline::for_design(design)
         .workers(workers)
         .max_c_edges(200_000)

@@ -120,6 +120,26 @@ pub struct FieldCheck {
     pub matches: bool,
 }
 
+impl FieldCheck {
+    /// Build a check by rendering both values to decimal strings and
+    /// comparing them exactly — the single way every validation path in the
+    /// workspace constructs its field comparisons.
+    pub fn exact(
+        field: impl Into<String>,
+        predicted: impl ToString,
+        measured: impl ToString,
+    ) -> Self {
+        let predicted = predicted.to_string();
+        let measured = measured.to_string();
+        FieldCheck {
+            field: field.into(),
+            matches: predicted == measured,
+            predicted,
+            measured,
+        }
+    }
+}
+
 /// The result of validating a realised graph against its design.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ValidationReport {
@@ -136,6 +156,22 @@ pub struct ValidationReport {
 }
 
 impl ValidationReport {
+    /// A report consisting of the given field checks and no structural
+    /// inspection (streamed runs have no assembled graph to inspect, so both
+    /// structural flags stay `None` = unchecked).
+    ///
+    /// This is the constructor for sources that cannot predict the full
+    /// property sheet: a sampling generator (R-MAT) checks only the fields
+    /// it knows ahead of time — vertex and sample counts — and everything
+    /// else stays measured-only.
+    pub fn from_checks(checks: Vec<FieldCheck>) -> Self {
+        ValidationReport {
+            checks,
+            no_empty_vertices: None,
+            no_duplicate_edges: None,
+        }
+    }
+
     /// Whether every field matched and no structural check failed
     /// (structural checks that did not run cannot fail).
     pub fn is_exact_match(&self) -> bool {
@@ -210,12 +246,7 @@ fn compare_fields(
 ) -> ValidationReport {
     let mut checks = Vec::new();
     let mut push = |field: &str, p: String, m: String| {
-        checks.push(FieldCheck {
-            field: field.to_string(),
-            matches: p == m,
-            predicted: p,
-            measured: m,
-        });
+        checks.push(FieldCheck::exact(field, p, m));
     };
     push(
         "vertices",

@@ -25,7 +25,7 @@ use kron_core::{CoreError, GraphProperties, KroneckerDesign};
 use kron_sparse::{CooMatrix, SparseError};
 
 use crate::chunk::EdgeChunk;
-use crate::pipeline::{Pipeline, RunReport};
+use crate::pipeline::{DesignPipeline, Pipeline, RunReport};
 use crate::split::SplitPlan;
 use crate::stats::GenerationStats;
 use crate::writer::BlockFileSet;
@@ -105,8 +105,10 @@ impl<O> ShardRun<O> {
         ShardRun {
             outputs: report.outputs,
             vertices: report.vertices,
-            split: report.split,
-            predicted: report.predicted,
+            split: report.split.expect("a Kronecker run always has a split"),
+            predicted: report
+                .predicted
+                .expect("a Kronecker run predicts its properties exactly"),
             measured: report.measured,
             stats: report.stats,
         }
@@ -144,7 +146,7 @@ impl ShardDriver {
 
     /// The equivalent pipeline for `design` with this driver's knobs and an
     /// explicit split index.
-    fn pipeline<'d>(&self, design: &'d KroneckerDesign, split_index: usize) -> Pipeline<'d> {
+    fn pipeline<'d>(&self, design: &'d KroneckerDesign, split_index: usize) -> DesignPipeline<'d> {
         Pipeline::from_config(design, &self.config).split_index(split_index)
     }
 

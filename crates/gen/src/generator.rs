@@ -198,8 +198,10 @@ impl ParallelGenerator {
         Ok(DistributedGraph {
             blocks,
             vertices: report.vertices,
-            split: report.split,
-            predicted: report.predicted,
+            split: report.split.expect("a Kronecker run always has a split"),
+            predicted: report
+                .predicted
+                .expect("a Kronecker run predicts its properties exactly"),
             stats: report.stats,
         })
     }

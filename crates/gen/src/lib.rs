@@ -22,18 +22,25 @@
 //!    ([`measure`]), reproducing the paper's "measured = predicted"
 //!    validation at whatever scale fits the machine.
 //! 6. The whole line — design, split, partition, chunked expand, sink,
-//!    streamed validation — is one API: the [`pipeline::Pipeline`] builder.
-//!    Each worker streams its expansion straight into a pluggable
-//!    [`sink::EdgeSink`] (TSV shard, binary shard, counter, COO block, or
-//!    any custom impl — [`sink`] also provides tee/filter-map combinators
-//!    and a degree-only validator) while accumulating the degree histogram
-//!    in `O(vertices)` memory, so generation *and* validation both run as
-//!    bounded-memory streams at scales whose edges never fit in memory.
-//!    Every run yields a [`manifest::RunManifest`] reproducibility record,
-//!    written as `manifest.json` next to file output.  The earlier entry
-//!    points — the materialising [`generator::ParallelGenerator`] and the
-//!    out-of-core [`driver::ShardDriver`] — survive as deprecated thin
-//!    wrappers over the pipeline.
+//!    streamed validation — is one API: the [`pipeline::Pipeline`] builder,
+//!    generic over a pluggable [`source::EdgeSource`].  The exact Kronecker
+//!    expansion ([`source::KroneckerSource`]), the raw `B ⊗ C` product, and
+//!    non-Kronecker generators (the R-MAT sampler in `kron-rmat`) all
+//!    stream through the same terminals.  Each worker streams its share of
+//!    the source straight into a pluggable [`sink::EdgeSink`] (TSV shard,
+//!    binary shard, counter, COO block, or any custom impl — [`sink`] also
+//!    provides tee/filter-map/permute combinators and a degree-only
+//!    validator) while accumulating the degree histogram in `O(vertices)`
+//!    memory, so generation *and* validation both run as bounded-memory
+//!    streams at scales whose edges never fit in memory.  An optional
+//!    in-stream [`permute::FeistelPermutation`] stage relabels vertices in
+//!    O(1) memory (Graph500's shuffle without the `O(V)` table).  Every run
+//!    yields a [`manifest::RunManifest`] reproducibility record — source
+//!    kind and seeds included — written as `manifest.json` next to file
+//!    output.  The earlier entry points — the materialising
+//!    [`generator::ParallelGenerator`] and the out-of-core
+//!    [`driver::ShardDriver`] — survive as deprecated thin wrappers over
+//!    the pipeline.
 //!
 //! On a shared-memory machine the "processors" are rayon tasks; the
 //! per-worker work and the communication structure (none) are identical to
@@ -50,9 +57,11 @@ pub mod generator;
 pub mod manifest;
 pub mod measure;
 pub mod partition;
+pub mod permute;
 pub mod pipeline;
 pub mod scaling;
 pub mod sink;
+pub mod source;
 pub mod split;
 pub mod stats;
 pub mod stream;
@@ -65,12 +74,14 @@ pub use generator::{DistributedGraph, GeneratorConfig, ParallelGenerator};
 pub use manifest::{RunManifest, MANIFEST_FILE_NAME};
 pub use measure::{measured_degree_distribution, measured_properties, BalanceReport};
 pub use partition::Partition;
-pub use pipeline::{Pipeline, RunReport, SelfLoopPolicy};
+pub use permute::FeistelPermutation;
+pub use pipeline::{DesignPipeline, Pipeline, RunReport, SelfLoopPolicy};
 pub use scaling::{ScalingModel, ScalingPoint};
 pub use sink::{
-    BinaryShardSink, CooSink, CountingSink, DegreeOnlySink, EdgeSink, FilterMapSink, TeeSink,
-    TsvShardSink,
+    BinaryShardSink, CooSink, CountingSink, DegreeOnlySink, EdgeSink, FilterMapSink, PermuteSink,
+    TeeSink, TsvShardSink,
 };
+pub use source::{EdgeSource, KroneckerSource, SourceDescriptor, SourceRun};
 pub use split::{choose_split, choose_split_with_fallback, SplitPlan};
 pub use stats::GenerationStats;
 pub use stream::{

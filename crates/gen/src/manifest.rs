@@ -28,6 +28,19 @@ pub const MANIFEST_FILE_NAME: &str = "manifest.json";
 /// outputs, and per-worker results.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunManifest {
+    /// The edge-source kind the run streamed from (`"kronecker"`,
+    /// `"kronecker_raw"`, `"rmat"`, …).  Manifests written before the
+    /// generic-source pipeline lack this field; they parse as
+    /// `"kronecker"` (or `"kronecker_raw"` when their `self_loop_policy`
+    /// says `"keep_raw"`), which is what those runs were.
+    pub source: String,
+    /// The sampling seed of a seeded source (`None` for the exact Kronecker
+    /// expansion).  Absent in pre-source manifests, parsed as `None`.
+    pub source_seed: Option<u64>,
+    /// The seed of the in-stream Feistel vertex permutation, when the run
+    /// relabelled vertices.  Absent in pre-source manifests, parsed as
+    /// `None`.
+    pub permutation_seed: Option<u64>,
     /// Star points `m̂` of the design, in constituent order (empty when the
     /// design is not a pure star product).
     pub star_points: Vec<u64>,
@@ -78,6 +91,9 @@ impl RunManifest {
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
+        write_string(&mut out, "source", &self.source);
+        write_optional_u64(&mut out, "source_seed", self.source_seed);
+        write_optional_u64(&mut out, "permutation_seed", self.permutation_seed);
         write_u64_array(&mut out, "star_points", &self.star_points);
         write_string(&mut out, "self_loop", &self.self_loop);
         write_string(&mut out, "vertices", &self.vertices);
@@ -118,10 +134,25 @@ impl RunManifest {
     }
 
     /// Parse a manifest back from its JSON form.
+    ///
+    /// The source-kind and seed fields were added by the generic-source
+    /// pipeline; manifests written before it parse with their documented
+    /// defaults, so old shard directories stay auditable.
     pub fn from_json(text: &str) -> Result<Self, SparseError> {
         let value = JsonValue::parse(text)?;
         let obj = value.as_object("manifest root")?;
+        let self_loop_policy = get(obj, "self_loop_policy")?.as_string("self_loop_policy")?;
+        let source = match get_optional(obj, "source") {
+            Some(value) => value.as_string("source")?,
+            // Pre-source manifests could only have come from the Kronecker
+            // engine; keep-raw runs were the raw-product stream.
+            None if self_loop_policy == "keep_raw" => "kronecker_raw".to_string(),
+            None => "kronecker".to_string(),
+        };
         Ok(RunManifest {
+            source,
+            source_seed: optional_u64(obj, "source_seed")?,
+            permutation_seed: optional_u64(obj, "permutation_seed")?,
             star_points: get(obj, "star_points")?.as_u64_array("star_points")?,
             self_loop: get(obj, "self_loop")?.as_string("self_loop")?,
             vertices: get(obj, "vertices")?.as_string("vertices")?,
@@ -132,7 +163,7 @@ impl RunManifest {
             max_b_edges: get(obj, "max_b_edges")?.as_u64("max_b_edges")?,
             chunk_capacity: get(obj, "chunk_capacity")?.as_u64("chunk_capacity")? as usize,
             max_histogram_bytes: get(obj, "max_histogram_bytes")?.as_u64("max_histogram_bytes")?,
-            self_loop_policy: get(obj, "self_loop_policy")?.as_string("self_loop_policy")?,
+            self_loop_policy,
             sink: get(obj, "sink")?.as_string("sink")?,
             directory: match get(obj, "directory")? {
                 JsonValue::Null => None,
@@ -174,6 +205,13 @@ fn write_string(out: &mut String, key: &str, value: &str) {
     write_key(out, key);
     push_json_string(out, value);
     out.push_str(",\n");
+}
+
+fn write_optional_u64(out: &mut String, key: &str, value: Option<u64>) {
+    match value {
+        Some(v) => write_number(out, key, &v.to_string()),
+        None => write_number(out, key, "null"),
+    }
 }
 
 fn write_u64_array(out: &mut String, key: &str, values: &[u64]) {
@@ -242,6 +280,19 @@ fn get<'v>(obj: &'v [(String, JsonValue)], key: &str) -> Result<&'v JsonValue, S
         .find(|(k, _)| k == key)
         .map(|(_, v)| v)
         .ok_or_else(|| parse_error(format!("manifest is missing the \"{key}\" field")))
+}
+
+/// A field that later pipeline versions added: absent in older manifests.
+fn get_optional<'v>(obj: &'v [(String, JsonValue)], key: &str) -> Option<&'v JsonValue> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// An optional `u64` field: absent and `null` both mean `None`.
+fn optional_u64(obj: &[(String, JsonValue)], key: &str) -> Result<Option<u64>, SparseError> {
+    match get_optional(obj, key) {
+        None | Some(JsonValue::Null) => Ok(None),
+        Some(value) => value.as_u64(key).map(Some),
+    }
 }
 
 impl JsonValue {
@@ -547,6 +598,9 @@ mod tests {
 
     fn sample() -> RunManifest {
         RunManifest {
+            source: "kronecker".into(),
+            source_seed: None,
+            permutation_seed: Some(77),
             star_points: vec![3, 4, 5, 9],
             self_loop: "Centre".into(),
             vertices: "3600".into(),
@@ -575,6 +629,61 @@ mod tests {
         let json = manifest.to_json();
         let parsed = RunManifest::from_json(&json).unwrap();
         assert_eq!(parsed, manifest);
+    }
+
+    #[test]
+    fn source_fields_round_trip_for_every_kind() {
+        let mut manifest = sample();
+        manifest.source = "rmat".into();
+        manifest.source_seed = Some(u64::MAX - 5);
+        manifest.permutation_seed = None;
+        manifest.star_points.clear();
+        let parsed = RunManifest::from_json(&manifest.to_json()).unwrap();
+        assert_eq!(parsed, manifest);
+        assert_eq!(parsed.source_seed, Some(u64::MAX - 5));
+        assert_eq!(parsed.permutation_seed, None);
+    }
+
+    #[test]
+    fn manifests_written_before_the_source_fields_still_parse() {
+        // A pre-source manifest: serialise a modern one, then strip the
+        // three new lines — exactly the document the previous pipeline
+        // wrote.
+        let mut expected = sample();
+        let json: String = expected
+            .to_json()
+            .lines()
+            .filter(|line| {
+                !line.trim_start().starts_with("\"source\"")
+                    && !line.trim_start().starts_with("\"source_seed\"")
+                    && !line.trim_start().starts_with("\"permutation_seed\"")
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(!json.contains("\"source\""), "strip must remove the fields");
+        let parsed = RunManifest::from_json(&json).unwrap();
+        expected.source = "kronecker".into();
+        expected.source_seed = None;
+        expected.permutation_seed = None;
+        assert_eq!(parsed, expected);
+
+        // A keep-raw manifest from the old pipeline was the raw-product
+        // stream, and parses as that source kind.
+        let raw = json.replace("\"remove_designed\"", "\"keep_raw\"");
+        assert_eq!(
+            RunManifest::from_json(&raw).unwrap().source,
+            "kronecker_raw"
+        );
+
+        // null seeds are equivalent to absent ones.
+        let with_nulls = json.replacen(
+            "{\n",
+            "{\n  \"source_seed\": null,\n  \"permutation_seed\": null,\n",
+            1,
+        );
+        let parsed = RunManifest::from_json(&with_nulls).unwrap();
+        assert_eq!(parsed.source_seed, None);
+        assert_eq!(parsed.permutation_seed, None);
     }
 
     #[test]

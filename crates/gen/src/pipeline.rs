@@ -1,11 +1,12 @@
 //! The unified design → generate → validate pipeline.
 //!
-//! The paper's workflow is one straight line — design a Kronecker graph with
-//! exact properties, generate it communication-free, validate that measured
-//! equals predicted — and [`Pipeline`] is that line as one API.  A pipeline
-//! is built fluently from a [`KroneckerDesign`], owns every generation knob
-//! (workers, `B ⊗ C` split, chunk size, histogram budget, self-loop policy),
-//! and terminates in one of five sinks:
+//! The paper's workflow is one straight line — design a graph, generate it
+//! communication-free, validate that measured equals predicted — and
+//! [`Pipeline`] is that line as one API, generic over *where the edges come
+//! from*: any [`EdgeSource`].  The exact Kronecker expansion
+//! ([`KroneckerSource`]), the Graph500-style R-MAT sampler
+//! (`kron_rmat::RmatSource`), and the raw `B ⊗ C` product all run through
+//! the same terminals:
 //!
 //! ```no_run
 //! use kron_core::{KroneckerDesign, SelfLoop};
@@ -14,6 +15,7 @@
 //! let design = KroneckerDesign::from_star_points(&[3, 4, 5, 9], SelfLoop::Centre)?;
 //! let report = Pipeline::for_design(&design)
 //!     .workers(8)
+//!     .permute_vertices(0xFEED)  // O(1)-memory Feistel relabelling
 //!     .write_binary(std::path::Path::new("/data/run1"))?;
 //! assert!(report.validation.is_exact_match());
 //! println!("{}", report.manifest.to_json());
@@ -27,13 +29,16 @@
 //! * [`Pipeline::into_sinks`] — any custom [`EdgeSink`] factory.
 //!
 //! Every terminal returns a [`RunReport`]: the sink outputs, the
-//! [`GenerationStats`], the streamed measured-equals-predicted
-//! [`ValidationReport`], and a serialisable [`RunManifest`].  Generation is
-//! always the communication-free streaming engine of the out-of-core shard
-//! driver — each worker expands its partition slice of `B_p ⊗ C` through a
-//! reusable chunk into its sink while feeding an adaptive streaming degree
-//! histogram — so every backend, in-memory or on-disk, gets bounded-memory
-//! generation *and* validation.  The legacy
+//! [`GenerationStats`], the streamed [`ValidationReport`] (field-by-field
+//! for everything the source can predict exactly; measured-only otherwise),
+//! and a serialisable [`RunManifest`] recording the source kind and every
+//! seed.  Generation is always the communication-free streaming engine —
+//! each worker streams its share of the source through a reusable chunk into
+//! its sink while feeding an adaptive streaming degree histogram — so every
+//! backend, in-memory or on-disk, gets bounded-memory generation *and*
+//! validation.  [`Pipeline::permute_vertices`] inserts an in-stream
+//! [`FeistelPermutation`] relabelling stage: O(1) memory, no permutation
+//! table, seed captured in the manifest.  The legacy
 //! [`ParallelGenerator`](crate::generator::ParallelGenerator) and
 //! [`ShardDriver::run_*`](crate::driver::ShardDriver) entry points are thin
 //! wrappers over this module.
@@ -44,79 +49,47 @@ use std::time::Instant;
 
 use rayon::prelude::*;
 
-use kron_core::validate::{
-    measure_from_histogram, validate_streamed, FieldCheck, ValidationReport,
-};
-use kron_core::{CoreError, GraphProperties, KroneckerDesign, SelfLoop};
+use kron_core::validate::{measure_from_histogram, ValidationReport};
+use kron_core::{CoreError, GraphProperties, KroneckerDesign};
 use kron_sparse::reduce::SharedDegreeAccumulator;
 use kron_sparse::{CooMatrix, DegreeAccumulator, SparseError};
 
 use crate::chunk::EdgeChunk;
 use crate::driver::DriverConfig;
-use crate::generator::self_loop_vertex_index;
 use crate::manifest::{RunManifest, MANIFEST_FILE_NAME};
-use crate::partition::{csc_ordered_triples, Partition};
+use crate::permute::FeistelPermutation;
 use crate::sink::{BinaryShardSink, CooSink, CountingSink, EdgeSink, TsvShardSink};
-use crate::split::{choose_split_with_fallback, SplitPlan};
+use crate::source::{EdgeSource, KroneckerSource, SourceRun};
+use crate::split::SplitPlan;
 use crate::stats::GenerationStats;
-use crate::stream::try_stream_block_edges_into;
 use crate::writer::{prepare_directory, BlockFileSet, BlockFormat};
 
-/// What a run does with the single removable self-loop of a triangle-control
-/// design.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum SelfLoopPolicy {
-    /// Remove it in-stream, so the sinks receive exactly the designed final
-    /// graph (the default, and the paper's construction).
-    #[default]
-    RemoveDesigned,
-    /// Keep every self-loop: the sinks receive the raw `B ⊗ C` product.
-    /// Validation then checks the raw counts (vertices, raw edges, product
-    /// self-loops) instead of the final-graph property sheet.
-    KeepRaw,
-}
+pub use crate::source::SelfLoopPolicy;
 
-impl SelfLoopPolicy {
-    fn label(self) -> &'static str {
-        match self {
-            SelfLoopPolicy::RemoveDesigned => "remove_designed",
-            SelfLoopPolicy::KeepRaw => "keep_raw",
-        }
-    }
-}
+/// The concrete pipeline type of a Kronecker-design run — what
+/// [`Pipeline::for_design`] returns.
+pub type DesignPipeline<'d> = Pipeline<KroneckerSource<'d>>;
 
-/// The design's vertex count as a `u64`, or [`CoreError::TooLargeToRealise`]
-/// when the graph cannot be indexed on this machine at all.
-pub(crate) fn realisable_vertices(design: &KroneckerDesign) -> Result<u64, CoreError> {
-    design
-        .vertices()
-        .to_u64()
-        .ok_or_else(|| CoreError::TooLargeToRealise {
-            vertices: design.vertices().to_string(),
-            edges: design.nnz_with_loops().to_string(),
-        })
-}
-
-/// A fluent builder for one design → generate → validate run.
+/// A fluent builder for one design → generate → validate run over any
+/// [`EdgeSource`].
 ///
-/// Defaults mirror [`DriverConfig::default`]; every knob has a setter.  The
-/// split is chosen automatically (largest `C` under the budget that still
-/// gives every worker a `B` triple, falling back to a single-worker split
-/// with a recorded warning) unless pinned with
-/// [`Pipeline::split_index`].
+/// Engine knobs (workers, chunk size, histogram budget, the optional vertex
+/// permutation) live on the pipeline; source-specific knobs (the `B ⊗ C`
+/// split and factor budgets of a Kronecker run, the sampling seed of an
+/// R-MAT run) live on the source.  For the common Kronecker case,
+/// [`Pipeline::for_design`] starts a pipeline whose source setters are
+/// forwarded straight from the builder, so the pre-generic API reads
+/// unchanged.
 #[derive(Debug, Clone)]
-pub struct Pipeline<'d> {
-    design: &'d KroneckerDesign,
+pub struct Pipeline<S> {
+    source: S,
     workers: usize,
-    split: Option<usize>,
-    max_c_edges: u64,
-    max_b_edges: u64,
     chunk_capacity: usize,
     max_histogram_bytes: u64,
-    self_loop_policy: SelfLoopPolicy,
+    permutation_seed: Option<u64>,
 }
 
-impl<'d> Pipeline<'d> {
+impl<'d> Pipeline<KroneckerSource<'d>> {
     /// Start a pipeline over `design` with default configuration.
     pub fn for_design(design: &'d KroneckerDesign) -> Self {
         Pipeline::from_config(design, &DriverConfig::default())
@@ -125,41 +98,71 @@ impl<'d> Pipeline<'d> {
     /// Start a pipeline with every knob taken from a [`DriverConfig`].
     pub fn from_config(design: &'d KroneckerDesign, config: &DriverConfig) -> Self {
         Pipeline {
-            design,
+            source: KroneckerSource::from_config(design, config),
             workers: config.workers,
-            split: None,
-            max_c_edges: config.max_c_edges,
-            max_b_edges: config.max_b_edges,
             chunk_capacity: config.chunk_capacity,
             max_histogram_bytes: config.max_histogram_bytes,
-            self_loop_policy: SelfLoopPolicy::default(),
+            permutation_seed: None,
         }
-    }
-
-    /// Set the number of workers (rayon tasks; the paper's "processors").
-    pub fn workers(mut self, workers: usize) -> Self {
-        self.workers = workers;
-        self
     }
 
     /// Pin the `B ⊗ C` split index (`B` = first `split_index` constituents)
     /// instead of choosing it automatically.
     pub fn split_index(mut self, split_index: usize) -> Self {
-        self.split = Some(split_index);
+        self.source = self.source.split_index(split_index);
         self
     }
 
     /// Set the memory budget for the replicated `C` factor, in stored
     /// entries (also the budget the automatic split choice honours).
     pub fn max_c_edges(mut self, max_c_edges: u64) -> Self {
-        self.max_c_edges = max_c_edges;
+        self.source = self.source.max_c_edges(max_c_edges);
         self
     }
 
     /// Set the memory budget for the partitioned `B` factor, in stored
     /// entries.
     pub fn max_b_edges(mut self, max_b_edges: u64) -> Self {
-        self.max_b_edges = max_b_edges;
+        self.source = self.source.max_b_edges(max_b_edges);
+        self
+    }
+
+    /// Set the self-loop policy.
+    pub fn self_loop_policy(mut self, policy: SelfLoopPolicy) -> Self {
+        self.source = self.source.self_loop_policy(policy);
+        self
+    }
+
+    /// Shorthand for [`SelfLoopPolicy::KeepRaw`]: stream the raw `B ⊗ C`
+    /// product, self-loops included.
+    pub fn raw_product(self) -> Self {
+        self.self_loop_policy(SelfLoopPolicy::KeepRaw)
+    }
+}
+
+impl<S: EdgeSource> Pipeline<S> {
+    /// Start a pipeline over any [`EdgeSource`] with default engine
+    /// configuration — the entry point for non-Kronecker sources:
+    ///
+    /// ```ignore
+    /// let report = Pipeline::for_source(RmatSource::new(params, seed)?)
+    ///     .workers(8)
+    ///     .count()?;
+    /// ```
+    pub fn for_source(source: S) -> Self {
+        let defaults = DriverConfig::default();
+        Pipeline {
+            source,
+            workers: defaults.workers,
+            chunk_capacity: defaults.chunk_capacity,
+            max_histogram_bytes: defaults.max_histogram_bytes,
+            permutation_seed: None,
+        }
+    }
+
+    /// Set the number of workers (rayon tasks; the paper's "processors").
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
         self
     }
 
@@ -176,16 +179,16 @@ impl<'d> Pipeline<'d> {
         self
     }
 
-    /// Set the self-loop policy.
-    pub fn self_loop_policy(mut self, policy: SelfLoopPolicy) -> Self {
-        self.self_loop_policy = policy;
+    /// Relabel every vertex through a seeded [`FeistelPermutation`] as the
+    /// edges stream — O(1) memory, no permutation table — so the heavy
+    /// vertices of the released graph are not identifiable by index
+    /// (Graph500's post-generation shuffle, fused into generation).  The
+    /// permutation is an exact bijection on `[0, vertices)`: every degree-
+    /// and loop-preserving guarantee holds, validation still passes, and the
+    /// seed is recorded in the manifest so the run stays reproducible.
+    pub fn permute_vertices(mut self, seed: u64) -> Self {
+        self.permutation_seed = Some(seed);
         self
-    }
-
-    /// Shorthand for [`SelfLoopPolicy::KeepRaw`]: stream the raw `B ⊗ C`
-    /// product, self-loops included.
-    pub fn raw_product(self) -> Self {
-        self.self_loop_policy(SelfLoopPolicy::KeepRaw)
     }
 
     /// Generate and validate with a [`CountingSink`] per worker: no output
@@ -198,7 +201,7 @@ impl<'d> Pipeline<'d> {
     /// Generate into one in-memory [`CooSink`] block per worker (tests and
     /// small graphs).
     pub fn collect_coo(self) -> Result<RunReport<CooMatrix<u64>>, CoreError> {
-        let vertices = realisable_vertices(self.design)?;
+        let vertices = self.source.vertices()?;
         self.run(SinkSpec::plain("coo"), |_| Ok(CooSink::new(vertices)))
     }
 
@@ -213,7 +216,7 @@ impl<'d> Pipeline<'d> {
     /// Generate into one interleaved binary shard per worker under
     /// `directory`, and write the run's `manifest.json` next to the shards.
     pub fn write_binary(self, directory: &Path) -> Result<RunReport<PathBuf>, CoreError> {
-        let vertices = realisable_vertices(self.design)?;
+        let vertices = self.source.vertices()?;
         let files = prepare_directory(directory, self.workers, "kbk")?;
         let spec = SinkSpec::files("binary", directory, &files, BlockFormat::Binary);
         self.run(spec, |worker| {
@@ -224,77 +227,35 @@ impl<'d> Pipeline<'d> {
     /// Generate into custom sinks: `make_sink(worker)` creates the sink each
     /// worker streams into.  This is the extension point every new backend
     /// (sockets, compressed files, columnar stores) plugs into.
-    pub fn into_sinks<S, F>(self, make_sink: F) -> Result<RunReport<S::Output>, CoreError>
+    pub fn into_sinks<K, F>(self, make_sink: F) -> Result<RunReport<K::Output>, CoreError>
     where
-        S: EdgeSink,
-        S::Output: Send,
-        F: Fn(usize) -> Result<S, SparseError> + Sync,
+        K: EdgeSink,
+        K::Output: Send,
+        F: Fn(usize) -> Result<K, SparseError> + Sync,
     {
         self.run(SinkSpec::plain("custom"), make_sink)
     }
 
-    /// Resolve the split to run with: the pinned index, or the automatic
-    /// choice with its single-worker fallback (which records a warning).
-    fn resolve_split(&self) -> Result<(usize, Vec<String>), CoreError> {
-        if let Some(index) = self.split {
-            return Ok((index, Vec::new()));
-        }
-        let (plan, warning) =
-            choose_split_with_fallback(self.design, self.max_c_edges, self.workers)?;
-        Ok((plan.split_index, warning.into_iter().collect()))
-    }
-
-    /// The engine: expand `B_p ⊗ C` on every worker, stream the chunks into
-    /// the per-worker sinks, accumulate the streaming degree histogram, and
-    /// assemble the report (validation + manifest included).
-    fn run<S, F>(self, spec: SinkSpec, make_sink: F) -> Result<RunReport<S::Output>, CoreError>
+    /// The engine: prepare the source, stream every worker's share through
+    /// the optional permutation into the per-worker sinks, accumulate the
+    /// streaming degree histogram, and assemble the report (validation +
+    /// manifest included).
+    fn run<K, F>(self, spec: SinkSpec, make_sink: F) -> Result<RunReport<K::Output>, CoreError>
     where
-        S: EdgeSink,
-        S::Output: Send,
-        F: Fn(usize) -> Result<S, SparseError> + Sync,
+        K: EdgeSink,
+        K::Output: Send,
+        F: Fn(usize) -> Result<K, SparseError> + Sync,
     {
         if self.workers == 0 {
             return Err(CoreError::InvalidConfig {
                 message: "the pipeline needs at least one worker".into(),
             });
         }
-        let design = self.design;
-        let vertices = realisable_vertices(design)?;
-        let (split_index, warnings) = self.resolve_split()?;
-
-        let (b_design, c_design) = design.split(split_index)?;
-        // Both factors keep their self-loops: the raw product is exactly the
-        // designed product, and the one surviving loop is filtered below
-        // (unless the policy keeps the raw product).
-        let b = b_design.realize_raw(self.max_b_edges)?;
-        let c = c_design.realize_raw(self.max_c_edges)?;
-        let triples = csc_ordered_triples(&b);
-        let partition = Partition::even(triples.len(), self.workers);
-        let split_plan = SplitPlan {
-            split_index,
-            b_nnz: b_design.nnz_with_loops(),
-            c_nnz: c_design.nnz_with_loops(),
-            c_vertices: c_design.vertices(),
-        };
-
-        // The product self-loop lands in the worker whose B slice holds the
-        // diagonal triple (v_B, v_B); that worker filters the single global
-        // edge (v, v) out of its stream.
-        let remove_loop = self.self_loop_policy == SelfLoopPolicy::RemoveDesigned
-            && design.has_removable_self_loop();
-        let loop_filter: Option<(usize, u64)> = if remove_loop {
-            let b_loop = self_loop_vertex_index(&b_design);
-            let position = triples
-                .iter()
-                .position(|&(r, c, _)| r == b_loop && c == b_loop)
-                .expect("a triangle-control B factor has exactly one diagonal triple");
-            let owner = (0..self.workers)
-                .find(|&w| partition.range(w).contains(&position))
-                .expect("every triple index belongs to one worker");
-            Some((owner, self_loop_vertex_index(design)))
-        } else {
-            None
-        };
+        let vertices = self.source.vertices()?;
+        let (source_run, warnings) = self.source.prepare(self.workers)?;
+        let permutation = self
+            .permutation_seed
+            .map(|seed| FeistelPermutation::new(vertices, seed));
 
         let started = Instant::now();
         // Local accumulators are folded and dropped as each worker finishes,
@@ -308,10 +269,9 @@ impl<'d> Pipeline<'d> {
             None
         };
         let merged_local: Mutex<Option<DegreeAccumulator>> = Mutex::new(None);
-        let worker_results: Vec<Result<WorkerResult<S::Output>, CoreError>> = (0..self.workers)
+        let worker_results: Vec<Result<WorkerResult<K::Output>, CoreError>> = (0..self.workers)
             .into_par_iter()
             .map(|worker| {
-                let slice = &triples[partition.range(worker)];
                 let mut sink = make_sink(worker).map_err(CoreError::Sparse)?;
                 let mut accumulator = match shared.as_ref() {
                     Some(shared) => WorkerHistogram::Shared(shared),
@@ -320,30 +280,23 @@ impl<'d> Pipeline<'d> {
                     }
                 };
                 let mut chunk = EdgeChunk::new(self.chunk_capacity);
-                let filter =
-                    loop_filter.and_then(|(owner, vertex)| (owner == worker).then_some(vertex));
-                let mut removed = false;
-                let produced = try_stream_block_edges_into(slice, &c, &mut chunk, |edges| {
-                    if let Some(vertex) = filter {
-                        if !removed {
-                            if let Some(at) =
-                                edges.iter().position(|&(r, c)| r == vertex && c == vertex)
-                            {
-                                removed = true;
-                                accumulator.record(&edges[..at]);
-                                sink.consume(&edges[..at])?;
-                                accumulator.record(&edges[at + 1..]);
-                                return sink.consume(&edges[at + 1..]);
+                // The permutation stage's scratch slice, reused across
+                // chunks: the only per-worker state the stage needs.
+                let mut relabelled: Vec<(u64, u64)> = Vec::new();
+                let delivered = source_run
+                    .stream_worker::<SparseError, _>(worker, &mut chunk, |edges| {
+                        let out: &[(u64, u64)] = match permutation.as_ref() {
+                            Some(perm) => {
+                                relabelled.clear();
+                                relabelled.extend(edges.iter().map(|&e| perm.apply_edge(e)));
+                                &relabelled
                             }
-                        }
-                    }
-                    accumulator.record(edges);
-                    sink.consume(edges)
-                })
-                .map_err(CoreError::Sparse)?;
-                if filter.is_some() {
-                    debug_assert!(removed, "the owning worker must see the product loop");
-                }
+                            None => edges,
+                        };
+                        accumulator.record(out);
+                        sink.consume(out)
+                    })
+                    .map_err(CoreError::Sparse)?;
                 let output = sink.finish().map_err(CoreError::Sparse)?;
                 // A local histogram is folded into the run-wide one the
                 // moment its worker finishes and is dropped here, so the
@@ -355,10 +308,7 @@ impl<'d> Pipeline<'d> {
                         None => *guard = Some(local),
                     }
                 }
-                Ok(WorkerResult {
-                    output,
-                    delivered: produced - u64::from(removed),
-                })
+                Ok(WorkerResult { output, delivered })
             })
             .collect();
         let elapsed = started.elapsed();
@@ -395,31 +345,25 @@ impl<'d> Pipeline<'d> {
         }
         debug_assert_eq!(stats.total_edges, recorded);
 
-        let predicted = design.properties();
-        let validation = match self.self_loop_policy {
-            SelfLoopPolicy::RemoveDesigned => validate_streamed(&predicted, &measured),
-            SelfLoopPolicy::KeepRaw => validate_raw(design, &measured),
-        };
+        let predicted = source_run.predicted_properties();
+        let validation = source_run.validate(&measured);
+        let descriptor = source_run.descriptor();
 
-        // The manifest records the edge count the validation above actually
-        // compared against: the final graph's, or the raw product's for a
-        // keep-raw run.
-        let predicted_edges = match self.self_loop_policy {
-            SelfLoopPolicy::RemoveDesigned => design.edges(),
-            SelfLoopPolicy::KeepRaw => design.nnz_with_loops(),
-        };
         let manifest = RunManifest {
-            star_points: design.star_points().unwrap_or_default(),
-            self_loop: format!("{:?}", design_self_loop(design)),
-            vertices: design.vertices().to_string(),
-            predicted_edges: predicted_edges.to_string(),
+            source: descriptor.kind.to_string(),
+            source_seed: descriptor.seed,
+            permutation_seed: self.permutation_seed,
+            star_points: descriptor.star_points,
+            self_loop: descriptor.self_loop,
+            vertices: descriptor.vertices,
+            predicted_edges: descriptor.predicted_edges,
             workers: self.workers,
-            split_index,
-            max_c_edges: self.max_c_edges,
-            max_b_edges: self.max_b_edges,
+            split_index: descriptor.split_index,
+            max_c_edges: descriptor.max_c_edges,
+            max_b_edges: descriptor.max_b_edges,
             chunk_capacity: self.chunk_capacity,
             max_histogram_bytes: self.max_histogram_bytes,
-            self_loop_policy: self.self_loop_policy.label().to_string(),
+            self_loop_policy: descriptor.self_loop_policy,
             sink: spec.label.to_string(),
             directory: spec.directory.as_ref().map(|d| d.display().to_string()),
             outputs: spec
@@ -451,7 +395,7 @@ impl<'d> Pipeline<'d> {
         Ok(RunReport {
             outputs,
             vertices,
-            split: split_plan,
+            split: source_run.split_plan(),
             predicted,
             measured,
             stats,
@@ -459,54 +403,6 @@ impl<'d> Pipeline<'d> {
             manifest,
             files,
         })
-    }
-}
-
-/// The self-loop placement of a pure star design (the manifest's design
-/// spec).  Mixed or non-star designs report the first constituent's
-/// placement — the manifest's `star_points` being empty flags those.
-fn design_self_loop(design: &KroneckerDesign) -> SelfLoop {
-    design
-        .constituents()
-        .first()
-        .and_then(|c| c.as_star())
-        .map(|s| s.self_loop())
-        .unwrap_or(SelfLoop::None)
-}
-
-/// Validate a raw-product run: the streamable fields whose raw values the
-/// design predicts exactly — vertices, raw edge count, and product
-/// self-loop count.  The degree distribution is not checked (the analytic
-/// distribution describes the final graph, not the raw product).
-fn validate_raw(design: &KroneckerDesign, measured: &GraphProperties) -> ValidationReport {
-    let mut checks = Vec::new();
-    let mut push = |field: &str, p: String, m: String| {
-        checks.push(FieldCheck {
-            field: field.to_string(),
-            matches: p == m,
-            predicted: p,
-            measured: m,
-        });
-    };
-    push(
-        "vertices",
-        design.vertices().to_string(),
-        measured.vertices.to_string(),
-    );
-    push(
-        "raw_edges",
-        design.nnz_with_loops().to_string(),
-        measured.edges.to_string(),
-    );
-    push(
-        "raw_self_loops",
-        design.product_self_loops().to_string(),
-        measured.self_loops.to_string(),
-    );
-    ValidationReport {
-        checks,
-        no_empty_vertices: None,
-        no_duplicate_edges: None,
     }
 }
 
@@ -577,17 +473,20 @@ pub struct RunReport<O> {
     pub outputs: Vec<O>,
     /// Number of rows/columns of the generated graph.
     pub vertices: u64,
-    /// The split plan the run executed.
-    pub split: SplitPlan,
-    /// Exact predicted properties of the design.
-    pub predicted: GraphProperties,
+    /// The split plan the run executed, for sources that have one (`None`
+    /// for non-Kronecker sources).
+    pub split: Option<SplitPlan>,
+    /// Exact predicted properties, for sources that know them ahead of
+    /// generation (`None` for sampling sources — R-MAT properties are
+    /// measured-only, which is the paper's point).
+    pub predicted: Option<GraphProperties>,
     /// Properties measured from the merged streaming degree histograms
     /// (triangles are never measured in streaming mode).
     pub measured: GraphProperties,
     /// Timing and balance statistics.
     pub stats: GenerationStats,
     /// The streamed measured-equals-predicted comparison (the paper's
-    /// Figure 4), computed field by field as part of the run.
+    /// Figure 4), over every field the source predicts exactly.
     pub validation: ValidationReport,
     /// The run's reproducibility record; file terminals also write it as
     /// `manifest.json` next to the shards.
@@ -627,8 +526,9 @@ mod tests {
     use crate::manifest::MANIFEST_FILE_NAME;
     use crate::sink::{DegreeOnlySink, FilterMapSink, TeeSink};
     use kron_bignum::BigUint;
+    use kron_core::SelfLoop;
 
-    fn pipeline(design: &KroneckerDesign, workers: usize) -> Pipeline<'_> {
+    fn pipeline(design: &KroneckerDesign, workers: usize) -> DesignPipeline<'_> {
         Pipeline::for_design(design)
             .workers(workers)
             .max_c_edges(100_000)
@@ -655,6 +555,9 @@ mod tests {
             );
             assert_eq!(BigUint::from(report.edge_count()), design.edges());
             assert_eq!(report.manifest.sink, "counting");
+            assert_eq!(report.manifest.source, "kronecker");
+            assert_eq!(report.manifest.source_seed, None);
+            assert_eq!(report.manifest.permutation_seed, None);
             assert_eq!(report.manifest.total_edges, report.edge_count());
             assert!(report.files.is_none());
         }
@@ -696,6 +599,7 @@ mod tests {
         let on_disk = RunManifest::read_from(&dir.join(MANIFEST_FILE_NAME)).unwrap();
         assert_eq!(on_disk, report.manifest);
         assert_eq!(on_disk.sink, "binary");
+        assert_eq!(on_disk.source, "kronecker");
         assert_eq!(on_disk.star_points, vec![3, 4, 5]);
         assert_eq!(on_disk.self_loop, "Centre");
         assert_eq!(on_disk.workers, 3);
@@ -745,6 +649,7 @@ mod tests {
         );
         assert_eq!(report.measured.self_loops, design.product_self_loops());
         assert_eq!(report.manifest.self_loop_policy, "keep_raw");
+        assert_eq!(report.manifest.source, "kronecker_raw");
         // The manifest's predicted count is the one the run validated
         // against — the raw product's, so predicted == delivered.
         assert_eq!(
@@ -766,7 +671,7 @@ mod tests {
     #[test]
     fn custom_sink_combinators_run_through_the_pipeline() {
         let design = KroneckerDesign::from_star_points(&[3, 4, 5], SelfLoop::Centre).unwrap();
-        let vertices = realisable_vertices(&design).unwrap();
+        let vertices = design.vertices().to_u64().unwrap();
         // Tee a degree-only validator with a filtered counter that keeps
         // only upper-triangle edges.
         let report = pipeline(&design, 2)
@@ -843,5 +748,66 @@ mod tests {
         assert_eq!(local.measured, shared.measured);
         assert_eq!(local.edge_count(), shared.edge_count());
         assert!(shared.is_valid());
+    }
+
+    #[test]
+    fn permuted_run_still_validates_and_is_a_relabelling() {
+        let design = KroneckerDesign::from_star_points(&[3, 4, 5], SelfLoop::Centre).unwrap();
+        let plain = pipeline(&design, 3).split_index(1).collect_coo().unwrap();
+        let permuted = pipeline(&design, 3)
+            .split_index(1)
+            .permute_vertices(0xBEEF)
+            .collect_coo()
+            .unwrap();
+
+        // The permutation is degree-preserving, so the streamed validation
+        // still matches the exact prediction field by field.
+        assert!(
+            permuted.is_valid(),
+            "permuted validation failed: {:?}",
+            permuted.validation.failures()
+        );
+        assert_eq!(permuted.measured, plain.measured);
+        assert_eq!(permuted.manifest.permutation_seed, Some(0xBEEF));
+
+        // And the permuted edge set is exactly the plain edge set mapped
+        // through the Feistel bijection.
+        let perm = FeistelPermutation::new(plain.vertices, 0xBEEF);
+        let mut expected: Vec<(u64, u64)> = plain
+            .assemble()
+            .iter()
+            .map(|(r, c, _)| perm.apply_edge((r, c)))
+            .collect();
+        let mut actual: Vec<(u64, u64)> =
+            permuted.assemble().iter().map(|(r, c, _)| (r, c)).collect();
+        expected.sort_unstable();
+        actual.sort_unstable();
+        assert_eq!(actual, expected);
+        assert_ne!(
+            {
+                let mut plain_edges: Vec<(u64, u64)> =
+                    plain.assemble().iter().map(|(r, c, _)| (r, c)).collect();
+                plain_edges.sort_unstable();
+                plain_edges
+            },
+            actual,
+            "the permutation must actually move labels"
+        );
+    }
+
+    #[test]
+    fn permutation_seed_round_trips_through_the_manifest() {
+        let design = KroneckerDesign::from_star_points(&[3, 4], SelfLoop::None).unwrap();
+        let dir = temp_dir("permuted_manifest");
+        let report = pipeline(&design, 2)
+            .split_index(1)
+            .permute_vertices(99)
+            .write_binary(&dir)
+            .unwrap();
+        let on_disk = RunManifest::read_from(&dir.join(MANIFEST_FILE_NAME)).unwrap();
+        assert_eq!(on_disk, report.manifest);
+        assert_eq!(on_disk.permutation_seed, Some(99));
+        assert_eq!(on_disk.source, "kronecker");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -24,6 +24,9 @@
 //! * [`TeeSink`] — fan one stream out to two sinks.
 //! * [`FilterMapSink`] — transform or drop edges before an inner sink sees
 //!   them.
+//! * [`PermuteSink`] — relabel both endpoints through a seeded
+//!   [`FeistelPermutation`] before an inner sink sees them: Graph500-style
+//!   vertex scrambling in O(1) memory.
 
 use std::io::{BufWriter, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -31,6 +34,7 @@ use std::path::{Path, PathBuf};
 use kron_sparse::reduce::DegreeAccumulator;
 use kron_sparse::{CooMatrix, SparseError};
 
+use crate::permute::FeistelPermutation;
 use crate::writer::{write_tsv_edges, BLOCK_HEADER_LEN, BLOCK_MAGIC, BLOCK_VERSION_PAIRS};
 
 /// A per-worker consumer of generated edge chunks.
@@ -332,6 +336,59 @@ where
     }
 }
 
+/// An [`EdgeSink`] that relabels both endpoints of every edge through a
+/// seeded [`FeistelPermutation`] before an inner sink sees them — the
+/// pipeline's [`permute_vertices`](crate::pipeline::Pipeline::permute_vertices)
+/// stage as a standalone combinator, so any hand-built sink stack (or a
+/// legacy entry point) can scramble vertex labels in O(1) memory too.
+///
+/// Relabelled chunks are staged in an internal buffer so the inner sink
+/// still receives whole slices; the buffer is reused across chunks, so the
+/// steady state allocates nothing.
+#[derive(Debug, Clone)]
+pub struct PermuteSink<S> {
+    inner: S,
+    permutation: FeistelPermutation,
+    buffer: Vec<(u64, u64)>,
+}
+
+impl<S: EdgeSink> PermuteSink<S> {
+    /// Wrap `inner`, relabelling every endpoint through `permutation`.
+    pub fn new(inner: S, permutation: FeistelPermutation) -> Self {
+        PermuteSink {
+            inner,
+            permutation,
+            buffer: Vec::new(),
+        }
+    }
+
+    /// Wrap `inner` with a fresh permutation of `[0, vertices)` keyed by
+    /// `seed`.
+    pub fn seeded(inner: S, vertices: u64, seed: u64) -> Self {
+        PermuteSink::new(inner, FeistelPermutation::new(vertices, seed))
+    }
+
+    /// The permutation this sink applies.
+    pub fn permutation(&self) -> &FeistelPermutation {
+        &self.permutation
+    }
+}
+
+impl<S: EdgeSink> EdgeSink for PermuteSink<S> {
+    type Output = S::Output;
+
+    fn consume(&mut self, edges: &[(u64, u64)]) -> Result<(), SparseError> {
+        self.buffer.clear();
+        self.buffer
+            .extend(edges.iter().map(|&e| self.permutation.apply_edge(e)));
+        self.inner.consume(&self.buffer)
+    }
+
+    fn finish(self) -> Result<S::Output, SparseError> {
+        self.inner.finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -371,6 +428,22 @@ mod tests {
         assert_eq!(
             block.iter().map(|(r, c, _)| (r, c)).collect::<Vec<_>>(),
             vec![(1, 0), (0, 2)]
+        );
+    }
+
+    #[test]
+    fn permute_sink_relabels_bijectively_and_preserves_structure() {
+        let mut sink = PermuteSink::seeded(CooSink::new(4), 4, 31);
+        let perm = sink.permutation().clone();
+        sink.consume(EDGES).unwrap();
+        let block = sink.finish().unwrap();
+        let relabelled: Vec<(u64, u64)> = block.iter().map(|(r, c, _)| (r, c)).collect();
+        let expected: Vec<(u64, u64)> = EDGES.iter().map(|&e| perm.apply_edge(e)).collect();
+        assert_eq!(relabelled, expected);
+        // Self-loops stay self-loops under any bijection.
+        assert_eq!(
+            relabelled.iter().filter(|&&(r, c)| r == c).count(),
+            EDGES.iter().filter(|&&(r, c)| r == c).count()
         );
     }
 

@@ -1,0 +1,478 @@
+//! Edge sources: the pluggable producers every pipeline run streams from.
+//!
+//! [`EdgeSource`] is the generation-side mirror of
+//! [`EdgeSink`](crate::sink::EdgeSink): a partitioned, chunked,
+//! deterministic producer of edges with (optionally exact) predicted
+//! properties.  The [`Pipeline`](crate::pipeline::Pipeline) is generic over
+//! the source, so the paper's exact Kronecker expansion, the Graph500-style
+//! R-MAT sampler (`kron_rmat::RmatSource`), and the raw `B ⊗ C` product all
+//! run through the *same* terminals, streamed histogram validation,
+//! [`RunReport`](crate::pipeline::RunReport), and
+//! [`RunManifest`](crate::manifest::RunManifest).
+//!
+//! A source is used in two phases:
+//!
+//! 1. [`EdgeSource::prepare`] turns the source description into a
+//!    [`SourceRun`]: factors realised, split resolved, partition fixed —
+//!    everything workers share read-only.
+//! 2. [`SourceRun::stream_worker`] streams one worker's deterministic share
+//!    of the edges through a reusable [`EdgeChunk`] into a fallible
+//!    chunk-slice sink.  Workers are independent (the paper's
+//!    communication-free property) and the union of all workers' streams is
+//!    the whole graph.
+//!
+//! Sources that know their output exactly (Kronecker) return
+//! [`GraphProperties`] from [`SourceRun::predicted_properties`] and validate
+//! every Figure-4 field; sampling sources (R-MAT) return `None` and
+//! [`SourceRun::validate`] checks only the fields they *can* predict — the
+//! rest of the property sheet is measured-only, exactly the workflow the
+//! paper contrasts its designs against.
+
+use kron_core::validate::{FieldCheck, ValidationReport};
+use kron_core::{CoreError, GraphProperties, KroneckerDesign, SelfLoop};
+use kron_sparse::CooMatrix;
+
+use crate::chunk::EdgeChunk;
+use crate::driver::DriverConfig;
+use crate::generator::self_loop_vertex_index;
+use crate::partition::{csc_ordered_triples, Partition};
+use crate::split::{choose_split_with_fallback, SplitPlan};
+
+/// What a run does with the single removable self-loop of a triangle-control
+/// design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelfLoopPolicy {
+    /// Remove it in-stream, so the sinks receive exactly the designed final
+    /// graph (the default, and the paper's construction).
+    #[default]
+    RemoveDesigned,
+    /// Keep every self-loop: the sinks receive the raw `B ⊗ C` product.
+    /// Validation then checks the raw counts (vertices, raw edges, product
+    /// self-loops) instead of the final-graph property sheet.
+    KeepRaw,
+}
+
+impl SelfLoopPolicy {
+    pub(crate) fn label(self) -> &'static str {
+        match self {
+            SelfLoopPolicy::RemoveDesigned => "remove_designed",
+            SelfLoopPolicy::KeepRaw => "keep_raw",
+        }
+    }
+}
+
+/// How a prepared source describes itself to the run's
+/// [`RunManifest`](crate::manifest::RunManifest).
+///
+/// Kronecker runs fill every field; other sources leave the design-spec
+/// fields at their neutral values (empty `star_points`, zero budgets) and
+/// identify themselves through `kind` and `seed`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceDescriptor {
+    /// Source kind recorded in the manifest (`"kronecker"`,
+    /// `"kronecker_raw"`, `"rmat"`, …).
+    pub kind: &'static str,
+    /// The source's sampling seed, for seeded sources.
+    pub seed: Option<u64>,
+    /// Star points `m̂` of a Kronecker design (empty otherwise).
+    pub star_points: Vec<u64>,
+    /// Self-loop placement of a Kronecker design (`"None"` otherwise).
+    pub self_loop: String,
+    /// Exact vertex count, as a decimal string (may exceed `u64`).
+    pub vertices: String,
+    /// The edge count the source predicts and the run validates against, as
+    /// a decimal string — exact for Kronecker, the requested sample count
+    /// for R-MAT.
+    pub predicted_edges: String,
+    /// The resolved `B ⊗ C` split index (0 for non-Kronecker sources).
+    pub split_index: usize,
+    /// Memory budget for the replicated `C` factor (0 when not applicable).
+    pub max_c_edges: u64,
+    /// Memory budget for the partitioned `B` factor (0 when not applicable).
+    pub max_b_edges: u64,
+    /// The source's self-loop handling label (see [`SelfLoopPolicy`]; R-MAT
+    /// reports `"raw_samples"` — samples are delivered untouched).
+    pub self_loop_policy: String,
+}
+
+/// A partitioned, chunked, deterministic producer of edges — the generation
+/// side every [`Pipeline`](crate::pipeline::Pipeline) terminal plugs into.
+pub trait EdgeSource {
+    /// The prepared, worker-shared state of one run.
+    type Run: SourceRun + Sync;
+
+    /// The number of vertices of the generated graph (sinks and the
+    /// streaming histogram are sized from this), or an error when the graph
+    /// cannot be indexed on this machine.
+    fn vertices(&self) -> Result<u64, CoreError>;
+
+    /// Validate the configuration and build the run state for `workers`
+    /// workers, together with any degradation warnings (e.g. a fallback
+    /// split).
+    fn prepare(&self, workers: usize) -> Result<(Self::Run, Vec<String>), CoreError>;
+}
+
+/// The prepared state of one run of an [`EdgeSource`]: everything the
+/// workers share read-only.
+pub trait SourceRun {
+    /// Stream worker `worker`'s deterministic share of the edges, filling
+    /// the caller's reusable `chunk` and handing the fallible `sink` whole
+    /// slices.  Returns the number of edges delivered to the sink.
+    ///
+    /// The first sink error aborts the stream.  The union of all workers'
+    /// streams is exactly the source's graph, every worker's stream is
+    /// deterministic for a given source configuration, and memory stays
+    /// bounded by the chunk (plus whatever the run state already holds).
+    fn stream_worker<E, F>(&self, worker: usize, chunk: &mut EdgeChunk, sink: F) -> Result<u64, E>
+    where
+        F: FnMut(&[(u64, u64)]) -> Result<(), E>;
+
+    /// The exact predicted property sheet, for sources that know their
+    /// output ahead of generation; `None` for sampling sources whose
+    /// properties are measured-only.
+    fn predicted_properties(&self) -> Option<GraphProperties>;
+
+    /// Compare the streamed measurement against whatever this source can
+    /// predict exactly — the full Figure-4 sheet for Kronecker, counts only
+    /// for R-MAT.
+    fn validate(&self, measured: &GraphProperties) -> ValidationReport;
+
+    /// The `B ⊗ C` split plan the run executes, for sources that have one.
+    fn split_plan(&self) -> Option<SplitPlan>;
+
+    /// The manifest-facing description of this run's source.
+    fn descriptor(&self) -> SourceDescriptor;
+}
+
+/// The design's vertex count as a `u64`, or [`CoreError::TooLargeToRealise`]
+/// when the graph cannot be indexed on this machine at all.
+pub(crate) fn realisable_vertices(design: &KroneckerDesign) -> Result<u64, CoreError> {
+    design
+        .vertices()
+        .to_u64()
+        .ok_or_else(|| CoreError::TooLargeToRealise {
+            vertices: design.vertices().to_string(),
+            edges: design.nnz_with_loops().to_string(),
+        })
+}
+
+/// The paper's exact Kronecker expansion as an [`EdgeSource`]: split the
+/// design into `B ⊗ C`, partition `B`'s CSC-ordered triples evenly, and let
+/// each worker expand its slice against the replicated `C` — today's
+/// pipeline code path, behind the trait.
+///
+/// With [`SelfLoopPolicy::KeepRaw`] the same source streams the raw product
+/// (self-loops included) and validates the raw counts — the third source
+/// kind, `"kronecker_raw"`.
+#[derive(Debug, Clone)]
+pub struct KroneckerSource<'d> {
+    design: &'d KroneckerDesign,
+    split: Option<usize>,
+    max_c_edges: u64,
+    max_b_edges: u64,
+    self_loop_policy: SelfLoopPolicy,
+}
+
+impl<'d> KroneckerSource<'d> {
+    /// A source over `design` with the default budgets of
+    /// [`DriverConfig::default`] and an automatically chosen split.
+    pub fn new(design: &'d KroneckerDesign) -> Self {
+        KroneckerSource::from_config(design, &DriverConfig::default())
+    }
+
+    /// A source with the factor budgets taken from a [`DriverConfig`].
+    pub fn from_config(design: &'d KroneckerDesign, config: &DriverConfig) -> Self {
+        KroneckerSource {
+            design,
+            split: None,
+            max_c_edges: config.max_c_edges,
+            max_b_edges: config.max_b_edges,
+            self_loop_policy: SelfLoopPolicy::default(),
+        }
+    }
+
+    /// The design this source expands.
+    pub fn design(&self) -> &'d KroneckerDesign {
+        self.design
+    }
+
+    /// Pin the `B ⊗ C` split index instead of choosing it automatically.
+    pub fn split_index(mut self, split_index: usize) -> Self {
+        self.split = Some(split_index);
+        self
+    }
+
+    /// Set the memory budget for the replicated `C` factor, in stored
+    /// entries (also the budget the automatic split choice honours).
+    pub fn max_c_edges(mut self, max_c_edges: u64) -> Self {
+        self.max_c_edges = max_c_edges;
+        self
+    }
+
+    /// Set the memory budget for the partitioned `B` factor, in stored
+    /// entries.
+    pub fn max_b_edges(mut self, max_b_edges: u64) -> Self {
+        self.max_b_edges = max_b_edges;
+        self
+    }
+
+    /// Set the self-loop policy.
+    pub fn self_loop_policy(mut self, policy: SelfLoopPolicy) -> Self {
+        self.self_loop_policy = policy;
+        self
+    }
+
+    /// Resolve the split to run with: the pinned index, or the automatic
+    /// choice with its single-worker fallback (which records a warning).
+    fn resolve_split(&self, workers: usize) -> Result<(usize, Vec<String>), CoreError> {
+        if let Some(index) = self.split {
+            return Ok((index, Vec::new()));
+        }
+        let (plan, warning) = choose_split_with_fallback(self.design, self.max_c_edges, workers)?;
+        Ok((plan.split_index, warning.into_iter().collect()))
+    }
+}
+
+impl<'d> EdgeSource for KroneckerSource<'d> {
+    type Run = KroneckerRun<'d>;
+
+    fn vertices(&self) -> Result<u64, CoreError> {
+        realisable_vertices(self.design)
+    }
+
+    fn prepare(&self, workers: usize) -> Result<(KroneckerRun<'d>, Vec<String>), CoreError> {
+        let design = self.design;
+        let (split_index, warnings) = self.resolve_split(workers)?;
+        let (b_design, c_design) = design.split(split_index)?;
+        // Both factors keep their self-loops: the raw product is exactly the
+        // designed product, and the one surviving loop is filtered in-stream
+        // by its owning worker (unless the policy keeps the raw product).
+        let b = b_design.realize_raw(self.max_b_edges)?;
+        let c = c_design.realize_raw(self.max_c_edges)?;
+        let triples = csc_ordered_triples(&b);
+        let partition = Partition::even(triples.len(), workers);
+        let split_plan = SplitPlan {
+            split_index,
+            b_nnz: b_design.nnz_with_loops(),
+            c_nnz: c_design.nnz_with_loops(),
+            c_vertices: c_design.vertices(),
+        };
+
+        // The product self-loop lands in the worker whose B slice holds the
+        // diagonal triple (v_B, v_B); that worker filters the single global
+        // edge (v, v) out of its stream.
+        let remove_loop = self.self_loop_policy == SelfLoopPolicy::RemoveDesigned
+            && design.has_removable_self_loop();
+        let loop_filter: Option<(usize, u64)> = if remove_loop {
+            let b_loop = self_loop_vertex_index(&b_design);
+            let position = triples
+                .iter()
+                .position(|&(r, c, _)| r == b_loop && c == b_loop)
+                .expect("a triangle-control B factor has exactly one diagonal triple");
+            let owner = (0..workers)
+                .find(|&w| partition.range(w).contains(&position))
+                .expect("every triple index belongs to one worker");
+            Some((owner, self_loop_vertex_index(design)))
+        } else {
+            None
+        };
+
+        let run = KroneckerRun {
+            design,
+            c,
+            triples,
+            partition,
+            split_plan,
+            loop_filter,
+            self_loop_policy: self.self_loop_policy,
+            max_c_edges: self.max_c_edges,
+            max_b_edges: self.max_b_edges,
+        };
+        Ok((run, warnings))
+    }
+}
+
+/// The prepared state of one Kronecker run: realised `C`, partitioned `B`
+/// triples, and the in-stream self-loop filter.
+#[derive(Debug, Clone)]
+pub struct KroneckerRun<'d> {
+    design: &'d KroneckerDesign,
+    c: CooMatrix<u64>,
+    triples: Vec<(u64, u64, u64)>,
+    partition: Partition,
+    split_plan: SplitPlan,
+    loop_filter: Option<(usize, u64)>,
+    self_loop_policy: SelfLoopPolicy,
+    max_c_edges: u64,
+    max_b_edges: u64,
+}
+
+impl SourceRun for KroneckerRun<'_> {
+    fn stream_worker<E, F>(
+        &self,
+        worker: usize,
+        chunk: &mut EdgeChunk,
+        mut sink: F,
+    ) -> Result<u64, E>
+    where
+        F: FnMut(&[(u64, u64)]) -> Result<(), E>,
+    {
+        let slice = &self.triples[self.partition.range(worker)];
+        let filter = self
+            .loop_filter
+            .and_then(|(owner, vertex)| (owner == worker).then_some(vertex));
+        let mut removed = false;
+        let produced =
+            crate::stream::try_stream_block_edges_into(slice, &self.c, chunk, |edges| {
+                if let Some(vertex) = filter {
+                    if !removed {
+                        if let Some(at) =
+                            edges.iter().position(|&(r, c)| r == vertex && c == vertex)
+                        {
+                            removed = true;
+                            sink(&edges[..at])?;
+                            return sink(&edges[at + 1..]);
+                        }
+                    }
+                }
+                sink(edges)
+            })?;
+        if filter.is_some() {
+            debug_assert!(removed, "the owning worker must see the product loop");
+        }
+        Ok(produced - u64::from(removed))
+    }
+
+    fn predicted_properties(&self) -> Option<GraphProperties> {
+        Some(self.design.properties())
+    }
+
+    fn validate(&self, measured: &GraphProperties) -> ValidationReport {
+        match self.self_loop_policy {
+            SelfLoopPolicy::RemoveDesigned => {
+                kron_core::validate::validate_streamed(&self.design.properties(), measured)
+            }
+            SelfLoopPolicy::KeepRaw => validate_raw(self.design, measured),
+        }
+    }
+
+    fn split_plan(&self) -> Option<SplitPlan> {
+        Some(self.split_plan.clone())
+    }
+
+    fn descriptor(&self) -> SourceDescriptor {
+        // The predicted count is the one validate() compares against: the
+        // final graph's, or the raw product's for a keep-raw run.
+        let predicted_edges = match self.self_loop_policy {
+            SelfLoopPolicy::RemoveDesigned => self.design.edges(),
+            SelfLoopPolicy::KeepRaw => self.design.nnz_with_loops(),
+        };
+        SourceDescriptor {
+            kind: match self.self_loop_policy {
+                SelfLoopPolicy::RemoveDesigned => "kronecker",
+                SelfLoopPolicy::KeepRaw => "kronecker_raw",
+            },
+            seed: None,
+            star_points: self.design.star_points().unwrap_or_default(),
+            self_loop: format!("{:?}", design_self_loop(self.design)),
+            vertices: self.design.vertices().to_string(),
+            predicted_edges: predicted_edges.to_string(),
+            split_index: self.split_plan.split_index,
+            max_c_edges: self.max_c_edges,
+            max_b_edges: self.max_b_edges,
+            self_loop_policy: self.self_loop_policy.label().to_string(),
+        }
+    }
+}
+
+/// The self-loop placement of a pure star design (the manifest's design
+/// spec).  Mixed or non-star designs report the first constituent's
+/// placement — the manifest's `star_points` being empty flags those.
+fn design_self_loop(design: &KroneckerDesign) -> SelfLoop {
+    design
+        .constituents()
+        .first()
+        .and_then(|c| c.as_star())
+        .map(|s| s.self_loop())
+        .unwrap_or(SelfLoop::None)
+}
+
+/// Validate a raw-product run: the streamable fields whose raw values the
+/// design predicts exactly — vertices, raw edge count, and product
+/// self-loop count.  The degree distribution is not checked (the analytic
+/// distribution describes the final graph, not the raw product).
+fn validate_raw(design: &KroneckerDesign, measured: &GraphProperties) -> ValidationReport {
+    ValidationReport::from_checks(vec![
+        FieldCheck::exact("vertices", design.vertices(), &measured.vertices),
+        FieldCheck::exact("raw_edges", design.nnz_with_loops(), &measured.edges),
+        FieldCheck::exact(
+            "raw_self_loops",
+            design.product_self_loops(),
+            &measured.self_loops,
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kron_core::SelfLoop;
+
+    #[test]
+    fn kronecker_stream_union_is_the_designed_graph() {
+        let design = KroneckerDesign::from_star_points(&[3, 4, 5], SelfLoop::Centre).unwrap();
+        let source = KroneckerSource::new(&design)
+            .split_index(1)
+            .max_c_edges(100_000);
+        let vertices = source.vertices().unwrap();
+        let (run, warnings) = source.prepare(3).unwrap();
+        assert!(warnings.is_empty());
+        assert_eq!(vertices, design.vertices().to_u64().unwrap());
+
+        let mut all: Vec<(u64, u64)> = Vec::new();
+        let mut delivered = 0;
+        for worker in 0..3 {
+            let mut chunk = EdgeChunk::new(512);
+            delivered += run
+                .stream_worker::<std::convert::Infallible, _>(worker, &mut chunk, |edges| {
+                    all.extend_from_slice(edges);
+                    Ok(())
+                })
+                .unwrap();
+        }
+        assert_eq!(delivered as usize, all.len());
+        let mut expected: Vec<(u64, u64)> = design
+            .realize(1_000_000)
+            .unwrap()
+            .iter()
+            .map(|(r, c, _)| (r, c))
+            .collect();
+        all.sort_unstable();
+        expected.sort_unstable();
+        assert_eq!(all, expected);
+
+        let descriptor = run.descriptor();
+        assert_eq!(descriptor.kind, "kronecker");
+        assert_eq!(descriptor.seed, None);
+        assert_eq!(descriptor.star_points, vec![3, 4, 5]);
+        assert_eq!(descriptor.split_index, 1);
+        assert!(run.predicted_properties().is_some());
+        assert!(run.split_plan().is_some());
+    }
+
+    #[test]
+    fn keep_raw_descriptor_reports_the_raw_source_kind() {
+        let design = KroneckerDesign::from_star_points(&[3, 4], SelfLoop::Centre).unwrap();
+        let source = KroneckerSource::new(&design)
+            .split_index(1)
+            .self_loop_policy(SelfLoopPolicy::KeepRaw);
+        let (run, _) = source.prepare(2).unwrap();
+        let descriptor = run.descriptor();
+        assert_eq!(descriptor.kind, "kronecker_raw");
+        assert_eq!(descriptor.self_loop_policy, "keep_raw");
+        assert_eq!(
+            descriptor.predicted_edges,
+            design.nnz_with_loops().to_string()
+        );
+    }
+}

@@ -93,7 +93,9 @@ impl TrialAndErrorDesigner {
             params.edge_factor = edge_factor;
             let generator = RmatGenerator::new(params, self.seed.wrapping_add(iteration as u64))
                 .expect("graph500-derived parameters are always valid");
-            let edges = generator.generate_edges();
+            let edges: Vec<(u64, u64)> = (0..params.requested_edges())
+                .map(|index| generator.edge_at(index))
+                .collect();
             total_edges_generated += edges.len() as u64;
             let stats = measure_edge_list(params.vertices(), &edges);
             let produced = stats.unique_edges.max(1);

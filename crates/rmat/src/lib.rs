@@ -9,15 +9,24 @@
 //! comparison experiments can be reproduced:
 //!
 //! * [`RmatGenerator`] — recursive quadrant sampling with the Graph500
-//!   parameters as defaults, optional noise, and deterministic seeding.
+//!   parameters as defaults, optional noise, deterministic seeding, and an
+//!   *indexed* sampler ([`RmatGenerator::edge_at`]) whose output is
+//!   identical for every work split.
+//! * [`RmatSource`] — the generator as a first-class
+//!   [`kron_gen::EdgeSource`], so R-MAT streams through the same
+//!   `Pipeline` terminals, histogram validation, and run manifests as the
+//!   exact designs, with bounded memory.  The predictable fields (vertex
+//!   and sample counts) are validated; everything else is measured-only —
+//!   the paper's point, made executable.
 //! * [`measure`] — degree-distribution and structural measurements of the
 //!   sampled edge lists (duplicate edges, self-loops, empty vertices — the
 //!   artefacts the paper's generator avoids by construction).
 //! * [`design_loop`] — the trial-and-error design loop: repeatedly generate
 //!   and measure until the edge-count / max-degree targets are met, counting
 //!   how much work that takes compared with the exact designer.
-//! * [`permute`] — random vertex relabelling, needed before R-MAT output can
-//!   be compared fairly with structured generators.
+//! * [`permute`] — legacy table-based vertex relabelling, deprecated in
+//!   favour of the O(1)-memory [`kron_gen::FeistelPermutation`] (see
+//!   `Pipeline::permute_vertices`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,10 +35,13 @@ pub mod design_loop;
 pub mod measure;
 pub mod permute;
 pub mod rmat;
+pub mod source;
 pub mod stochastic;
 
 pub use design_loop::{DesignLoopReport, TrialAndErrorDesigner, TrialTargets};
 pub use measure::{measure_edge_list, EdgeListStats};
+#[allow(deprecated)] // the legacy table API must keep compiling at its old address
 pub use permute::{random_permutation, relabel_edges};
 pub use rmat::{RmatGenerator, RmatParams};
+pub use source::{RmatRun, RmatSource};
 pub use stochastic::{Initiator, StochasticKronecker};

@@ -1,17 +1,29 @@
-//! Random vertex relabelling.
+//! Random vertex relabelling (legacy table-based API).
 //!
 //! Graph500 permutes vertex labels after generation so that the heavy
-//! vertices are not trivially identifiable by their index; the paper's exact
-//! generator can be combined with the same relabelling when an adversarial
-//! layout is wanted.  Relabelling is a bijection, so every exactly-known
-//! property (edge count, degree distribution, triangles) is preserved — a
-//! fact the tests check.
+//! vertices are not trivially identifiable by their index.  The functions
+//! here do that with a materialised permutation *table* — `O(V)` memory,
+//! which is unusable at the paper's 10¹⁰-vertex designs — and are therefore
+//! deprecated in favour of the O(1)-memory seeded Feistel bijection,
+//! [`kron_gen::FeistelPermutation`], which the pipeline applies in-stream
+//! via `Pipeline::permute_vertices(seed)` (or the
+//! `kron_gen::PermuteSink` combinator).
+//!
+//! Both the table and the Feistel network are exact bijections, so every
+//! exactly-known property (edge count, degree distribution, triangles) is
+//! preserved by either — a fact the property tests below pin for both
+//! implementations side by side.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 /// A uniformly random permutation of `0..n`, deterministic for a given seed.
+#[deprecated(
+    since = "0.1.0",
+    note = "the table costs O(V) memory; use kron_gen::FeistelPermutation (or \
+            Pipeline::permute_vertices) for an O(1)-memory bijection"
+)]
 pub fn random_permutation(n: u64, seed: u64) -> Vec<u64> {
     let mut perm: Vec<u64> = (0..n).collect();
     let mut rng = StdRng::seed_from_u64(seed);
@@ -24,6 +36,11 @@ pub fn random_permutation(n: u64, seed: u64) -> Vec<u64> {
 ///
 /// # Panics
 /// Panics if an edge references a vertex outside `0..perm.len()`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use kron_gen::FeistelPermutation::apply_edge in-stream (or the \
+            PermuteSink combinator) instead of materialising a relabelled copy"
+)]
 pub fn relabel_edges(edges: &[(u64, u64)], perm: &[u64]) -> Vec<(u64, u64)> {
     edges
         .iter()
@@ -37,9 +54,11 @@ pub fn relabel_edges(edges: &[(u64, u64)], perm: &[u64]) -> Vec<(u64, u64)> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the deprecated table is half of every comparison here
 mod tests {
     use super::*;
     use crate::measure::measure_edge_list;
+    use kron_gen::FeistelPermutation;
 
     #[test]
     fn permutation_is_a_bijection() {
@@ -74,5 +93,60 @@ mod tests {
     fn identity_permutation_for_tiny_graphs() {
         assert_eq!(random_permutation(0, 9), Vec::<u64>::new());
         assert_eq!(random_permutation(1, 9), vec![0]);
+    }
+
+    mod table_vs_feistel {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Both the legacy table and the Feistel network are exact
+            /// bijections of [0, n) for any seed.
+            #[test]
+            fn both_relabellings_are_bijections(n in 1u64..600, seed in 0u64..u64::MAX) {
+                let table = random_permutation(n, seed);
+                let mut sorted = table.clone();
+                sorted.sort_unstable();
+                prop_assert_eq!(&sorted, &(0..n).collect::<Vec<u64>>());
+
+                let feistel = FeistelPermutation::new(n, seed);
+                let mut image: Vec<u64> = (0..n).map(|v| feistel.apply(v)).collect();
+                image.sort_unstable();
+                prop_assert_eq!(&image, &sorted);
+            }
+
+            /// Relabelling through either implementation preserves the
+            /// degree histogram exactly (multiplicities, self-loops,
+            /// empty-vertex count included).
+            #[test]
+            fn both_relabellings_preserve_the_degree_histogram(
+                n in 1u64..64,
+                seed in 0u64..u64::MAX,
+                raw_edges in proptest::collection::vec((0u64..1000, 0u64..1000), 0..200),
+            ) {
+                let edges: Vec<(u64, u64)> =
+                    raw_edges.iter().map(|&(u, v)| (u % n, v % n)).collect();
+                let before = measure_edge_list(n, &edges);
+
+                let table = random_permutation(n, seed);
+                let via_table = relabel_edges(&edges, &table);
+                let table_stats = measure_edge_list(n, &via_table);
+
+                let feistel = FeistelPermutation::new(n, seed);
+                let via_feistel: Vec<(u64, u64)> =
+                    edges.iter().map(|&e| feistel.apply_edge(e)).collect();
+                let feistel_stats = measure_edge_list(n, &via_feistel);
+
+                for after in [&table_stats, &feistel_stats] {
+                    prop_assert_eq!(before.raw_edges, after.raw_edges);
+                    prop_assert_eq!(before.unique_edges, after.unique_edges);
+                    prop_assert_eq!(before.self_loops, after.self_loops);
+                    prop_assert_eq!(before.empty_vertices, after.empty_vertices);
+                    prop_assert_eq!(&before.degree_distribution, &after.degree_distribution);
+                }
+            }
+        }
     }
 }

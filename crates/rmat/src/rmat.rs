@@ -8,11 +8,22 @@
 //! count, degree distribution, and triangle count are not known until the
 //! graph is generated and measured, which is precisely the workflow the
 //! exact Kronecker designer replaces.
+//!
+//! Sampling is *indexed*: [`RmatGenerator::edge_at`] draws sample `i` from
+//! an RNG seeded by `(seed, i)`, so any contiguous range of the requested
+//! samples can be produced independently — per worker, per chunk — and the
+//! full edge list is identical no matter how the range is carved up.  That
+//! is what lets `RmatSource` stream R-MAT through the generic pipeline with
+//! bounded memory; the materialising [`RmatGenerator::generate_edges`] /
+//! [`RmatGenerator::generate_edges_parallel`] survive as deprecated thin
+//! wrappers over the same indexed sampler.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+
+use kron_core::CoreError;
 
 /// Quadrant probabilities and size parameters of an R-MAT generator.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -75,6 +86,17 @@ impl RmatParams {
     }
 }
 
+/// Derive the per-sample RNG seed from the generator seed and the sample's
+/// global index: a SplitMix64-style finalizer over the pair, so consecutive
+/// indices land on decorrelated streams and the map `index → seed` is
+/// injective for a fixed generator seed.
+fn sample_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// A seeded R-MAT edge sampler.
 #[derive(Debug, Clone)]
 pub struct RmatGenerator {
@@ -84,9 +106,11 @@ pub struct RmatGenerator {
 
 impl RmatGenerator {
     /// Create a generator from validated parameters and a seed.
-    pub fn new(params: RmatParams, seed: u64) -> Result<Self, String> {
+    pub fn new(params: RmatParams, seed: u64) -> Result<Self, CoreError> {
         if !params.is_valid() {
-            return Err(format!("invalid R-MAT parameters: {params:?}"));
+            return Err(CoreError::InvalidConfig {
+                message: format!("invalid R-MAT parameters: {params:?}"),
+            });
         }
         Ok(RmatGenerator { params, seed })
     }
@@ -94,6 +118,11 @@ impl RmatGenerator {
     /// The generator's parameters.
     pub fn params(&self) -> &RmatParams {
         &self.params
+    }
+
+    /// The generator's sampling seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// Sample one edge with the given RNG.
@@ -138,30 +167,64 @@ impl RmatGenerator {
         (row, col)
     }
 
-    /// Sample the full edge list sequentially (deterministic for a given
-    /// seed).
+    /// Sample edge `index` of the requested stream — deterministic for a
+    /// given `(seed, index)` and independent of every other sample, so any
+    /// worker can produce any contiguous slice of the stream without
+    /// coordination.  This is the primitive behind `RmatSource`'s chunked
+    /// per-worker streaming.
+    pub fn edge_at(&self, index: u64) -> (u64, u64) {
+        let mut rng = StdRng::seed_from_u64(sample_seed(self.seed, index));
+        self.sample_edge(&mut rng)
+    }
+
+    /// Worker `worker`'s contiguous range of global sample indices when the
+    /// requested samples are split evenly across `workers` workers — the
+    /// single owner of the balanced-range arithmetic shared by the streaming
+    /// source and the deprecated materialising wrapper, so the two can never
+    /// desynchronise.  Ranges are contiguous and ascending in worker order
+    /// and cover `[0, requested_edges())` exactly.
+    ///
+    /// # Panics
+    /// Panics if `workers` is zero.
+    pub fn sample_range(&self, worker: usize, workers: usize) -> std::ops::Range<u64> {
+        assert!(workers > 0, "sample_range needs at least one worker");
+        let total = self.params.requested_edges();
+        let workers = workers as u64;
+        let worker = worker as u64;
+        let per_worker = total / workers;
+        let remainder = total % workers;
+        let start = worker * per_worker + worker.min(remainder);
+        let length = per_worker + u64::from(worker < remainder);
+        start..start + length
+    }
+
+    /// Sample the full edge list (deterministic for a given seed).
+    #[deprecated(
+        since = "0.1.0",
+        note = "run the generator through the pipeline (RmatSource) or sample \
+                indexed ranges with edge_at; this wrapper materialises every edge"
+    )]
     pub fn generate_edges(&self) -> Vec<(u64, u64)> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
         (0..self.params.requested_edges())
-            .map(|_| self.sample_edge(&mut rng))
+            .map(|index| self.edge_at(index))
             .collect()
     }
 
-    /// Sample the edge list in parallel chunks (deterministic: each chunk has
-    /// its own seed derived from the generator seed and chunk index).
+    /// Sample the edge list in parallel chunks.  The indexed sampler makes
+    /// the output identical to [`RmatGenerator::generate_edges`] for every
+    /// chunk count — the chunking is now purely a work split.
+    #[deprecated(
+        since = "0.1.0",
+        note = "run the generator through the pipeline (RmatSource), which \
+                streams the same samples without materialising them"
+    )]
     pub fn generate_edges_parallel(&self, chunks: usize) -> Vec<(u64, u64)> {
         let chunks = chunks.max(1);
-        let total = self.params.requested_edges();
-        let per_chunk = total / chunks as u64;
-        let remainder = total % chunks as u64;
         (0..chunks)
             .into_par_iter()
             .flat_map_iter(|chunk| {
-                let count = per_chunk + u64::from((chunk as u64) < remainder);
-                let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(chunk as u64 + 1));
-                (0..count)
-                    .map(move |_| self.sample_edge(&mut rng))
-                    .collect::<Vec<_>>()
+                self.sample_range(chunk, chunks)
+                    .map(|index| self.edge_at(index))
             })
             .collect()
     }
@@ -169,6 +232,8 @@ impl RmatGenerator {
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the wrappers are pinned against the indexed sampler
+
     use super::*;
 
     #[test]
@@ -180,12 +245,15 @@ mod tests {
     }
 
     #[test]
-    fn invalid_parameters_rejected() {
+    fn invalid_parameters_rejected_with_typed_error() {
         let mut p = RmatParams::graph500(10);
         p.a = 0.9; // probabilities no longer sum to 1
         assert!(!p.is_valid());
-        assert!(RmatGenerator::new(p, 1).is_err());
-        let mut p = RmatParams::graph500(0);
+        assert!(matches!(
+            RmatGenerator::new(p, 1),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+        let mut p = RmatParams::graph500(1);
         p.scale = 0;
         assert!(!p.is_valid());
         let mut p = RmatParams::graph500(5);
@@ -211,12 +279,27 @@ mod tests {
     }
 
     #[test]
-    fn parallel_generation_is_deterministic_and_complete() {
+    fn indexed_sampling_is_the_single_engine() {
+        let gen = RmatGenerator::new(RmatParams::graph500(7), 19).unwrap();
+        let sequential = gen.generate_edges();
+        let indexed: Vec<(u64, u64)> = (0..gen.params().requested_edges())
+            .map(|i| gen.edge_at(i))
+            .collect();
+        assert_eq!(sequential, indexed);
+    }
+
+    #[test]
+    fn parallel_generation_equals_sequential_for_every_chunking() {
         let gen = RmatGenerator::new(RmatParams::graph500(8), 3).unwrap();
-        let a = gen.generate_edges_parallel(4);
-        let b = gen.generate_edges_parallel(4);
-        assert_eq!(a, b);
-        assert_eq!(a.len() as u64, gen.params().requested_edges());
+        let sequential = gen.generate_edges();
+        assert_eq!(sequential.len() as u64, gen.params().requested_edges());
+        for chunks in [1usize, 2, 3, 7, 64] {
+            assert_eq!(
+                gen.generate_edges_parallel(chunks),
+                sequential,
+                "chunk count {chunks} changed the stream"
+            );
+        }
     }
 
     #[test]

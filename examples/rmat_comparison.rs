@@ -1,5 +1,6 @@
 //! Side-by-side comparison of the exact Kronecker generator with the R-MAT
-//! baseline at the same scale: structural cleanliness, degree-distribution
+//! baseline at the same scale — both running through the *same* generic
+//! `Pipeline` terminals: structural cleanliness, degree-distribution
 //! exactness, and the cost of knowing the properties.
 //!
 //! Run with:
@@ -11,7 +12,7 @@
 use std::time::Instant;
 
 use extreme_graphs::core::validate::measure_properties;
-use extreme_graphs::rmat::{measure_edge_list, RmatGenerator, RmatParams};
+use extreme_graphs::rmat::{measure_edge_list, RmatParams, RmatSource};
 use extreme_graphs::{KroneckerDesign, Pipeline, SelfLoop};
 
 fn main() {
@@ -57,13 +58,34 @@ fn main() {
         measured.degree_distribution == properties.degree_distribution
     );
 
-    // --- R-MAT --------------------------------------------------------------
+    // --- R-MAT through the same pipeline ------------------------------------
     println!("\n=== R-MAT baseline (Graph500 parameters, scale 19) ===");
-    println!("properties known before generation: none — they must be measured afterwards.");
+    println!("properties known before generation: vertex and sample counts only —");
+    println!("everything else must be measured afterwards.");
     let rmat_start = Instant::now();
-    let rmat = RmatGenerator::new(rmat_params, 20180304).expect("valid parameters");
-    let edges = rmat.generate_edges_parallel(8);
+    let rmat_report =
+        Pipeline::for_source(RmatSource::new(rmat_params, 20180304).expect("valid parameters"))
+            .workers(8)
+            .collect_coo()
+            .expect("scale-19 samples fit in memory");
     let rmat_elapsed = rmat_start.elapsed();
+    assert!(
+        rmat_report.is_valid(),
+        "the predictable fields (counts) must match"
+    );
+    assert!(
+        rmat_report.predicted.is_none(),
+        "R-MAT has no exact property sheet"
+    );
+    println!(
+        "manifest records source \"{}\" with seed {:?}",
+        rmat_report.manifest.source, rmat_report.manifest.source_seed,
+    );
+    let edges: Vec<(u64, u64)> = rmat_report
+        .outputs
+        .iter()
+        .flat_map(|block| block.iter().map(|(r, c, _)| (r, c)))
+        .collect();
     let stats = measure_edge_list(rmat_params.vertices(), &edges);
     println!(
         "sampled {} edges in {:?}; after cleaning: {} unique edges ({:.1}% of samples wasted)",
@@ -84,8 +106,27 @@ fn main() {
         stats.alpha().unwrap_or(f64::NAN),
     );
 
+    // --- the permutation stage, shared by both workflows --------------------
+    println!("\n=== O(1)-memory vertex permutation (shared stage) ===");
+    let permuted = Pipeline::for_design(&design)
+        .workers(8)
+        .max_c_edges(200_000)
+        .permute_vertices(0x5EED)
+        .count()
+        .expect("design fits in memory");
+    assert!(
+        permuted.is_valid(),
+        "relabelling is degree-preserving, so validation still passes"
+    );
+    println!(
+        "permuted Kronecker run still validates exactly (seed {:?} in the manifest): {}",
+        permuted.manifest.permutation_seed,
+        permuted.is_valid(),
+    );
+
     println!("\nsummary:");
     println!("  Kronecker: properties exact and known up front; graph is clean by construction.");
     println!("  R-MAT:     properties approximate and only known after generating and measuring;");
     println!("             output needs de-duplication, loop removal, and re-indexing first.");
+    println!("  Both now stream through one Pipeline: same sinks, validation, and manifests.");
 }

@@ -43,6 +43,41 @@
 //! per worker (plus a `manifest.json`), and [`Pipeline::into_sinks`] for any
 //! custom [`gen::sink::EdgeSink`].
 //!
+//! ## Edge sources
+//!
+//! The pipeline is generic over an [`EdgeSource`] — a partitioned, chunked,
+//! deterministic producer of edges — so every generator in the workspace
+//! runs through the same terminals, streamed validation, and manifests:
+//!
+//! | source | constructor | prediction | manifest `source` |
+//! |---|---|---|---|
+//! | exact Kronecker expansion | `Pipeline::for_design(&design)` | full property sheet, validated field by field | `"kronecker"` |
+//! | raw `B ⊗ C` product | `Pipeline::for_design(&design).raw_product()` | raw vertex/edge/self-loop counts | `"kronecker_raw"` |
+//! | R-MAT sampler ([`RmatSource`]) | `Pipeline::for_source(RmatSource::new(params, seed)?)` | vertex + sample counts only; the rest is measured-only | `"rmat"` |
+//!
+//! ```
+//! use extreme_graphs::{Pipeline, RmatParams, RmatSource};
+//!
+//! let report = Pipeline::for_source(RmatSource::new(RmatParams::graph500(10), 7).unwrap())
+//!     .workers(4)
+//!     .count()
+//!     .unwrap();
+//! assert!(report.predicted.is_none()); // R-MAT properties are measured-only
+//! assert_eq!(report.manifest.source, "rmat");
+//! assert_eq!(report.manifest.source_seed, Some(7));
+//! ```
+//!
+//! ## The vertex-permutation stage
+//!
+//! `Pipeline::permute_vertices(seed)` relabels every vertex in-stream
+//! through a seeded [`gen::FeistelPermutation`] — an exact bijection on
+//! `[0, V)` evaluated in O(1) memory, replacing the O(V) permutation table
+//! Graph500-style relabelling would otherwise need (unusable at the paper's
+//! 10¹⁰-vertex designs).  The permutation is degree-preserving, so
+//! validation still passes, and the seed lands in the manifest so the run
+//! stays reproducible.  [`gen::PermuteSink`] is the same stage as a
+//! standalone sink combinator.
+//!
 //! ## Migrating from the pre-pipeline entry points
 //!
 //! The earlier entry points remain as deprecated thin wrappers:
@@ -58,6 +93,10 @@
 //! | `ShardDriver::run(&d, s, factory)` | `Pipeline::for_design(&d).split_index(s).into_sinks(factory)` |
 //! | `gen::writer::stream_blocks_tsv(&d, s, w, max, dir)` | `Pipeline::for_design(&d).raw_product().write_tsv(dir)` |
 //! | `GeneratorConfig::max_total_edges` | gone — the pipeline streams and has no total-edge ceiling |
+//! | `RmatGenerator::generate_edges()` | `Pipeline::for_source(RmatSource::from_generator(g)).collect_coo()` (or indexed ranges via `RmatGenerator::edge_at`) |
+//! | `RmatGenerator::generate_edges_parallel(n)` | `Pipeline::for_source(RmatSource::from_generator(g)).workers(n).…` — streams, never materialises |
+//! | `rmat::permute::random_permutation(n, seed)` | `gen::FeistelPermutation::new(n, seed)` — O(1) memory, no table |
+//! | `rmat::permute::relabel_edges(&edges, &perm)` | `Pipeline::permute_vertices(seed)` in-stream, or `gen::PermuteSink` |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -74,10 +113,11 @@ pub use kron_core::{
     SelfLoop, StarGraph, ValidationReport,
 };
 pub use kron_gen::{
-    DistributedGraph, DriverConfig, GenerationStats, GeneratorConfig, ParallelGenerator, Pipeline,
-    RunManifest, RunReport, SelfLoopPolicy, ShardDriver, ShardRun,
+    DesignPipeline, DistributedGraph, DriverConfig, EdgeSource, FeistelPermutation,
+    GenerationStats, GeneratorConfig, KroneckerSource, ParallelGenerator, PermuteSink, Pipeline,
+    RunManifest, RunReport, SelfLoopPolicy, ShardDriver, ShardRun, SourceDescriptor, SourceRun,
 };
-pub use kron_rmat::{RmatGenerator, RmatParams};
+pub use kron_rmat::{RmatGenerator, RmatParams, RmatSource};
 
 #[cfg(test)]
 mod tests {

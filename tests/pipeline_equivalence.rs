@@ -14,7 +14,7 @@
 use std::path::PathBuf;
 
 use extreme_graphs::gen::manifest::MANIFEST_FILE_NAME;
-use extreme_graphs::gen::{DriverConfig, Pipeline, RunManifest};
+use extreme_graphs::gen::{DesignPipeline, DriverConfig, Pipeline, RunManifest};
 use extreme_graphs::sparse::CooMatrix;
 use extreme_graphs::{GeneratorConfig, KroneckerDesign, ParallelGenerator, SelfLoop, ShardDriver};
 
@@ -28,7 +28,7 @@ fn temp_dir(name: &str) -> PathBuf {
     dir
 }
 
-fn pipeline(design: &KroneckerDesign, workers: usize, chunk: usize) -> Pipeline<'_> {
+fn pipeline(design: &KroneckerDesign, workers: usize, chunk: usize) -> DesignPipeline<'_> {
     Pipeline::for_design(design)
         .workers(workers)
         .max_c_edges(200_000)
