@@ -9,7 +9,9 @@
 //! * `kronecker_counting_w{N}` — the exact expansion at 1 and 4 workers,
 //! * `rmat_counting_w{N}` — the indexed R-MAT sampler at 1 and 4 workers,
 //! * `*_permuted_w4` — both sources with the in-stream Feistel
-//!   vertex-permutation stage enabled, to price the O(1)-memory relabelling.
+//!   vertex-permutation stage enabled, to price the O(1)-memory relabelling,
+//! * `replay_counting_w4` — the third source kind: binary shards written by
+//!   the Kronecker run streamed back from disk through the same terminal.
 //!
 //! Results are printed and written as machine-readable JSON to
 //! `BENCH_source_throughput.json` at the workspace root, so successive PRs
@@ -18,7 +20,7 @@
 use std::time::{Duration, Instant};
 
 use kron_core::{KroneckerDesign, SelfLoop};
-use kron_gen::Pipeline;
+use kron_gen::{Pipeline, ReplaySource};
 use kron_rmat::{RmatParams, RmatSource};
 
 /// The paper's `B` factor from Figures 3/4 (13,824,000 edges).
@@ -110,6 +112,28 @@ fn main() {
         rmat_pass(params, 4, true)
     }));
 
+    // Replay: write the Kronecker graph as binary shards once, then measure
+    // streaming it back from disk through the identical counting terminal.
+    let shard_dir = std::env::temp_dir().join("kron_bench_source_throughput_shards");
+    let _ = std::fs::remove_dir_all(&shard_dir);
+    let written = Pipeline::for_design(&design)
+        .workers(4)
+        .split_index(KRON_SPLIT)
+        .max_c_edges(1 << 20)
+        .write_binary(&shard_dir)
+        .expect("shard write succeeds");
+    assert!(written.is_valid());
+    results.push(measure("replay_counting_w4", kron_edges, || {
+        let source = ReplaySource::from_directory(&shard_dir).expect("manifest present");
+        let report = Pipeline::for_source(source)
+            .workers(4)
+            .count()
+            .expect("replay succeeds");
+        assert!(report.is_valid());
+        report.edge_count()
+    }));
+    std::fs::remove_dir_all(&shard_dir).ok();
+
     for m in &results {
         println!(
             "  {:<26} median {:>12?}  {:>9.1} Medges/s",
@@ -128,9 +152,11 @@ fn main() {
     let kron_vs_rmat_w4 = rate_of("kronecker_counting_w4") / rate_of("rmat_counting_w4");
     let kron_permute_cost = rate_of("kronecker_counting_w4") / rate_of("kronecker_permuted_w4");
     let rmat_permute_cost = rate_of("rmat_counting_w4") / rate_of("rmat_permuted_w4");
+    let replay_cost = rate_of("kronecker_counting_w4") / rate_of("replay_counting_w4");
     println!("  kronecker(4) vs rmat(4):              {kron_vs_rmat_w4:.2}x");
     println!("  kronecker permutation slowdown (w4):  {kron_permute_cost:.2}x");
     println!("  rmat permutation slowdown (w4):       {rmat_permute_cost:.2}x");
+    println!("  replay vs regeneration (w4):          {replay_cost:.2}x");
 
     let json_entries: Vec<String> = results
         .iter()
@@ -144,7 +170,7 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"source_throughput\",\n  \"kronecker\": {{\"points\": {:?}, \"split_index\": {}, \"edges\": {}}},\n  \"rmat\": {{\"scale\": {}, \"edge_factor\": 16, \"samples\": {}}},\n  \"samples\": {},\n  \"results\": [\n{}\n  ],\n  \"kronecker_vs_rmat_w4\": {:.3},\n  \"kronecker_permute_slowdown_w4\": {:.3},\n  \"rmat_permute_slowdown_w4\": {:.3}\n}}\n",
+        "{{\n  \"bench\": \"source_throughput\",\n  \"kronecker\": {{\"points\": {:?}, \"split_index\": {}, \"edges\": {}}},\n  \"rmat\": {{\"scale\": {}, \"edge_factor\": 16, \"samples\": {}}},\n  \"samples\": {},\n  \"results\": [\n{}\n  ],\n  \"kronecker_vs_rmat_w4\": {:.3},\n  \"kronecker_permute_slowdown_w4\": {:.3},\n  \"rmat_permute_slowdown_w4\": {:.3},\n  \"replay_slowdown_w4\": {:.3}\n}}\n",
         KRON_POINTS,
         KRON_SPLIT,
         kron_edges,
@@ -154,7 +180,8 @@ fn main() {
         json_entries.join(",\n"),
         kron_vs_rmat_w4,
         kron_permute_cost,
-        rmat_permute_cost
+        rmat_permute_cost,
+        replay_cost
     );
     let out_path = concat!(
         env!("CARGO_MANIFEST_DIR"),

@@ -73,6 +73,54 @@ impl PowerLaw {
     }
 }
 
+/// A power-law diagnostic computed from a measured degree distribution: the
+/// paper's extreme-point slope estimate together with two goodness numbers.
+///
+/// This is the streaming-metrics view of [`PowerLaw`]: everything here is
+/// derived from the degree histogram alone, so a generation (or replay) run
+/// can report it without ever materialising the graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerLawFit {
+    /// Extreme-point slope `α = log n(1) / log d_max`
+    /// ([`PowerLaw::from_extremes`]).
+    pub alpha: f64,
+    /// Normalisation constant `c = n(1)` of the fitted curve.
+    pub constant: f64,
+    /// Mean absolute log10 residual of the distribution against the *fitted*
+    /// curve — zero when the measured points lie exactly on the fitted line.
+    pub mean_log_residual: f64,
+    /// Mean absolute log10 residual against the *ideal* perfect power law
+    /// `n(d) = n(1)/d` (slope 1) — zero exactly when the distribution is the
+    /// perfect law every star-product design is constructed to satisfy.
+    pub residual_vs_ideal: f64,
+}
+
+impl PowerLawFit {
+    /// Fit a distribution, or `None` when the extreme points do not pin a
+    /// slope (no degree-1 vertices, or a single-degree distribution).
+    pub fn from_distribution(dist: &DegreeDistribution) -> Option<Self> {
+        let fitted = PowerLaw::from_extremes(dist)?;
+        let ideal = PowerLaw {
+            constant: fitted.constant,
+            alpha: 1.0,
+        };
+        Some(PowerLawFit {
+            alpha: fitted.alpha,
+            constant: fitted.constant,
+            mean_log_residual: fitted.mean_log_residual(dist),
+            residual_vs_ideal: ideal.mean_log_residual(dist),
+        })
+    }
+
+    /// The fitted curve as a [`PowerLaw`].
+    pub fn curve(&self) -> PowerLaw {
+        PowerLaw {
+            constant: self.constant,
+            alpha: self.alpha,
+        }
+    }
+}
+
 /// Check whether all `2^N` subset products of the star points are unique —
 /// the paper's condition for the product distribution to remain a perfect
 /// power law ("as long as all of the products of the corresponding m̂ are
@@ -147,6 +195,28 @@ mod tests {
         assert!(law.mean_log_residual(&perfect) < 1e-12);
         let off = dist(&[(1, 15), (3, 100)]);
         assert!(law.mean_log_residual(&off) > 0.5);
+    }
+
+    #[test]
+    fn fit_summary_of_a_perfect_law_has_zero_residuals() {
+        let perfect = dist(&[(1, 15), (3, 5), (5, 3), (15, 1)]);
+        let fit = PowerLawFit::from_distribution(&perfect).unwrap();
+        assert!((fit.alpha - 1.0).abs() < 1e-12);
+        assert!((fit.constant - 15.0).abs() < 1e-12);
+        assert!(fit.mean_log_residual < 1e-12);
+        assert!(fit.residual_vs_ideal < 1e-12);
+        assert!((fit.curve().predict(3.0) - 5.0).abs() < 1e-9);
+
+        // A steeper distribution fits its own slope exactly but departs from
+        // the ideal 1/d law.
+        let steep = dist(&[(1, 10_000), (100, 1)]);
+        let fit = PowerLawFit::from_distribution(&steep).unwrap();
+        assert!((fit.alpha - 2.0).abs() < 1e-12);
+        assert!(fit.mean_log_residual < 1e-12);
+        assert!(fit.residual_vs_ideal > 0.5);
+
+        // Distributions whose extremes pin no slope have no fit.
+        assert!(PowerLawFit::from_distribution(&dist(&[(2, 5)])).is_none());
     }
 
     #[test]

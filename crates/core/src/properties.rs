@@ -71,6 +71,13 @@ impl GraphProperties {
         self.degree_distribution.fit_alpha()
     }
 
+    /// The extreme-point power-law fit of the degree distribution, with its
+    /// goodness numbers — the summary the streaming metrics engine reports
+    /// (`None` when the extremes pin no slope).
+    pub fn power_law_fit(&self) -> Option<crate::powerlaw::PowerLawFit> {
+        crate::powerlaw::PowerLawFit::from_distribution(&self.degree_distribution)
+    }
+
     /// `true` when the two property sets agree exactly on every field the
     /// paper validates: vertices, edges, triangles, and the complete degree
     /// distribution.
@@ -129,6 +136,9 @@ mod tests {
         assert!((p.edge_vertex_ratio() - 2.5).abs() < 1e-12);
         assert_eq!(p.perfect_power_law_constant(), Some(BigUint::from(15u64)));
         assert!(p.alpha().unwrap() > 0.9);
+        let fit = p.power_law_fit().unwrap();
+        assert!((fit.alpha - 1.0).abs() < 1e-12);
+        assert!(fit.residual_vs_ideal < 1e-12);
     }
 
     #[test]

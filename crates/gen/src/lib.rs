@@ -17,10 +17,14 @@
 //! 4. The blocks together are exactly the designed graph; the single
 //!    self-loop of the triangle-control construction is removed from
 //!    whichever block contains it ([`generator::ParallelGenerator`]).
-//! 5. Properties (degree distribution, edge counts, balance) are measured
-//!    across blocks without ever assembling the full graph
-//!    ([`measure`]), reproducing the paper's "measured = predicted"
-//!    validation at whatever scale fits the machine.
+//! 5. Properties (degree distribution, edge counts, balance, max degree,
+//!    power-law fit, custom metrics) are measured in-stream by the
+//!    pluggable [`metrics`] engine without ever assembling the full graph,
+//!    reproducing the paper's "measured = predicted" validation at whatever
+//!    scale fits the machine — and the [`replay`] source streams existing
+//!    shard sets back through the same engine, so any graph on disk can be
+//!    re-validated, permuted, filtered, or re-sharded without
+//!    regeneration.
 //! 6. The whole line — design, split, partition, chunked expand, sink,
 //!    streamed validation — is one API: the [`pipeline::Pipeline`] builder,
 //!    generic over a pluggable [`source::EdgeSource`].  The exact Kronecker
@@ -56,9 +60,11 @@ pub mod driver;
 pub mod generator;
 pub mod manifest;
 pub mod measure;
+pub mod metrics;
 pub mod partition;
 pub mod permute;
 pub mod pipeline;
+pub mod replay;
 pub mod scaling;
 pub mod sink;
 pub mod source;
@@ -73,9 +79,14 @@ pub use driver::{DriverConfig, ShardDriver, ShardRun};
 pub use generator::{DistributedGraph, GeneratorConfig, ParallelGenerator};
 pub use manifest::{RunManifest, MANIFEST_FILE_NAME};
 pub use measure::{measured_degree_distribution, measured_properties, BalanceReport};
+pub use metrics::{
+    MetricContext, MetricObserver, MetricRecord, MetricSuite, MetricsReport, PredicateCountMetric,
+    StreamingMetric,
+};
 pub use partition::Partition;
 pub use permute::FeistelPermutation;
 pub use pipeline::{DesignPipeline, Pipeline, RunReport, SelfLoopPolicy};
+pub use replay::ReplaySource;
 pub use scaling::{ScalingModel, ScalingPoint};
 pub use sink::{
     BinaryShardSink, CooSink, CountingSink, DegreeOnlySink, EdgeSink, FilterMapSink, PermuteSink,

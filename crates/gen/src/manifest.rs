@@ -20,6 +20,8 @@ use serde::{Deserialize, Serialize};
 
 use kron_sparse::SparseError;
 
+use crate::metrics::MetricRecord;
+
 /// The name under which file-writing pipeline terminals store the manifest,
 /// inside the shard directory.
 pub const MANIFEST_FILE_NAME: &str = "manifest.json";
@@ -84,6 +86,13 @@ pub struct RunManifest {
     pub exact_match: bool,
     /// Warnings recorded during the run (e.g. a fallback split).
     pub warnings: Vec<String>,
+    /// Name/value records of the streaming-metrics engine (built-ins first,
+    /// custom metrics after) — see
+    /// [`MetricsReport::records`](crate::metrics::MetricsReport::records).
+    /// Absent in manifests written before the metrics engine, parsed as
+    /// empty; unknown names are preserved verbatim, so newer engines'
+    /// records survive older readers.
+    pub metrics: Vec<MetricRecord>,
 }
 
 impl RunManifest {
@@ -126,6 +135,7 @@ impl RunManifest {
             if self.exact_match { "true" } else { "false" },
         );
         write_string_array(&mut out, "warnings", &self.warnings);
+        write_metric_array(&mut out, "metrics", &self.metrics);
         // Strip the trailing comma of the last entry.
         let trimmed = out.trim_end_matches([',', '\n']).len();
         out.truncate(trimmed);
@@ -175,6 +185,12 @@ impl RunManifest {
             seconds: get(obj, "seconds")?.as_f64("seconds")?,
             exact_match: get(obj, "exact_match")?.as_bool("exact_match")?,
             warnings: get(obj, "warnings")?.as_string_array("warnings")?,
+            // Added with the streaming-metrics engine; older manifests
+            // simply recorded no metric values.
+            metrics: match get_optional(obj, "metrics") {
+                Some(value) => parse_metric_array(value)?,
+                None => Vec::new(),
+            },
         })
     }
 
@@ -224,6 +240,41 @@ fn write_u64_array(out: &mut String, key: &str, values: &[u64]) {
         let _ = write!(out, "{v}");
     }
     out.push_str("],\n");
+}
+
+fn write_metric_array(out: &mut String, key: &str, records: &[MetricRecord]) {
+    write_key(out, key);
+    out.push('[');
+    for (i, record) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"name\": ");
+        push_json_string(out, &record.name);
+        out.push_str(", \"value\": ");
+        push_json_string(out, &record.value);
+        out.push('}');
+    }
+    if !records.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n");
+}
+
+fn parse_metric_array(value: &JsonValue) -> Result<Vec<MetricRecord>, SparseError> {
+    let JsonValue::Array(items) = value else {
+        return Err(parse_error("metrics must be a JSON array"));
+    };
+    items
+        .iter()
+        .map(|item| {
+            let obj = item.as_object("metrics entry")?;
+            Ok(MetricRecord {
+                name: get(obj, "name")?.as_string("metric name")?,
+                value: get(obj, "value")?.as_string("metric value")?,
+            })
+        })
+        .collect()
 }
 
 fn write_string_array(out: &mut String, key: &str, values: &[String]) {
@@ -620,6 +671,11 @@ mod tests {
             seconds: 0.123456789,
             exact_match: true,
             warnings: vec!["unicode é → ok\nsecond line".into()],
+            metrics: vec![
+                MetricRecord::new("edges", 13166u64),
+                MetricRecord::new("power_law_alpha", "1.0"),
+                MetricRecord::new("odd \"name\"", "with\ttab"),
+            ],
         }
     }
 
@@ -694,9 +750,28 @@ mod tests {
         manifest.directory = None;
         manifest.outputs.clear();
         manifest.warnings.clear();
+        manifest.metrics.clear();
         manifest.seconds = 1.0 / 3.0;
         let parsed = RunManifest::from_json(&manifest.to_json()).unwrap();
         assert_eq!(parsed, manifest);
+    }
+
+    #[test]
+    fn manifests_without_metric_records_still_parse() {
+        // A pre-metrics manifest: the whole "metrics" entry absent.  The
+        // entry is the document's last, so cut it and re-close the object.
+        let mut expected = sample();
+        let json = expected.to_json();
+        let start = json.find("  \"metrics\":").expect("metrics entry present");
+        let stripped = format!("{}\n}}\n", json[..start].trim_end_matches([',', '\n']));
+        assert!(!stripped.contains("\"metrics\""));
+        let parsed = RunManifest::from_json(&stripped).unwrap();
+        expected.metrics.clear();
+        assert_eq!(parsed, expected);
+
+        // Malformed metric entries fail cleanly.
+        let bad = json.replace("\"value\": \"13166\"", "\"value\": 13166");
+        assert!(RunManifest::from_json(&bad).is_err());
     }
 
     #[test]

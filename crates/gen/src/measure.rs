@@ -34,17 +34,19 @@ pub struct BalanceReport {
 impl BalanceReport {
     /// Build the balance report of a distributed graph.
     pub fn of(graph: &DistributedGraph) -> Self {
-        BalanceReport::from_edges_per_worker(graph.edges_per_worker())
+        BalanceReport::from_worker_counts(graph.edges_per_worker())
     }
 
     /// Build the balance report of any run from its generation statistics —
     /// the pipeline-era entry point
     /// (`BalanceReport::from_stats(&report.stats)`).
     pub fn from_stats(stats: &crate::stats::GenerationStats) -> Self {
-        BalanceReport::from_edges_per_worker(stats.edges_per_worker.clone())
+        BalanceReport::from_worker_counts(stats.edges_per_worker.clone())
     }
 
-    fn from_edges_per_worker(edges_per_worker: Vec<u64>) -> Self {
+    /// Build the balance report from raw per-worker edge counts (worker
+    /// order) — the constructor the streaming-metrics engine uses.
+    pub fn from_worker_counts(edges_per_worker: Vec<u64>) -> Self {
         let max_edges = edges_per_worker.iter().copied().max().unwrap_or(0);
         let min_edges = edges_per_worker.iter().copied().min().unwrap_or(0);
         let total: u64 = edges_per_worker.iter().sum();

@@ -44,19 +44,18 @@
 //! wrappers over this module.
 
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
 use std::time::Instant;
 
 use rayon::prelude::*;
 
-use kron_core::validate::{measure_from_histogram, ValidationReport};
+use kron_core::validate::ValidationReport;
 use kron_core::{CoreError, GraphProperties, KroneckerDesign};
-use kron_sparse::reduce::SharedDegreeAccumulator;
-use kron_sparse::{CooMatrix, DegreeAccumulator, SparseError};
+use kron_sparse::{CooMatrix, SparseError};
 
 use crate::chunk::EdgeChunk;
 use crate::driver::DriverConfig;
 use crate::manifest::{RunManifest, MANIFEST_FILE_NAME};
+use crate::metrics::{MetricSuite, MetricsEngine, MetricsReport, StreamingMetric};
 use crate::permute::FeistelPermutation;
 use crate::sink::{BinaryShardSink, CooSink, CountingSink, EdgeSink, TsvShardSink};
 use crate::source::{EdgeSource, KroneckerSource, SourceRun};
@@ -87,6 +86,7 @@ pub struct Pipeline<S> {
     chunk_capacity: usize,
     max_histogram_bytes: u64,
     permutation_seed: Option<u64>,
+    metrics: MetricSuite,
 }
 
 impl<'d> Pipeline<KroneckerSource<'d>> {
@@ -103,6 +103,7 @@ impl<'d> Pipeline<KroneckerSource<'d>> {
             chunk_capacity: config.chunk_capacity,
             max_histogram_bytes: config.max_histogram_bytes,
             permutation_seed: None,
+            metrics: MetricSuite::new(),
         }
     }
 
@@ -157,6 +158,7 @@ impl<S: EdgeSource> Pipeline<S> {
             chunk_capacity: defaults.chunk_capacity,
             max_histogram_bytes: defaults.max_histogram_bytes,
             permutation_seed: None,
+            metrics: MetricSuite::new(),
         }
     }
 
@@ -188,6 +190,23 @@ impl<S: EdgeSource> Pipeline<S> {
     /// seed is recorded in the manifest so the run stays reproducible.
     pub fn permute_vertices(mut self, seed: u64) -> Self {
         self.permutation_seed = Some(seed);
+        self
+    }
+
+    /// Register one custom [`StreamingMetric`]: each worker gets an observer
+    /// that sees every chunk delivered to its sink, observers merge as
+    /// workers finish, and the metric's value lands in
+    /// [`RunReport::metrics`] and the manifest.  The built-in metrics
+    /// (degree histogram, counts, max degree, balance, power-law fit) always
+    /// run; this adds to them.
+    pub fn with_metric(mut self, metric: impl StreamingMetric + 'static) -> Self {
+        self.metrics.push(metric);
+        self
+    }
+
+    /// Replace the whole custom-metric suite.
+    pub fn metrics(mut self, metrics: MetricSuite) -> Self {
+        self.metrics = metrics;
         self
     }
 
@@ -258,56 +277,42 @@ impl<S: EdgeSource> Pipeline<S> {
             .map(|seed| FeistelPermutation::new(vertices, seed));
 
         let started = Instant::now();
-        // Local accumulators are folded and dropped as each worker finishes,
-        // so at most one per pool thread is live at once (plus the merged
-        // one) — size the budget check on that peak, not the worker count.
-        let concurrent = self.workers.min(rayon::current_num_threads()) + 1;
-        let local_histogram_bytes = (concurrent as u128) * (vertices as u128) * 8;
-        let shared = if local_histogram_bytes > u128::from(self.max_histogram_bytes) {
-            Some(SharedDegreeAccumulator::rows_only(vertices, vertices))
-        } else {
-            None
-        };
-        let merged_local: Mutex<Option<DegreeAccumulator>> = Mutex::new(None);
+        let engine = MetricsEngine::new(
+            &self.metrics,
+            vertices,
+            self.workers,
+            self.max_histogram_bytes,
+        );
         let worker_results: Vec<Result<WorkerResult<K::Output>, CoreError>> = (0..self.workers)
             .into_par_iter()
             .map(|worker| {
                 let mut sink = make_sink(worker).map_err(CoreError::Sparse)?;
-                let mut accumulator = match shared.as_ref() {
-                    Some(shared) => WorkerHistogram::Shared(shared),
-                    None => {
-                        WorkerHistogram::Local(DegreeAccumulator::rows_only(vertices, vertices))
-                    }
-                };
+                let mut metrics = engine.worker();
                 let mut chunk = EdgeChunk::new(self.chunk_capacity);
-                // The permutation stage's scratch slice, reused across
+                // The permutation stage's scratch buffers, reused across
                 // chunks: the only per-worker state the stage needs.
                 let mut relabelled: Vec<(u64, u64)> = Vec::new();
+                let mut walking: Vec<u32> = Vec::new();
                 let delivered = source_run
                     .stream_worker::<SparseError, _>(worker, &mut chunk, |edges| {
+                        // The built-in degree metrics are invariant under
+                        // the vertex bijection, so they observe the source's
+                        // labels (cheap, local); custom metrics and the sink
+                        // see exactly the delivered (relabelled) stream.
+                        metrics.observe_source(edges);
                         let out: &[(u64, u64)] = match permutation.as_ref() {
                             Some(perm) => {
-                                relabelled.clear();
-                                relabelled.extend(edges.iter().map(|&e| perm.apply_edge(e)));
+                                perm.apply_edges_into(edges, &mut relabelled, &mut walking);
                                 &relabelled
                             }
                             None => edges,
                         };
-                        accumulator.record(out);
+                        metrics.observe_delivered(out);
                         sink.consume(out)
                     })
                     .map_err(CoreError::Sparse)?;
                 let output = sink.finish().map_err(CoreError::Sparse)?;
-                // A local histogram is folded into the run-wide one the
-                // moment its worker finishes and is dropped here, so the
-                // peak is bounded by the workers running concurrently.
-                if let WorkerHistogram::Local(local) = accumulator {
-                    let mut guard = merged_local.lock().expect("histogram mutex poisoned");
-                    match guard.as_mut() {
-                        Some(acc) => acc.merge(&local),
-                        None => *guard = Some(local),
-                    }
-                }
+                metrics.finish();
                 Ok(WorkerResult { output, delivered })
             })
             .collect();
@@ -320,30 +325,12 @@ impl<S: EdgeSource> Pipeline<S> {
             outputs.push(result.output);
             delivered.push(result.delivered);
         }
-        let (histogram, self_loops, recorded) = match shared {
-            Some(shared) => (
-                shared.row_histogram(),
-                shared.self_loop_count(),
-                shared.edge_count(),
-            ),
-            None => {
-                let merged = merged_local
-                    .into_inner()
-                    .expect("histogram mutex poisoned")
-                    .expect("at least one worker ran");
-                (
-                    merged.row_histogram(),
-                    merged.self_loop_count(),
-                    merged.edge_count(),
-                )
-            }
-        };
-        let measured = measure_from_histogram(vertices, &histogram, self_loops);
+        let (measured, metrics) = engine.finalize(delivered.clone());
         let mut stats = GenerationStats::new(delivered, elapsed);
         for warning in warnings {
             stats.warn(warning);
         }
-        debug_assert_eq!(stats.total_edges, recorded);
+        debug_assert_eq!(stats.total_edges, metrics.edges);
 
         let predicted = source_run.predicted_properties();
         let validation = source_run.validate(&measured);
@@ -376,6 +363,7 @@ impl<S: EdgeSource> Pipeline<S> {
             seconds: stats.seconds,
             exact_match: validation.is_exact_match(),
             warnings: stats.warnings.clone(),
+            metrics: metrics.records(),
         };
         let files = spec.directory.as_ref().map(|directory| {
             manifest
@@ -398,6 +386,7 @@ impl<S: EdgeSource> Pipeline<S> {
             split: source_run.split_plan(),
             predicted,
             measured,
+            metrics,
             stats,
             validation,
             manifest,
@@ -410,24 +399,6 @@ impl<S: EdgeSource> Pipeline<S> {
 struct WorkerResult<O> {
     output: O,
     delivered: u64,
-}
-
-/// One worker's view of the run's degree histogram: a private local vector
-/// (fast, `O(vertices)` per concurrent worker) or the run-wide shared
-/// atomic vector (`O(vertices)` total) — see
-/// [`DriverConfig::max_histogram_bytes`].
-enum WorkerHistogram<'a> {
-    Local(DegreeAccumulator),
-    Shared(&'a SharedDegreeAccumulator),
-}
-
-impl WorkerHistogram<'_> {
-    fn record(&mut self, edges: &[(u64, u64)]) {
-        match self {
-            WorkerHistogram::Local(local) => local.record(edges),
-            WorkerHistogram::Shared(shared) => shared.record(edges),
-        }
-    }
 }
 
 /// How a terminal labels itself in the manifest and, for file terminals,
@@ -483,6 +454,10 @@ pub struct RunReport<O> {
     /// Properties measured from the merged streaming degree histograms
     /// (triangles are never measured in streaming mode).
     pub measured: GraphProperties,
+    /// The typed result sheet of the streaming-metrics engine: counts, max
+    /// degree, degree histogram, per-worker balance, power-law fit, and any
+    /// custom metric values.
+    pub metrics: MetricsReport,
     /// Timing and balance statistics.
     pub stats: GenerationStats,
     /// The streamed measured-equals-predicted comparison (the paper's
@@ -526,7 +501,9 @@ mod tests {
     use crate::manifest::MANIFEST_FILE_NAME;
     use crate::sink::{DegreeOnlySink, FilterMapSink, TeeSink};
     use kron_bignum::BigUint;
+    use kron_core::validate::measure_from_histogram;
     use kron_core::SelfLoop;
+    use kron_sparse::DegreeAccumulator;
 
     fn pipeline(design: &KroneckerDesign, workers: usize) -> DesignPipeline<'_> {
         Pipeline::for_design(design)
@@ -710,6 +687,136 @@ mod tests {
             streamed.degree_distribution,
             report.measured.degree_distribution
         );
+    }
+
+    #[test]
+    fn metrics_report_matches_the_streamed_measurement() {
+        let design = KroneckerDesign::from_star_points(&[3, 4, 5, 9], SelfLoop::Centre).unwrap();
+        let report = pipeline(&design, 4).split_index(2).count().unwrap();
+        let metrics = &report.metrics;
+        assert_eq!(metrics.vertices, report.vertices);
+        assert_eq!(metrics.edges, report.edge_count());
+        assert_eq!(metrics.self_loops, 0);
+        assert_eq!(
+            metrics.max_degree.to_string(),
+            report.measured.max_degree().to_string()
+        );
+        assert_eq!(metrics.distinct_degrees, report.measured.distinct_degrees());
+        assert_eq!(
+            metrics.degree_histogram.values().sum::<u64>().to_string(),
+            report
+                .measured
+                .degree_distribution
+                .total_vertices()
+                .to_string()
+        );
+        assert_eq!(
+            metrics.balance.edges_per_worker,
+            report.stats.edges_per_worker
+        );
+        // A plain star product lies exactly on the perfect n(d) = c/d law:
+        // slope 1 from the extremes, zero residual against the ideal curve.
+        let plain = KroneckerDesign::from_star_points(&[3, 4, 5, 9], SelfLoop::None).unwrap();
+        let plain_report = pipeline(&plain, 4).split_index(2).count().unwrap();
+        let plain_fit = plain_report
+            .metrics
+            .power_law
+            .as_ref()
+            .expect("a star product pins a slope");
+        assert!((plain_fit.alpha - 1.0).abs() < 1e-12, "{plain_fit:?}");
+        assert!(plain_fit.residual_vs_ideal < 1e-9, "{plain_fit:?}");
+        // The triangle-control design is off the ideal line and the fit's
+        // goodness says by how much.
+        let fit = metrics
+            .power_law
+            .as_ref()
+            .expect("distribution pins a slope");
+        assert!(fit.residual_vs_ideal > 0.0, "{fit:?}");
+        // The manifest records the same numbers.
+        let record = |name: &str| {
+            report
+                .manifest
+                .metrics
+                .iter()
+                .find(|r| r.name == name)
+                .unwrap_or_else(|| panic!("manifest lacks metric {name}"))
+                .value
+                .clone()
+        };
+        assert_eq!(record("edges"), report.edge_count().to_string());
+        assert_eq!(record("max_degree"), metrics.max_degree.to_string());
+        assert_eq!(record("power_law_alpha"), format!("{:?}", fit.alpha));
+    }
+
+    #[test]
+    fn custom_metrics_run_per_worker_and_land_in_report_and_manifest() {
+        use crate::metrics::PredicateCountMetric;
+        let design = KroneckerDesign::from_star_points(&[3, 4, 5], SelfLoop::Centre).unwrap();
+        let report = pipeline(&design, 3)
+            .split_index(1)
+            .with_metric(PredicateCountMetric::new("upper_triangle", |r, c| r < c))
+            .with_metric(PredicateCountMetric::new("loops", |r, c| r == c))
+            .count()
+            .unwrap();
+        // The designed graph is loop-free and symmetric: upper-triangle
+        // edges are exactly half.
+        assert_eq!(
+            report.metrics.custom_value("upper_triangle"),
+            Some((report.edge_count() / 2).to_string().as_str())
+        );
+        assert_eq!(report.metrics.custom_value("loops"), Some("0"));
+        assert!(report
+            .manifest
+            .metrics
+            .iter()
+            .any(|r| r.name == "upper_triangle"));
+        // Manifests carrying metric records still round-trip exactly.
+        assert_eq!(
+            RunManifest::from_json(&report.manifest.to_json()).unwrap(),
+            report.manifest
+        );
+    }
+
+    #[test]
+    fn custom_metrics_observe_the_delivered_permuted_stream() {
+        use crate::metrics::PredicateCountMetric;
+        // A metric counting edges that touch vertex 0 changes under
+        // relabelling — proof that custom metrics see the sink's stream,
+        // while the built-in (invariant) metrics stay identical.
+        let design = KroneckerDesign::from_star_points(&[3, 4, 5], SelfLoop::Centre).unwrap();
+        let touches_zero = || PredicateCountMetric::new("touches_zero", |r, c| r == 0 || c == 0);
+        let plain = pipeline(&design, 2)
+            .split_index(1)
+            .with_metric(touches_zero())
+            .count()
+            .unwrap();
+        let permuted = pipeline(&design, 2)
+            .split_index(1)
+            .with_metric(touches_zero())
+            .permute_vertices(0xFEED)
+            .count()
+            .unwrap();
+        assert_eq!(plain.metrics.edges, permuted.metrics.edges);
+        assert_eq!(
+            plain.metrics.degree_histogram,
+            permuted.metrics.degree_histogram
+        );
+        assert_eq!(plain.metrics.max_degree, permuted.metrics.max_degree);
+        // Vertex 0 maps elsewhere under the bijection, so the new vertex 0
+        // has a different (almost surely smaller) incident count.
+        let plain_touches: u64 = plain
+            .metrics
+            .custom_value("touches_zero")
+            .unwrap()
+            .parse()
+            .unwrap();
+        let permuted_touches: u64 = permuted
+            .metrics
+            .custom_value("touches_zero")
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_ne!(plain_touches, permuted_touches);
     }
 
     #[test]

@@ -1,0 +1,667 @@
+//! Replaying existing shard sets through the pipeline: validate any edge
+//! stream on disk, not just the one you just generated.
+//!
+//! Related generators validate their output *after the fact*, reading the
+//! generated files back from disk; our pipeline could only measure a graph
+//! *while* generating it.  [`ReplaySource`] closes that gap: it implements
+//! [`EdgeSource`] over a directory of TSV or binary shards — typically one a
+//! file-writing [`Pipeline`](crate::pipeline::Pipeline) terminal produced,
+//! located through its `manifest.json` — so the design → generate →
+//! **validate** loop runs as a standalone stage.  Any graph on disk can be
+//! re-measured (full [`MetricsReport`](crate::metrics::MetricsReport),
+//! identical to the generation-time one for the same shard layout),
+//! re-validated, permuted, filtered, re-sharded, or converted between
+//! formats — without regenerating a single edge:
+//!
+//! ```no_run
+//! use kron_gen::{Pipeline, ReplaySource};
+//!
+//! // Re-measure a shard directory written by an earlier run…
+//! let source = ReplaySource::from_directory(std::path::Path::new("/data/run1"))?;
+//! let report = Pipeline::for_source(source).workers(8).count()?;
+//! // …the streamed metrics must reproduce what the generation measured.
+//! assert!(report.is_valid());
+//! # Ok::<(), kron_core::CoreError>(())
+//! ```
+//!
+//! Shards stream through the same bounded-memory chunk machinery as
+//! generation: TSV shards line by line, interleaved (v2) binary shards in
+//! fixed 64 KiB slabs, and split-array (v1) binary shards through two
+//! cursors walking the row and column segments in lockstep.  Every I/O or
+//! parse failure names the shard it occurred in
+//! ([`SparseError::WithPath`]), so one corrupt file in a thousand-shard set
+//! is identifiable from the error alone.
+
+use std::io::{BufRead, BufReader, Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+use kron_core::validate::{FieldCheck, ValidationReport};
+use kron_core::{CoreError, GraphProperties};
+use kron_sparse::SparseError;
+
+use crate::chunk::EdgeChunk;
+use crate::manifest::{RunManifest, MANIFEST_FILE_NAME};
+use crate::partition::Partition;
+use crate::source::{EdgeSource, SourceDescriptor, SourceRun};
+use crate::split::SplitPlan;
+use crate::writer::{
+    read_block_header, BlockFileSet, BlockFormat, BLOCK_HEADER_LEN, BLOCK_VERSION_PAIRS,
+};
+
+/// An [`EdgeSource`] that streams an existing shard set back through the
+/// pipeline.
+#[derive(Debug, Clone)]
+pub struct ReplaySource {
+    files: Vec<PathBuf>,
+    format: BlockFormat,
+    vertices: u64,
+    expected_edges: Option<u64>,
+    star_points: Vec<u64>,
+    self_loop: String,
+}
+
+impl ReplaySource {
+    /// Open the shard set a file-writing pipeline terminal left under
+    /// `directory`, using its `manifest.json` for the format, vertex count,
+    /// expected edge total, and per-worker file layout.  Only the file
+    /// *names* are taken from the manifest, so a relocated (copied, synced,
+    /// renamed-parent) shard directory replays in place.
+    pub fn from_directory(directory: &Path) -> Result<Self, CoreError> {
+        let manifest = RunManifest::read_from(&directory.join(MANIFEST_FILE_NAME))
+            .map_err(CoreError::Sparse)?;
+        let format = match manifest.sink.as_str() {
+            "tsv" => BlockFormat::Tsv,
+            "binary" => BlockFormat::Binary,
+            other => {
+                return Err(CoreError::InvalidConfig {
+                    message: format!(
+                    "manifest records sink kind \"{other}\", which left no shard files to replay"
+                ),
+                })
+            }
+        };
+        if manifest.outputs.is_empty() {
+            return Err(CoreError::InvalidConfig {
+                message: "manifest records no output shards".into(),
+            });
+        }
+        let files = manifest
+            .outputs
+            .iter()
+            .map(|output| {
+                let name =
+                    Path::new(output)
+                        .file_name()
+                        .ok_or_else(|| CoreError::InvalidConfig {
+                            message: format!("manifest output \"{output}\" has no file name"),
+                        })?;
+                Ok(directory.join(name))
+            })
+            .collect::<Result<Vec<_>, CoreError>>()?;
+        let vertices = manifest
+            .vertices
+            .parse::<u64>()
+            .map_err(|_| CoreError::InvalidConfig {
+                message: format!(
+                    "manifest vertex count {} does not fit an indexable graph",
+                    manifest.vertices
+                ),
+            })?;
+        Ok(ReplaySource {
+            files,
+            format,
+            vertices,
+            expected_edges: Some(manifest.total_edges),
+            star_points: manifest.star_points,
+            self_loop: manifest.self_loop,
+        })
+    }
+
+    /// Replay the files of a [`BlockFileSet`] directly (no manifest needed —
+    /// for shard sets produced by the pre-manifest writers or assembled by
+    /// hand).  Without a manifest the replay has no expected edge count;
+    /// validation checks the vertex count only, unless
+    /// [`ReplaySource::expect_edges`] supplies one.
+    pub fn from_file_set(files: &BlockFileSet) -> Self {
+        ReplaySource {
+            files: files.files.clone(),
+            format: files.format,
+            vertices: files.vertices,
+            expected_edges: None,
+            star_points: Vec::new(),
+            self_loop: "None".to_string(),
+        }
+    }
+
+    /// Validate the replayed stream against an expected total edge count.
+    pub fn expect_edges(mut self, edges: u64) -> Self {
+        self.expected_edges = Some(edges);
+        self
+    }
+
+    /// The shard files the source will stream, in original worker order.
+    pub fn files(&self) -> &[PathBuf] {
+        &self.files
+    }
+
+    /// The on-disk format of the shards.
+    pub fn format(&self) -> BlockFormat {
+        self.format
+    }
+}
+
+impl EdgeSource for ReplaySource {
+    type Run = ReplayRun;
+
+    fn vertices(&self) -> Result<u64, CoreError> {
+        Ok(self.vertices)
+    }
+
+    fn prepare(&self, workers: usize) -> Result<(ReplayRun, Vec<String>), CoreError> {
+        if workers == 0 {
+            return Err(CoreError::InvalidConfig {
+                message: "a replay run needs at least one worker".into(),
+            });
+        }
+        let mut warnings = Vec::new();
+        if workers > self.files.len() {
+            warnings.push(format!(
+                "replaying {} shard(s) on {workers} workers leaves {} worker(s) idle",
+                self.files.len(),
+                workers - self.files.len()
+            ));
+        }
+        Ok((
+            ReplayRun {
+                source: self.clone(),
+                partition: Partition::even(self.files.len(), workers),
+            },
+            warnings,
+        ))
+    }
+}
+
+/// The prepared state of one replay run: the source description plus the
+/// contiguous assignment of shard files to workers.  Replaying a shard set
+/// on as many workers as wrote it reproduces the generation run's
+/// per-worker layout exactly (worker `p` streams `block_<p>`), which is what
+/// makes the two runs' metric reports comparable worker for worker.
+#[derive(Debug, Clone)]
+pub struct ReplayRun {
+    source: ReplaySource,
+    partition: Partition,
+}
+
+impl SourceRun for ReplayRun {
+    fn stream_worker<E, F>(
+        &self,
+        worker: usize,
+        chunk: &mut EdgeChunk,
+        mut sink: F,
+    ) -> Result<u64, E>
+    where
+        E: From<SparseError>,
+        F: FnMut(&[(u64, u64)]) -> Result<(), E>,
+    {
+        chunk.try_flush(&mut sink)?;
+        let mut delivered = 0u64;
+        for file in &self.source.files[self.partition.range(worker)] {
+            delivered += match self.source.format {
+                BlockFormat::Tsv => stream_tsv_shard(file, self.source.vertices, chunk, &mut sink),
+                BlockFormat::Binary => {
+                    stream_binary_shard(file, self.source.vertices, chunk, &mut sink)
+                }
+            }?;
+        }
+        Ok(delivered)
+    }
+
+    fn predicted_properties(&self) -> Option<GraphProperties> {
+        // A replay measures; the property sheet of the stored graph is
+        // whatever the metrics engine finds.
+        None
+    }
+
+    fn validate(&self, measured: &GraphProperties) -> ValidationReport {
+        let mut checks = vec![FieldCheck::exact(
+            "vertices",
+            self.source.vertices,
+            &measured.vertices,
+        )];
+        if let Some(expected) = self.source.expected_edges {
+            checks.push(FieldCheck::exact("edges", expected, &measured.edges));
+        }
+        ValidationReport::from_checks(checks)
+    }
+
+    fn split_plan(&self) -> Option<SplitPlan> {
+        None
+    }
+
+    fn descriptor(&self) -> SourceDescriptor {
+        SourceDescriptor {
+            kind: "replay",
+            seed: None,
+            star_points: self.source.star_points.clone(),
+            self_loop: self.source.self_loop.clone(),
+            vertices: self.source.vertices.to_string(),
+            predicted_edges: self
+                .source
+                .expected_edges
+                .map(|edges| edges.to_string())
+                .unwrap_or_else(|| "unknown".to_string()),
+            split_index: 0,
+            max_c_edges: 0,
+            max_b_edges: 0,
+            self_loop_policy: "replay".to_string(),
+        }
+    }
+}
+
+/// Wrap a shard-local failure with the shard's path and lift it into the
+/// stream's error type.
+fn shard_error<E: From<SparseError>>(path: &Path, error: SparseError) -> E {
+    E::from(SparseError::with_path(path, error))
+}
+
+/// Push one bounds-checked edge into the chunk, flushing when full.
+#[inline]
+fn push_edge<E, F>(
+    path: &Path,
+    vertices: u64,
+    chunk: &mut EdgeChunk,
+    sink: &mut F,
+    row: u64,
+    col: u64,
+) -> Result<(), E>
+where
+    E: From<SparseError>,
+    F: FnMut(&[(u64, u64)]) -> Result<(), E>,
+{
+    if row >= vertices || col >= vertices {
+        return Err(shard_error(
+            path,
+            SparseError::IndexOutOfBounds {
+                row,
+                col,
+                nrows: vertices,
+                ncols: vertices,
+            },
+        ));
+    }
+    chunk.push(row, col);
+    if chunk.is_full() {
+        chunk.try_flush(sink)?;
+    }
+    Ok(())
+}
+
+/// Stream one TSV shard (`row<TAB>col[<TAB>value]` lines, `#` comments)
+/// through the chunk without materialising it.
+fn stream_tsv_shard<E, F>(
+    path: &Path,
+    vertices: u64,
+    chunk: &mut EdgeChunk,
+    sink: &mut F,
+) -> Result<u64, E>
+where
+    E: From<SparseError>,
+    F: FnMut(&[(u64, u64)]) -> Result<(), E>,
+{
+    let file = std::fs::File::open(path).map_err(|e| shard_error(path, e.into()))?;
+    let mut reader = BufReader::with_capacity(1 << 18, file);
+    let mut delivered = 0u64;
+    // One reused line buffer for the whole shard — `lines()` would allocate
+    // a fresh String per edge on the replay hot path.
+    let mut line = String::new();
+    let mut number = 0usize;
+    loop {
+        line.clear();
+        if reader
+            .read_line(&mut line)
+            .map_err(|e| shard_error(path, e.into()))?
+            == 0
+        {
+            break;
+        }
+        number += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let parse_error = |message: String| {
+            shard_error::<E>(
+                path,
+                SparseError::Parse {
+                    line: number,
+                    message,
+                },
+            )
+        };
+        let mut fields = trimmed.split_whitespace();
+        let mut endpoint = |what: &str| -> Result<u64, E> {
+            fields
+                .next()
+                .ok_or_else(|| parse_error(format!("missing {what}")))?
+                .parse::<u64>()
+                .map_err(|e| parse_error(format!("bad {what}: {e}")))
+        };
+        let row = endpoint("row")?;
+        let col = endpoint("col")?;
+        push_edge(path, vertices, chunk, sink, row, col)?;
+        delivered += 1;
+    }
+    chunk.try_flush(sink)?;
+    Ok(delivered)
+}
+
+/// Stream one binary shard through the chunk in bounded buffers: v2
+/// interleaved pairs slab by slab, v1 split arrays through two cursors
+/// walking the row and column segments in lockstep.
+fn stream_binary_shard<E, F>(
+    path: &Path,
+    vertices: u64,
+    chunk: &mut EdgeChunk,
+    sink: &mut F,
+) -> Result<u64, E>
+where
+    E: From<SparseError>,
+    F: FnMut(&[(u64, u64)]) -> Result<(), E>,
+{
+    let file = std::fs::File::open(path).map_err(|e| shard_error(path, e.into()))?;
+    let file_len = file
+        .metadata()
+        .map_err(|e| shard_error(path, e.into()))?
+        .len();
+    let mut reader = BufReader::with_capacity(1 << 18, &file);
+    // The single owner of the header format (shared with read_block_bin)
+    // validates magic, version, and the declared count against the actual
+    // file length before anything streams.
+    let header = read_block_header(file_len, &mut reader).map_err(|e| shard_error(path, e))?;
+    let (version, nnz) = (header.version, header.nnz);
+
+    if version == BLOCK_VERSION_PAIRS {
+        // Interleaved (row, col) pairs: 4096 at a time.
+        let mut buffer = [0u8; 16 * 4096];
+        let mut remaining = nnz;
+        while remaining > 0 {
+            let pairs = remaining.min(4096) as usize;
+            let bytes = &mut buffer[..16 * pairs];
+            reader
+                .read_exact(bytes)
+                .map_err(|e| shard_error(path, e.into()))?;
+            for pair in bytes.chunks_exact(16) {
+                let row = u64::from_le_bytes(pair[..8].try_into().expect("sized"));
+                let col = u64::from_le_bytes(pair[8..].try_into().expect("sized"));
+                push_edge(path, vertices, chunk, sink, row, col)?;
+            }
+            remaining -= pairs as u64;
+        }
+    } else {
+        // Split arrays: a second cursor over the same file walks the column
+        // segment while the buffered reader walks the rows.
+        let mut cols_file = std::fs::File::open(path).map_err(|e| shard_error(path, e.into()))?;
+        cols_file
+            .seek(SeekFrom::Start(BLOCK_HEADER_LEN + 8 * nnz))
+            .map_err(|e| shard_error(path, e.into()))?;
+        let mut cols = BufReader::with_capacity(1 << 18, cols_file);
+        let mut row_bytes = [0u8; 8 * 4096];
+        let mut col_bytes = [0u8; 8 * 4096];
+        let mut remaining = nnz;
+        while remaining > 0 {
+            let run = remaining.min(4096) as usize;
+            reader
+                .read_exact(&mut row_bytes[..8 * run])
+                .map_err(|e| shard_error(path, e.into()))?;
+            cols.read_exact(&mut col_bytes[..8 * run])
+                .map_err(|e| shard_error(path, e.into()))?;
+            for (row, col) in row_bytes[..8 * run]
+                .chunks_exact(8)
+                .zip(col_bytes[..8 * run].chunks_exact(8))
+            {
+                let row = u64::from_le_bytes(row.try_into().expect("sized"));
+                let col = u64::from_le_bytes(col.try_into().expect("sized"));
+                push_edge(path, vertices, chunk, sink, row, col)?;
+            }
+            remaining -= run as u64;
+        }
+    }
+    chunk.try_flush(sink)?;
+    Ok(nnz)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Pipeline;
+    use crate::writer::write_block_bin;
+    use kron_core::{KroneckerDesign, SelfLoop};
+    use kron_sparse::CooMatrix;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("kron_gen_replay_tests")
+            .join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn written_run(dir: &Path, format: BlockFormat) -> Vec<(u64, u64)> {
+        let design = KroneckerDesign::from_star_points(&[3, 4, 5], SelfLoop::Centre).unwrap();
+        let report = match format {
+            BlockFormat::Tsv => Pipeline::for_design(&design)
+                .workers(3)
+                .split_index(1)
+                .max_c_edges(100_000)
+                .write_tsv(dir)
+                .unwrap(),
+            BlockFormat::Binary => Pipeline::for_design(&design)
+                .workers(3)
+                .split_index(1)
+                .max_c_edges(100_000)
+                .write_binary(dir)
+                .unwrap(),
+        };
+        let mut edges: Vec<(u64, u64)> = report
+            .files
+            .unwrap()
+            .read_assembled()
+            .unwrap()
+            .iter()
+            .map(|(r, c, _)| (r, c))
+            .collect();
+        edges.sort_unstable();
+        edges
+    }
+
+    #[test]
+    fn replay_streams_the_exact_stored_edge_set() {
+        for format in [BlockFormat::Tsv, BlockFormat::Binary] {
+            let dir = temp_dir(&format!("stream_{format:?}"));
+            let expected = written_run(&dir, format);
+            let source = ReplaySource::from_directory(&dir).unwrap();
+            assert_eq!(source.format(), format);
+            assert_eq!(source.files().len(), 3);
+
+            let (run, warnings) = source.prepare(3).unwrap();
+            assert!(warnings.is_empty());
+            let mut replayed = Vec::new();
+            for worker in 0..3 {
+                let mut chunk = EdgeChunk::new(513);
+                run.stream_worker::<SparseError, _>(worker, &mut chunk, |edges| {
+                    replayed.extend_from_slice(edges);
+                    Ok(())
+                })
+                .unwrap();
+            }
+            replayed.sort_unstable();
+            assert_eq!(replayed, expected, "{format:?} replay changed the edges");
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn idle_workers_warn_and_deliver_nothing() {
+        let dir = temp_dir("idle_workers");
+        let expected = written_run(&dir, BlockFormat::Binary);
+        let source = ReplaySource::from_directory(&dir).unwrap();
+        let (run, warnings) = source.prepare(5).unwrap();
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("idle"));
+        let mut replayed = Vec::new();
+        for worker in 0..5 {
+            let mut chunk = EdgeChunk::new(64);
+            run.stream_worker::<SparseError, _>(worker, &mut chunk, |edges| {
+                replayed.extend_from_slice(edges);
+                Ok(())
+            })
+            .unwrap();
+        }
+        replayed.sort_unstable();
+        assert_eq!(replayed, expected);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_split_array_blocks_replay_without_a_manifest() {
+        // write_block_bin emits the v1 split-array layout; replay it through
+        // the two-cursor streamer.
+        let dir = temp_dir("v1_blocks");
+        std::fs::create_dir_all(&dir).unwrap();
+        let edges = vec![(0u64, 1u64), (1, 2), (2, 0), (3, 3), (1, 0)];
+        let block = CooMatrix::from_edges(4, 4, edges.clone()).unwrap();
+        let path = dir.join("block_00000.kbk");
+        write_block_bin(&block, &path).unwrap();
+        let set = BlockFileSet {
+            directory: dir.clone(),
+            files: vec![path],
+            vertices: 4,
+            format: BlockFormat::Binary,
+        };
+        let source = ReplaySource::from_file_set(&set).expect_edges(5);
+        let (run, _) = source.prepare(1).unwrap();
+        let mut replayed = Vec::new();
+        let mut chunk = EdgeChunk::new(2);
+        let delivered = run
+            .stream_worker::<SparseError, _>(0, &mut chunk, |slice| {
+                replayed.extend_from_slice(slice);
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(delivered, 5);
+        assert_eq!(replayed, edges);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn errors_name_the_failing_shard() {
+        let dir = temp_dir("corrupt");
+        let _ = written_run(&dir, BlockFormat::Binary);
+        // Corrupt the middle shard's magic.
+        let victim = dir.join("block_00001.kbk");
+        let mut bytes = std::fs::read(&victim).unwrap();
+        bytes[..4].copy_from_slice(b"NOPE");
+        std::fs::write(&victim, &bytes).unwrap();
+
+        let source = ReplaySource::from_directory(&dir).unwrap();
+        let (run, _) = source.prepare(3).unwrap();
+        let mut chunk = EdgeChunk::new(64);
+        let error = run
+            .stream_worker::<SparseError, _>(1, &mut chunk, |_| Ok(()))
+            .unwrap_err();
+        assert!(
+            error.to_string().contains("block_00001"),
+            "error must name the shard: {error}"
+        );
+
+        // A missing shard is named too.
+        std::fs::remove_file(&victim).unwrap();
+        let error = run
+            .stream_worker::<SparseError, _>(1, &mut chunk, |_| Ok(()))
+            .unwrap_err();
+        assert!(error.to_string().contains("block_00001"), "{error}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tsv_parse_errors_carry_line_numbers_and_bounds_are_checked() {
+        let dir = temp_dir("bad_tsv");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("block_00000.tsv");
+        std::fs::write(&path, "0\t1\t1\n# comment\n\nnot-a-number\t2\t1\n").unwrap();
+        let set = BlockFileSet {
+            directory: dir.clone(),
+            files: vec![path.clone()],
+            vertices: 4,
+            format: BlockFormat::Tsv,
+        };
+        let source = ReplaySource::from_file_set(&set);
+        let (run, _) = source.prepare(1).unwrap();
+        let mut chunk = EdgeChunk::new(64);
+        let error = run
+            .stream_worker::<SparseError, _>(0, &mut chunk, |_| Ok(()))
+            .unwrap_err();
+        let message = error.to_string();
+        assert!(message.contains("block_00000.tsv"), "{message}");
+        assert!(message.contains("line 4"), "{message}");
+
+        // An out-of-bounds endpoint is rejected with the shard named.
+        std::fs::write(&path, "0\t9\t1\n").unwrap();
+        let error = run
+            .stream_worker::<SparseError, _>(0, &mut chunk, |_| Ok(()))
+            .unwrap_err();
+        assert!(error.to_string().contains("out of bounds"), "{error}");
+        assert!(error.to_string().contains("block_00000.tsv"), "{error}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn directories_without_a_replayable_run_are_rejected() {
+        // No manifest at all.
+        let dir = temp_dir("no_manifest");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(ReplaySource::from_directory(&dir).is_err());
+
+        // A counting run's manifest has no shards to replay.
+        let design = KroneckerDesign::from_star_points(&[3, 4], SelfLoop::None).unwrap();
+        let report = Pipeline::for_design(&design).workers(2).count().unwrap();
+        report
+            .manifest
+            .write_to(&dir.join(MANIFEST_FILE_NAME))
+            .unwrap();
+        assert!(matches!(
+            ReplaySource::from_directory(&dir),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn zero_workers_rejected() {
+        let dir = temp_dir("zero_workers");
+        let _ = written_run(&dir, BlockFormat::Tsv);
+        let source = ReplaySource::from_directory(&dir).unwrap();
+        assert!(matches!(
+            source.prepare(0),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn descriptor_reflects_the_replayed_manifest() {
+        let dir = temp_dir("descriptor");
+        let _ = written_run(&dir, BlockFormat::Binary);
+        let source = ReplaySource::from_directory(&dir).unwrap();
+        let (run, _) = source.prepare(2).unwrap();
+        let descriptor = run.descriptor();
+        assert_eq!(descriptor.kind, "replay");
+        assert_eq!(descriptor.star_points, vec![3, 4, 5]);
+        assert_eq!(descriptor.self_loop, "Centre");
+        assert_eq!(descriptor.self_loop_policy, "replay");
+        assert_eq!(descriptor.vertices, "120");
+        assert!(run.predicted_properties().is_none());
+        assert!(run.split_plan().is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -30,7 +30,7 @@
 
 use kron_core::validate::{FieldCheck, ValidationReport};
 use kron_core::{CoreError, GraphProperties, KroneckerDesign, SelfLoop};
-use kron_sparse::CooMatrix;
+use kron_sparse::{CooMatrix, SparseError};
 
 use crate::chunk::EdgeChunk;
 use crate::driver::DriverConfig;
@@ -123,8 +123,15 @@ pub trait SourceRun {
     /// streams is exactly the source's graph, every worker's stream is
     /// deterministic for a given source configuration, and memory stays
     /// bounded by the chunk (plus whatever the run state already holds).
+    ///
+    /// `E: From<SparseError>` lets sources that *read* external state —
+    /// [`ReplaySource`](crate::replay::ReplaySource) streaming shards back
+    /// from disk — surface their own I/O and parse failures through the same
+    /// error channel as the sink; purely computational sources never
+    /// construct an error themselves.
     fn stream_worker<E, F>(&self, worker: usize, chunk: &mut EdgeChunk, sink: F) -> Result<u64, E>
     where
+        E: From<SparseError>,
         F: FnMut(&[(u64, u64)]) -> Result<(), E>;
 
     /// The exact predicted property sheet, for sources that know their
@@ -315,6 +322,7 @@ impl SourceRun for KroneckerRun<'_> {
         mut sink: F,
     ) -> Result<u64, E>
     where
+        E: From<SparseError>,
         F: FnMut(&[(u64, u64)]) -> Result<(), E>,
     {
         let slice = &self.triples[self.partition.range(worker)];
@@ -434,7 +442,7 @@ mod tests {
         for worker in 0..3 {
             let mut chunk = EdgeChunk::new(512);
             delivered += run
-                .stream_worker::<std::convert::Infallible, _>(worker, &mut chunk, |edges| {
+                .stream_worker::<SparseError, _>(worker, &mut chunk, |edges| {
                     all.extend_from_slice(edges);
                     Ok(())
                 })

@@ -260,24 +260,29 @@ pub fn write_block_bin(edges: &CooMatrix<u64>, path: &Path) -> Result<(), Sparse
     Ok(())
 }
 
-fn read_u64_array(reader: &mut impl Read, count: usize) -> Result<Vec<u64>, SparseError> {
-    let mut bytes = vec![0u8; count * 8];
-    reader.read_exact(&mut bytes)?;
-    Ok(bytes
-        .chunks_exact(8)
-        .map(|chunk| u64::from_le_bytes(chunk.try_into().expect("exact chunk")))
-        .collect())
+/// The validated header of a binary block file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct BlockHeader {
+    /// Layout version ([`BLOCK_VERSION`] or [`BLOCK_VERSION_PAIRS`]).
+    pub version: u32,
+    /// Declared number of rows.
+    pub nrows: u64,
+    /// Declared number of columns.
+    pub ncols: u64,
+    /// Declared number of stored entries.
+    pub nnz: u64,
 }
 
-/// Read a binary block file back into a COO matrix (all values 1), with the
-/// header validated — including the declared entry count against the actual
-/// file length, before anything is allocated from it — and every index
-/// bounds-checked.
-pub fn read_block_bin(path: &Path) -> Result<CooMatrix<u64>, SparseError> {
-    let file = std::fs::File::open(path)?;
-    let file_len = file.metadata()?.len();
-    let mut reader = std::io::BufReader::with_capacity(1 << 18, file);
-
+/// Read and validate the shared binary block header — magic, version, and
+/// the declared entry count against the actual file length (both layouts
+/// store 16 bytes per edge after the header), so a corrupt header fails
+/// cleanly before anything is allocated or streamed from it.  The single
+/// owner of the header format, shared by the materialising reader
+/// ([`read_block_bin`]) and the streaming replay source.
+pub(crate) fn read_block_header(
+    file_len: u64,
+    reader: &mut impl Read,
+) -> Result<BlockHeader, SparseError> {
     let mut magic = [0u8; 4];
     reader.read_exact(&mut magic)?;
     if magic != BLOCK_MAGIC {
@@ -300,9 +305,6 @@ pub fn read_block_bin(path: &Path) -> Result<CooMatrix<u64>, SparseError> {
     let nrows = u64::from_le_bytes(header[0..8].try_into().expect("sized"));
     let ncols = u64::from_le_bytes(header[8..16].try_into().expect("sized"));
     let nnz = u64::from_le_bytes(header[16..24].try_into().expect("sized"));
-    // A corrupt header must fail cleanly, not abort on a huge allocation:
-    // the declared entry count has to match the bytes actually present.
-    // Both layouts store 16 bytes per edge after the shared header.
     let expected_len = nnz
         .checked_mul(16)
         .and_then(|body| body.checked_add(BLOCK_HEADER_LEN))
@@ -318,6 +320,37 @@ pub fn read_block_bin(path: &Path) -> Result<CooMatrix<u64>, SparseError> {
             ),
         });
     }
+    Ok(BlockHeader {
+        version,
+        nrows,
+        ncols,
+        nnz,
+    })
+}
+
+fn read_u64_array(reader: &mut impl Read, count: usize) -> Result<Vec<u64>, SparseError> {
+    let mut bytes = vec![0u8; count * 8];
+    reader.read_exact(&mut bytes)?;
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|chunk| u64::from_le_bytes(chunk.try_into().expect("exact chunk")))
+        .collect())
+}
+
+/// Read a binary block file back into a COO matrix (all values 1), with the
+/// header validated — including the declared entry count against the actual
+/// file length, before anything is allocated from it — and every index
+/// bounds-checked.
+pub fn read_block_bin(path: &Path) -> Result<CooMatrix<u64>, SparseError> {
+    let file = std::fs::File::open(path)?;
+    let file_len = file.metadata()?.len();
+    let mut reader = std::io::BufReader::with_capacity(1 << 18, file);
+    let BlockHeader {
+        version,
+        nrows,
+        ncols,
+        nnz,
+    } = read_block_header(file_len, &mut reader)?;
     let nnz = usize::try_from(nnz).map_err(|_| SparseError::TooLarge {
         what: "binary block entry count",
         requested: nnz as u128,

@@ -17,9 +17,15 @@
 //! bounded memory; the materialising [`RmatGenerator::generate_edges`] /
 //! [`RmatGenerator::generate_edges_parallel`] survive as deprecated thin
 //! wrappers over the same indexed sampler.
+//!
+//! **Compatibility note:** the per-sample RNG is a SplitMix64 stream over
+//! the derived `(seed, index)` state; it replaced an earlier
+//! `StdRng`-per-sample (ChaCha12) construction whose key-schedule setup
+//! dominated the sampler's cost.  Seeds recorded by manifests written
+//! before the streaming-metrics engine therefore reproduce a *different*
+//! (equally valid, identically distributed) sample stream under this
+//! version.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -91,10 +97,48 @@ impl RmatParams {
 /// indices land on decorrelated streams and the map `index → seed` is
 /// injective for a fixed generator seed.
 fn sample_seed(seed: u64, index: u64) -> u64 {
-    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    splitmix(seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// The SplitMix64 output function.
+#[inline]
+fn splitmix(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// One sample's RNG: a SplitMix64 stream over the sample's derived seed.
+///
+/// Indexed sampling needs a fresh, decorrelated stream per `(seed, index)`
+/// pair.  Seeding a `StdRng` (ChaCha12) per sample pays a full key-schedule
+/// expansion for the handful of draws one edge needs, which used to dominate
+/// the R-MAT hot path (~70x slower than the Kronecker expansion through the
+/// same pipeline); SplitMix64 has no setup at all — the derived seed *is*
+/// the state — so per-chunk sampling spends its time on the recursion walk,
+/// not on RNG construction.
+struct SampleRng {
+    state: u64,
+}
+
+impl SampleRng {
+    #[inline]
+    fn new(seed: u64) -> Self {
+        SampleRng { state: seed }
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        splitmix(self.state)
+    }
+
+    /// A uniform draw from `[0, 1)` with 53 random bits, the conversion
+    /// `rand` uses for `f64`.
+    #[inline]
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
 }
 
 /// A seeded R-MAT edge sampler.
@@ -126,44 +170,65 @@ impl RmatGenerator {
     }
 
     /// Sample one edge with the given RNG.
-    fn sample_edge<R: Rng>(&self, rng: &mut R) -> (u64, u64) {
+    fn sample_edge(&self, rng: &mut SampleRng) -> (u64, u64) {
+        if self.params.noise > 0.0 {
+            return self.sample_edge_noisy(rng);
+        }
+        // Noise-free quadrant walk, branch-free.  The quadrant of each level
+        // is a three-way threshold comparison whose outcome is close to a
+        // coin flip (Graph500's a = 0.57), so a compare-and-branch ladder
+        // mispredicts nearly every level and dominates the sampler's cost;
+        // turning the ladder into boolean arithmetic keeps the pipeline
+        // full.  Quadrants and thresholds are exactly the ladder's:
+        //   [0, a) top-left · [a, a+b) col bit · [a+b, a+b+c) row bit ·
+        //   [a+b+c, 1) both bits.
+        let t_a = self.params.a;
+        let t_ab = self.params.a + self.params.b;
+        let t_abc = self.params.a + self.params.b + self.params.c;
+        let mut row = 0u64;
+        let mut col = 0u64;
+        for _ in 0..self.params.scale {
+            let sample = rng.next_f64();
+            let ge_a = (sample >= t_a) as u64;
+            let ge_ab = (sample >= t_ab) as u64;
+            let ge_abc = (sample >= t_abc) as u64;
+            row = (row << 1) | ge_ab;
+            col = (col << 1) | ((ge_a ^ ge_ab) | ge_abc);
+        }
+        (row, col)
+    }
+
+    /// The noisy variant: quadrant probabilities are re-jittered and
+    /// re-normalised at every level (Graph500's "noise" trick), so the
+    /// thresholds cannot be hoisted out of the walk.
+    fn sample_edge_noisy(&self, rng: &mut SampleRng) -> (u64, u64) {
         let mut row = 0u64;
         let mut col = 0u64;
         let (mut a, mut b, mut c, mut d) =
             (self.params.a, self.params.b, self.params.c, self.params.d);
         for _ in 0..self.params.scale {
-            if self.params.noise > 0.0 {
-                // Multiplicative noise, re-normalised (Graph500 "noise" trick).
-                let jitter = |p: f64, r: &mut R| {
-                    p * (1.0 - self.params.noise + 2.0 * self.params.noise * r.gen::<f64>())
-                };
-                let (na, nb, nc, nd) = (
-                    jitter(a, rng),
-                    jitter(b, rng),
-                    jitter(c, rng),
-                    jitter(d, rng),
-                );
-                let total = na + nb + nc + nd;
-                a = na / total;
-                b = nb / total;
-                c = nc / total;
-                d = nd / total;
-            }
-            let sample: f64 = rng.gen();
-            row <<= 1;
-            col <<= 1;
-            if sample < a {
-                // top-left
-            } else if sample < a + b {
-                col |= 1;
-            } else if sample < a + b + c {
-                row |= 1;
-            } else {
-                row |= 1;
-                col |= 1;
-            }
-            let _ = d;
+            let jitter = |p: f64, r: &mut SampleRng| {
+                p * (1.0 - self.params.noise + 2.0 * self.params.noise * r.next_f64())
+            };
+            let (na, nb, nc, nd) = (
+                jitter(a, rng),
+                jitter(b, rng),
+                jitter(c, rng),
+                jitter(d, rng),
+            );
+            let total = na + nb + nc + nd;
+            a = na / total;
+            b = nb / total;
+            c = nc / total;
+            d = nd / total;
+            let sample = rng.next_f64();
+            let ge_a = (sample >= a) as u64;
+            let ge_ab = (sample >= a + b) as u64;
+            let ge_abc = (sample >= a + b + c) as u64;
+            row = (row << 1) | ge_ab;
+            col = (col << 1) | ((ge_a ^ ge_ab) | ge_abc);
         }
+        let _ = d;
         (row, col)
     }
 
@@ -171,9 +236,11 @@ impl RmatGenerator {
     /// given `(seed, index)` and independent of every other sample, so any
     /// worker can produce any contiguous slice of the stream without
     /// coordination.  This is the primitive behind `RmatSource`'s chunked
-    /// per-worker streaming.
+    /// per-worker streaming; the per-sample state is one SplitMix64 word,
+    /// so there is no setup to amortise and chunked sampling runs at the
+    /// speed of the recursion walk itself.
     pub fn edge_at(&self, index: u64) -> (u64, u64) {
-        let mut rng = StdRng::seed_from_u64(sample_seed(self.seed, index));
+        let mut rng = SampleRng::new(sample_seed(self.seed, index));
         self.sample_edge(&mut rng)
     }
 

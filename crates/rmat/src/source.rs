@@ -32,6 +32,8 @@
 
 use kron_core::validate::{FieldCheck, ValidationReport};
 use kron_core::{CoreError, GraphProperties};
+use kron_sparse::SparseError;
+
 use kron_gen::chunk::EdgeChunk;
 use kron_gen::split::SplitPlan;
 use kron_gen::{EdgeSource, SourceDescriptor, SourceRun};
@@ -110,6 +112,7 @@ impl SourceRun for RmatRun {
         mut sink: F,
     ) -> Result<u64, E>
     where
+        E: From<SparseError>,
         F: FnMut(&[(u64, u64)]) -> Result<(), E>,
     {
         chunk.try_flush(&mut sink)?;
@@ -171,7 +174,7 @@ mod tests {
     fn collect_stream(run: &RmatRun, worker: usize, chunk_capacity: usize) -> Vec<(u64, u64)> {
         let mut edges = Vec::new();
         let mut chunk = EdgeChunk::new(chunk_capacity);
-        run.stream_worker::<std::convert::Infallible, _>(worker, &mut chunk, |slice| {
+        run.stream_worker::<SparseError, _>(worker, &mut chunk, |slice| {
             edges.extend_from_slice(slice);
             Ok(())
         })

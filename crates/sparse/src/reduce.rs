@@ -247,6 +247,13 @@ impl DegreeAccumulator {
     pub fn col_histogram(&self) -> Option<BTreeMap<u64, u64>> {
         self.col_counts.as_deref().map(degree_histogram)
     }
+
+    /// Largest row-endpoint degree recorded so far (zero for an empty or
+    /// edgeless accumulator) — the paper's `d_max`, available without
+    /// building the full histogram.
+    pub fn max_row_degree(&self) -> u64 {
+        self.row_counts.iter().copied().max().unwrap_or(0)
+    }
 }
 
 /// A [`DegreeAccumulator`] shared by every worker of a parallel generation
@@ -331,6 +338,17 @@ impl SharedDegreeAccumulator {
             *hist.entry(count.load(Ordering::Relaxed)).or_insert(0) += 1;
         }
         hist
+    }
+
+    /// Largest row-endpoint degree recorded so far (zero for an empty or
+    /// edgeless accumulator); meaningful once the recording workers have
+    /// been joined.
+    pub fn max_row_degree(&self) -> u64 {
+        self.row_counts
+            .iter()
+            .map(|count| count.load(Ordering::Relaxed))
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -423,6 +441,8 @@ mod tests {
         assert_eq!(acc.col_histogram(), Some(degree_histogram(&col_counts(&m))));
         assert_eq!(acc.edge_count(), m.nnz() as u64);
         assert_eq!(acc.self_loop_count(), 1);
+        assert_eq!(acc.max_row_degree(), 6);
+        assert_eq!(DegreeAccumulator::new(0, 0).max_row_degree(), 0);
     }
 
     #[test]
@@ -465,6 +485,7 @@ mod tests {
         assert_eq!(acc.edge_count(), m.nnz() as u64);
         assert_eq!(acc.self_loop_count(), 1);
         assert_eq!((acc.nrows(), acc.ncols()), (m.nrows(), m.ncols()));
+        assert_eq!(acc.max_row_degree(), 6);
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //!   design of power-law Kronecker graphs from star constituents.
 //! * [`gen`] (re-export of `kron-gen`) — the unified design → generate →
 //!   validate [`Pipeline`], its [`gen::sink`] module of pluggable edge
-//!   sinks, and the streaming engine underneath them.
+//!   sinks, the [`gen::metrics`] streaming-metrics engine, the
+//!   [`gen::replay`] shard-replay source, and the streaming engine
+//!   underneath them all.
 //! * [`rmat`] (re-export of `kron-rmat`) — the R-MAT / Graph500 baseline and
 //!   its trial-and-error design loop.
 //!
@@ -54,6 +56,7 @@
 //! | exact Kronecker expansion | `Pipeline::for_design(&design)` | full property sheet, validated field by field | `"kronecker"` |
 //! | raw `B ⊗ C` product | `Pipeline::for_design(&design).raw_product()` | raw vertex/edge/self-loop counts | `"kronecker_raw"` |
 //! | R-MAT sampler ([`RmatSource`]) | `Pipeline::for_source(RmatSource::new(params, seed)?)` | vertex + sample counts only; the rest is measured-only | `"rmat"` |
+//! | shard replay ([`ReplaySource`]) | `Pipeline::for_source(ReplaySource::from_directory(dir)?)` | vertex + total edge counts from the stored manifest | `"replay"` |
 //!
 //! ```
 //! use extreme_graphs::{Pipeline, RmatParams, RmatSource};
@@ -65,6 +68,61 @@
 //! assert!(report.predicted.is_none()); // R-MAT properties are measured-only
 //! assert_eq!(report.manifest.source, "rmat");
 //! assert_eq!(report.manifest.source_seed, Some(7));
+//! ```
+//!
+//! ## Streaming metrics
+//!
+//! Every run's measurement flows through the pluggable metrics engine
+//! ([`gen::metrics`]): the [`RunReport`] carries a typed [`MetricsReport`]
+//! and the manifest records the same numbers as forward-compatible
+//! name/value records:
+//!
+//! | metric | `MetricsReport` field |
+//! |---|---|
+//! | vertex / edge / self-loop counts | `vertices`, `edges`, `self_loops` |
+//! | degree histogram (both adaptive modes) | `degree_histogram`, `distinct_degrees` |
+//! | max degree | `max_degree` |
+//! | per-worker balance | `balance` |
+//! | power-law slope fit + goodness vs fitted and ideal curves | `power_law` |
+//! | custom [`StreamingMetric`]s via `.with_metric(...)` | `custom` |
+//!
+//! ```
+//! use extreme_graphs::{KroneckerDesign, Pipeline, PredicateCountMetric, SelfLoop};
+//!
+//! let design = KroneckerDesign::from_star_points(&[3, 4, 5], SelfLoop::None).unwrap();
+//! let report = Pipeline::for_design(&design)
+//!     .workers(2)
+//!     .with_metric(PredicateCountMetric::new("upper_triangle", |r, c| r < c))
+//!     .count()
+//!     .unwrap();
+//! assert_eq!(report.metrics.edges, report.edge_count());
+//! assert_eq!(
+//!     report.metrics.custom_value("upper_triangle"),
+//!     Some((report.edge_count() / 2).to_string().as_str())
+//! );
+//! // A plain star product lies exactly on the ideal n(d) = c/d law.
+//! assert!(report.metrics.power_law.as_ref().unwrap().residual_vs_ideal < 1e-9);
+//! ```
+//!
+//! ## Validate an existing graph from disk
+//!
+//! [`ReplaySource`] streams a shard directory back through the pipeline, so
+//! any graph on disk can be re-measured, re-validated, permuted, filtered,
+//! or re-sharded without regeneration — the replayed [`MetricsReport`] is
+//! equal to the generation-time one for the same shard layout:
+//!
+//! ```
+//! use extreme_graphs::{KroneckerDesign, Pipeline, ReplaySource, SelfLoop};
+//!
+//! let dir = std::env::temp_dir().join("extreme_graphs_facade_replay_doc");
+//! let design = KroneckerDesign::from_star_points(&[3, 4], SelfLoop::Centre).unwrap();
+//! let generated = Pipeline::for_design(&design).workers(2).write_binary(&dir).unwrap();
+//!
+//! let source = ReplaySource::from_directory(&dir).unwrap();
+//! let replayed = Pipeline::for_source(source).workers(2).count().unwrap();
+//! assert!(replayed.is_valid());
+//! assert_eq!(replayed.metrics, generated.metrics);
+//! # std::fs::remove_dir_all(&dir).ok();
 //! ```
 //!
 //! ## The vertex-permutation stage
@@ -97,6 +155,7 @@
 //! | `RmatGenerator::generate_edges_parallel(n)` | `Pipeline::for_source(RmatSource::from_generator(g)).workers(n).…` — streams, never materialises |
 //! | `rmat::permute::random_permutation(n, seed)` | `gen::FeistelPermutation::new(n, seed)` — O(1) memory, no table |
 //! | `rmat::permute::relabel_edges(&edges, &perm)` | `Pipeline::permute_vertices(seed)` in-stream, or `gen::PermuteSink` |
+//! | reading measured values out of `RunReport.validation.checks` | typed fields on `RunReport.metrics` ([`MetricsReport`]); `validation` keeps the predicted/measured comparison |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -114,8 +173,9 @@ pub use kron_core::{
 };
 pub use kron_gen::{
     DesignPipeline, DistributedGraph, DriverConfig, EdgeSource, FeistelPermutation,
-    GenerationStats, GeneratorConfig, KroneckerSource, ParallelGenerator, PermuteSink, Pipeline,
-    RunManifest, RunReport, SelfLoopPolicy, ShardDriver, ShardRun, SourceDescriptor, SourceRun,
+    GenerationStats, GeneratorConfig, KroneckerSource, MetricRecord, MetricSuite, MetricsReport,
+    ParallelGenerator, PermuteSink, Pipeline, PredicateCountMetric, ReplaySource, RunManifest,
+    RunReport, SelfLoopPolicy, ShardDriver, ShardRun, SourceDescriptor, SourceRun, StreamingMetric,
 };
 pub use kron_rmat::{RmatGenerator, RmatParams, RmatSource};
 
