@@ -48,6 +48,17 @@ pub enum CoreError {
         /// Number of self-loops in the product graph (decimal string).
         product_self_loops: String,
     },
+    /// A resumed run was configured differently from the interrupted run
+    /// recorded in the progress journal — resuming would silently produce a
+    /// different graph, so the mismatch is rejected up front.
+    ResumeMismatch {
+        /// Which configuration field disagrees (`workers`, `source`, …).
+        field: String,
+        /// The value the progress journal recorded.
+        journal: String,
+        /// The value this pipeline would run with.
+        run: String,
+    },
     /// An underlying sparse-matrix error.
     Sparse(SparseError),
 }
@@ -74,6 +85,15 @@ impl fmt::Display for CoreError {
             CoreError::UnsupportedTriangleStructure { product_self_loops } => write!(
                 f,
                 "exact triangle count needs 0 or 1 self-loops in the product, found {product_self_loops}"
+            ),
+            CoreError::ResumeMismatch {
+                field,
+                journal,
+                run,
+            } => write!(
+                f,
+                "cannot resume: {field} mismatch (the journal recorded {journal}, \
+                 this pipeline would run {run})"
             ),
             CoreError::Sparse(e) => write!(f, "sparse kernel error: {e}"),
         }
@@ -111,6 +131,13 @@ mod tests {
             message: "generator needs at least one worker".into(),
         };
         assert!(e.to_string().contains("invalid configuration"));
+        let e = CoreError::ResumeMismatch {
+            field: "workers".into(),
+            journal: "4".into(),
+            run: "3".into(),
+        };
+        assert!(e.to_string().contains("workers mismatch"));
+        assert!(e.to_string().contains('4'));
         let e: CoreError = SparseError::Io("boom".into()).into();
         assert!(matches!(e, CoreError::Sparse(_)));
         assert!(e.to_string().contains("boom"));

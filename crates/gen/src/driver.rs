@@ -244,7 +244,7 @@ impl ShardDriver {
 mod tests {
     use super::*;
     use crate::generator::{GeneratorConfig, ParallelGenerator};
-    use crate::writer::{BlockFormat, BLOCK_HEADER_LEN};
+    use crate::writer::{BlockFormat, BLOCK_HEADER_CHECKSUM_LEN};
     use kron_bignum::BigUint;
     use kron_core::SelfLoop;
 
@@ -370,10 +370,10 @@ mod tests {
         expected.sort();
         assert_eq!(from_disk, expected);
 
-        // Shared header + 16 bytes per edge, exactly.
+        // Checksummed header + 16 bytes per edge, exactly.
         for (file, edges) in files.files.iter().zip(run.stats.edges_per_worker.iter()) {
             let len = std::fs::metadata(file).unwrap().len();
-            assert_eq!(len, BLOCK_HEADER_LEN + 16 * edges);
+            assert_eq!(len, BLOCK_HEADER_CHECKSUM_LEN + 16 * edges);
         }
         std::fs::remove_dir_all(&dir).ok();
     }

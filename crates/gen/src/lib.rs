@@ -57,6 +57,7 @@
 pub mod block;
 pub mod chunk;
 pub mod driver;
+pub mod fault;
 pub mod generator;
 pub mod manifest;
 pub mod measure;
@@ -76,8 +77,12 @@ pub mod writer;
 pub use block::GraphBlock;
 pub use chunk::EdgeChunk;
 pub use driver::{DriverConfig, ShardDriver, ShardRun};
+pub use fault::{FaultKind, FaultSchedule, FaultySink, FaultySource, PlannedFault};
 pub use generator::{DistributedGraph, GeneratorConfig, ParallelGenerator};
-pub use manifest::{RunManifest, MANIFEST_FILE_NAME};
+pub use manifest::{
+    JournalHeader, ProgressJournal, RunManifest, ShardRecord, MANIFEST_FILE_NAME,
+    PROGRESS_FILE_NAME,
+};
 pub use measure::{measured_degree_distribution, measured_properties, BalanceReport};
 pub use metrics::{
     MetricContext, MetricObserver, MetricRecord, MetricSuite, MetricsReport, PredicateCountMetric,
@@ -85,7 +90,9 @@ pub use metrics::{
 };
 pub use partition::Partition;
 pub use permute::FeistelPermutation;
-pub use pipeline::{DesignPipeline, Pipeline, RunReport, SelfLoopPolicy};
+pub use pipeline::{
+    DesignPipeline, Pipeline, RetryPolicy, RunReport, SelfLoopPolicy, ShardFailure,
+};
 pub use replay::ReplaySource;
 pub use scaling::{ScalingModel, ScalingPoint};
 pub use sink::{
@@ -102,6 +109,6 @@ pub use stream::{
 #[allow(deprecated)] // the legacy path must keep compiling at its old address
 pub use writer::stream_blocks_tsv;
 pub use writer::{
-    read_block_bin, stream_block_tsv, write_block_bin, write_blocks_bin, write_blocks_tsv,
-    BlockFileSet, BlockFormat,
+    read_block_bin, shard_checksum, stream_block_tsv, write_block_bin, write_blocks_bin,
+    write_blocks_tsv, BlockFileSet, BlockFormat, Fnv1a,
 };

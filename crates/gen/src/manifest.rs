@@ -14,7 +14,8 @@
 //! 2^53 and shortest-representation `f64` seconds).
 
 use std::fmt::Write as _;
-use std::path::Path;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
 
 use serde::{Deserialize, Serialize};
 
@@ -25,6 +26,30 @@ use crate::metrics::MetricRecord;
 /// The name under which file-writing pipeline terminals store the manifest,
 /// inside the shard directory.
 pub const MANIFEST_FILE_NAME: &str = "manifest.json";
+
+/// The name of the progress journal file-writing pipeline terminals append
+/// to as workers finish, inside the shard directory — the record
+/// [`Pipeline::resume`](crate::pipeline::Pipeline::resume) reads to decide
+/// which shards are already done.
+pub const PROGRESS_FILE_NAME: &str = "progress.jsonl";
+
+/// One completed shard: the per-worker durability record the progress
+/// journal appends when a worker's sink finishes, and the manifest's
+/// `shards` array carries for replay-time verification.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardRecord {
+    /// The worker that produced the shard.
+    pub worker: usize,
+    /// File name of the shard (relative to the run directory, like the
+    /// manifest's `outputs`, so a relocated directory stays resumable).
+    pub file: String,
+    /// Edges the shard holds.
+    pub edges: u64,
+    /// FNV-1a checksum of the shard — the whole file for TSV, the payload
+    /// after the header for binary (see
+    /// [`shard_checksum`](crate::writer::shard_checksum)).
+    pub checksum: u64,
+}
 
 /// The serialisable record of one pipeline run: design spec, configuration,
 /// outputs, and per-worker results.
@@ -86,6 +111,11 @@ pub struct RunManifest {
     pub exact_match: bool,
     /// Warnings recorded during the run (e.g. a fallback split).
     pub warnings: Vec<String>,
+    /// Completion records of the run's shards, in worker order (empty for
+    /// non-file sinks, and for quarantined workers that never finished a
+    /// shard).  Absent in manifests written before crash-safe runs, parsed
+    /// as empty.
+    pub shards: Vec<ShardRecord>,
     /// Name/value records of the streaming-metrics engine (built-ins first,
     /// custom metrics after) — see
     /// [`MetricsReport::records`](crate::metrics::MetricsReport::records).
@@ -135,6 +165,7 @@ impl RunManifest {
             if self.exact_match { "true" } else { "false" },
         );
         write_string_array(&mut out, "warnings", &self.warnings);
+        write_shard_array(&mut out, "shards", &self.shards);
         write_metric_array(&mut out, "metrics", &self.metrics);
         // Strip the trailing comma of the last entry.
         let trimmed = out.trim_end_matches([',', '\n']).len();
@@ -185,6 +216,12 @@ impl RunManifest {
             seconds: get(obj, "seconds")?.as_f64("seconds")?,
             exact_match: get(obj, "exact_match")?.as_bool("exact_match")?,
             warnings: get(obj, "warnings")?.as_string_array("warnings")?,
+            // Added with crash-safe runs; older manifests recorded no
+            // shard checksums.
+            shards: match get_optional(obj, "shards") {
+                Some(value) => parse_shard_array(value)?,
+                None => Vec::new(),
+            },
             // Added with the streaming-metrics engine; older manifests
             // simply recorded no metric values.
             metrics: match get_optional(obj, "metrics") {
@@ -205,6 +242,176 @@ impl RunManifest {
             std::fs::read_to_string(path).map_err(|e| SparseError::with_path(path, e.into()))?;
         RunManifest::from_json(&text).map_err(|e| SparseError::with_path(path, e))
     }
+}
+
+/// The run-identity line opening a progress journal: enough configuration
+/// to check that a resuming pipeline would regenerate the *same* shards the
+/// interrupted run was producing.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JournalHeader {
+    /// The edge-source kind ([`SourceDescriptor::kind`](crate::source::SourceDescriptor)).
+    pub source: String,
+    /// The sampling seed of a seeded source, if any.
+    pub source_seed: Option<u64>,
+    /// The seed of the in-stream vertex permutation, if any.
+    pub permutation_seed: Option<u64>,
+    /// Number of workers (and therefore shards) of the run.
+    pub workers: usize,
+    /// Designed vertex count, as a decimal string.
+    pub vertices: String,
+    /// The file sink kind (`"tsv"` or `"binary"`).
+    pub sink: String,
+}
+
+/// The append-only progress journal of a file-writing run
+/// (`progress.jsonl`): one `run` header line identifying the run, then one
+/// `shard` line per completed shard, appended (flushed and fsynced) the
+/// moment each worker's sink finishes.  Lines are self-contained JSON
+/// objects, so a crash mid-append costs at most the last line — the reader
+/// skips anything it cannot parse, and an unreadable shard record merely
+/// means that shard is regenerated on resume.
+///
+/// When a worker's shard is regenerated by a resumed run, a fresh line is
+/// appended rather than rewriting the file; the *last* record per worker
+/// wins.  The journal is kept after a successful run (it doubles as an
+/// audit trail), and unknown `kind` lines are ignored so future journal
+/// versions stay readable.
+#[derive(Debug)]
+pub struct ProgressJournal {
+    file: std::sync::Mutex<std::fs::File>,
+    path: PathBuf,
+}
+
+impl ProgressJournal {
+    /// Where the journal lives inside a run directory.
+    pub fn path_in(directory: &Path) -> PathBuf {
+        directory.join(PROGRESS_FILE_NAME)
+    }
+
+    /// Start a fresh journal for a new run, truncating any previous one and
+    /// durably recording the run header.
+    pub fn create(directory: &Path, header: &JournalHeader) -> Result<Self, SparseError> {
+        let path = Self::path_in(directory);
+        let file =
+            std::fs::File::create(&path).map_err(|e| SparseError::with_path(&path, e.into()))?;
+        let journal = ProgressJournal {
+            file: std::sync::Mutex::new(file),
+            path,
+        };
+        let mut line = String::from("{\"kind\": \"run\", \"source\": ");
+        push_json_string(&mut line, &header.source);
+        line.push_str(", \"source_seed\": ");
+        push_optional_u64(&mut line, header.source_seed);
+        line.push_str(", \"permutation_seed\": ");
+        push_optional_u64(&mut line, header.permutation_seed);
+        let _ = write!(line, ", \"workers\": {}, \"vertices\": ", header.workers);
+        push_json_string(&mut line, &header.vertices);
+        line.push_str(", \"sink\": ");
+        push_json_string(&mut line, &header.sink);
+        line.push_str("}\n");
+        journal.append_line(&line)?;
+        Ok(journal)
+    }
+
+    /// Reopen an existing journal for appending — what a resumed run uses,
+    /// so completion records of the interrupted run are never lost, even if
+    /// the resume itself crashes.
+    pub fn open_for_append(directory: &Path) -> Result<Self, SparseError> {
+        let path = Self::path_in(directory);
+        let file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .map_err(|e| SparseError::with_path(&path, e.into()))?;
+        Ok(ProgressJournal {
+            file: std::sync::Mutex::new(file),
+            path,
+        })
+    }
+
+    /// Durably append one shard completion record.  Called concurrently by
+    /// workers as they finish; each record is flushed and fsynced before
+    /// the call returns, so a later crash cannot take it back.
+    pub fn record_shard(&self, record: &ShardRecord) -> Result<(), SparseError> {
+        let mut line = String::from("{\"kind\": \"shard\", ");
+        // push_shard_object writes the braces; splice its body instead.
+        let mut body = String::new();
+        push_shard_object(&mut body, record);
+        line.push_str(&body[1..]);
+        line.push('\n');
+        self.append_line(&line)
+    }
+
+    fn append_line(&self, line: &str) -> Result<(), SparseError> {
+        let mut file = self.file.lock().expect("journal lock poisoned");
+        let mut attempt = || -> std::io::Result<()> {
+            file.write_all(line.as_bytes())?;
+            file.sync_data()
+        };
+        attempt().map_err(|e| SparseError::with_path(&self.path, e.into()))
+    }
+
+    /// Read a run directory's journal back: the run header plus the
+    /// *effective* shard records (last record per worker wins, workers in
+    /// ascending order).  Unparsable lines — a torn final append, future
+    /// record kinds — are skipped; a journal with no readable header is an
+    /// error, because nothing can be safely resumed from it.
+    pub fn read(directory: &Path) -> Result<(JournalHeader, Vec<ShardRecord>), SparseError> {
+        let path = Self::path_in(directory);
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| SparseError::with_path(&path, e.into()))?;
+        let mut header: Option<JournalHeader> = None;
+        let mut latest: std::collections::BTreeMap<usize, ShardRecord> =
+            std::collections::BTreeMap::new();
+        for line in text.lines() {
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            let Ok(value) = JsonValue::parse(trimmed) else {
+                continue; // torn append from a crash: the line never happened
+            };
+            let Ok(obj) = value.as_object("journal line") else {
+                continue;
+            };
+            match get_optional(obj, "kind").and_then(|k| k.as_string("kind").ok()) {
+                Some(kind) if kind == "run" => {
+                    if let Ok(parsed) = parse_journal_header(obj) {
+                        header = Some(parsed);
+                    }
+                }
+                Some(kind) if kind == "shard" => {
+                    if let Ok(record) = parse_shard_object(&JsonValue::Object(obj.to_vec())) {
+                        latest.insert(record.worker, record);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let header = header.ok_or_else(|| {
+            SparseError::with_path(&path, parse_error("progress journal has no run header"))
+        })?;
+        Ok((header, latest.into_values().collect()))
+    }
+}
+
+fn push_optional_u64(out: &mut String, value: Option<u64>) {
+    match value {
+        Some(v) => {
+            let _ = write!(out, "{v}");
+        }
+        None => out.push_str("null"),
+    }
+}
+
+fn parse_journal_header(obj: &[(String, JsonValue)]) -> Result<JournalHeader, SparseError> {
+    Ok(JournalHeader {
+        source: get(obj, "source")?.as_string("journal source")?,
+        source_seed: optional_u64(obj, "source_seed")?,
+        permutation_seed: optional_u64(obj, "permutation_seed")?,
+        workers: get(obj, "workers")?.as_u64("journal workers")? as usize,
+        vertices: get(obj, "vertices")?.as_string("journal vertices")?,
+        sink: get(obj, "sink")?.as_string("journal sink")?,
+    })
 }
 
 fn write_key(out: &mut String, key: &str) {
@@ -259,6 +466,51 @@ fn write_metric_array(out: &mut String, key: &str, records: &[MetricRecord]) {
         out.push_str("\n  ");
     }
     out.push_str("],\n");
+}
+
+fn write_shard_array(out: &mut String, key: &str, shards: &[ShardRecord]) {
+    write_key(out, key);
+    out.push('[');
+    for (i, shard) in shards.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        push_shard_object(out, shard);
+    }
+    if !shards.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n");
+}
+
+/// The single definition of a shard record's JSON object, shared by the
+/// manifest's `shards` array and the progress journal's `shard` lines.
+fn push_shard_object(out: &mut String, shard: &ShardRecord) {
+    let _ = write!(out, "{{\"worker\": {}, \"file\": ", shard.worker);
+    push_json_string(out, &shard.file);
+    let _ = write!(
+        out,
+        ", \"edges\": {}, \"checksum\": {}}}",
+        shard.edges, shard.checksum
+    );
+}
+
+fn parse_shard_object(value: &JsonValue) -> Result<ShardRecord, SparseError> {
+    let obj = value.as_object("shard record")?;
+    Ok(ShardRecord {
+        worker: get(obj, "worker")?.as_u64("shard worker")? as usize,
+        file: get(obj, "file")?.as_string("shard file")?,
+        edges: get(obj, "edges")?.as_u64("shard edges")?,
+        checksum: get(obj, "checksum")?.as_u64("shard checksum")?,
+    })
+}
+
+fn parse_shard_array(value: &JsonValue) -> Result<Vec<ShardRecord>, SparseError> {
+    let JsonValue::Array(items) = value else {
+        return Err(parse_error("shards must be a JSON array"));
+    };
+    items.iter().map(parse_shard_object).collect()
 }
 
 fn parse_metric_array(value: &JsonValue) -> Result<Vec<MetricRecord>, SparseError> {
@@ -671,6 +923,20 @@ mod tests {
             seconds: 0.123456789,
             exact_match: true,
             warnings: vec!["unicode é → ok\nsecond line".into()],
+            shards: vec![
+                ShardRecord {
+                    worker: 0,
+                    file: "block_00000.kbk".into(),
+                    edges: 6583,
+                    checksum: u64::MAX - 9,
+                },
+                ShardRecord {
+                    worker: 1,
+                    file: "block_00001.kbk".into(),
+                    edges: 6583,
+                    checksum: 42,
+                },
+            ],
             metrics: vec![
                 MetricRecord::new("edges", 13166u64),
                 MetricRecord::new("power_law_alpha", "1.0"),
@@ -772,6 +1038,127 @@ mod tests {
         // Malformed metric entries fail cleanly.
         let bad = json.replace("\"value\": \"13166\"", "\"value\": 13166");
         assert!(RunManifest::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn manifests_without_shard_records_still_parse() {
+        // A pre-crash-safety manifest: the whole "shards" entry absent.
+        let mut expected = sample();
+        let json = expected.to_json();
+        let start = json.find("  \"shards\":").expect("shards entry present");
+        let end = json.find("  \"metrics\":").expect("metrics entry present");
+        let stripped = format!("{}{}", &json[..start], &json[end..]);
+        assert!(!stripped.contains("\"shards\""));
+        let parsed = RunManifest::from_json(&stripped).unwrap();
+        expected.shards.clear();
+        assert_eq!(parsed, expected);
+
+        // Malformed shard entries fail cleanly.
+        let bad = json.replace("\"checksum\": 42", "\"checksum\": \"42\"");
+        assert!(RunManifest::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn progress_journal_round_trips_with_last_record_winning() {
+        let dir = std::env::temp_dir().join("kron_gen_journal_tests/round_trip");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let header = JournalHeader {
+            source: "kronecker".into(),
+            source_seed: None,
+            permutation_seed: Some(0xFEED),
+            workers: 3,
+            vertices: "3600".into(),
+            sink: "binary".into(),
+        };
+        let journal = ProgressJournal::create(&dir, &header).unwrap();
+        let first = ShardRecord {
+            worker: 1,
+            file: "block_00001.kbk".into(),
+            edges: 10,
+            checksum: 111,
+        };
+        let replacement = ShardRecord {
+            worker: 1,
+            file: "block_00001.kbk".into(),
+            edges: 12,
+            checksum: 222,
+        };
+        let other = ShardRecord {
+            worker: 0,
+            file: "block_00000.kbk".into(),
+            edges: 9,
+            checksum: 333,
+        };
+        journal.record_shard(&first).unwrap();
+        journal.record_shard(&other).unwrap();
+        drop(journal);
+        // A resumed run appends; it must not clobber existing records.
+        let reopened = ProgressJournal::open_for_append(&dir).unwrap();
+        reopened.record_shard(&replacement).unwrap();
+        drop(reopened);
+
+        let (read_header, records) = ProgressJournal::read(&dir).unwrap();
+        assert_eq!(read_header, header);
+        assert_eq!(records, vec![other, replacement]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn progress_journal_tolerates_a_torn_final_append() {
+        let dir = std::env::temp_dir().join("kron_gen_journal_tests/torn");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let header = JournalHeader {
+            source: "rmat".into(),
+            source_seed: Some(7),
+            permutation_seed: None,
+            workers: 2,
+            vertices: "1024".into(),
+            sink: "tsv".into(),
+        };
+        let journal = ProgressJournal::create(&dir, &header).unwrap();
+        journal
+            .record_shard(&ShardRecord {
+                worker: 0,
+                file: "block_00000.tsv".into(),
+                edges: 5,
+                checksum: 99,
+            })
+            .unwrap();
+        drop(journal);
+        // Simulate a crash mid-append: a half-written record on the last
+        // line, plus a future record kind that must be ignored.
+        let path = ProgressJournal::path_in(&dir);
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"kind\": \"lease\", \"worker\": 1}\n");
+        text.push_str("{\"kind\": \"shard\", \"worker\": 1, \"fi");
+        std::fs::write(&path, text).unwrap();
+
+        let (read_header, records) = ProgressJournal::read(&dir).unwrap();
+        assert_eq!(read_header, header);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].worker, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn progress_journal_requires_a_header_and_a_file() {
+        let dir = std::env::temp_dir().join("kron_gen_journal_tests/missing");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // No journal at all.
+        let error = ProgressJournal::read(&dir).unwrap_err();
+        assert!(error.to_string().contains(PROGRESS_FILE_NAME), "{error}");
+        // A journal whose header line is unreadable cannot be resumed from.
+        std::fs::write(
+            ProgressJournal::path_in(&dir),
+            "{\"kind\": \"shard\", \"worker\": 0, \"file\": \"x\", \"edges\": 1, \"checksum\": 2}\n",
+        )
+        .unwrap();
+        let error = ProgressJournal::read(&dir).unwrap_err();
+        assert!(error.to_string().contains("no run header"), "{error}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -323,9 +323,7 @@ impl<'s> MetricsEngine<'s> {
         workers: usize,
         max_histogram_bytes: u64,
     ) -> Self {
-        let concurrent = workers.min(rayon::current_num_threads()) + 1;
-        let local_histogram_bytes = (concurrent as u128) * (vertices as u128) * 8;
-        let shared = if local_histogram_bytes > u128::from(max_histogram_bytes) {
+        let shared = if would_share(vertices, workers, max_histogram_bytes) {
             Some(SharedDegreeAccumulator::rows_only(vertices, vertices))
         } else {
             None
@@ -371,11 +369,15 @@ impl<'s> MetricsEngine<'s> {
                 shared.max_row_degree(),
             ),
             None => {
+                // A fault-tolerant run can quarantine every worker, so an
+                // empty accumulator stands in when none finished.
                 let merged = self
                     .merged_degrees
                     .into_inner()
                     .expect("degree mutex poisoned")
-                    .expect("at least one worker ran");
+                    .unwrap_or_else(|| {
+                        DegreeAccumulator::rows_only(self.context.vertices, self.context.vertices)
+                    });
                 (
                     merged.row_histogram(),
                     merged.self_loop_count(),
@@ -396,7 +398,9 @@ impl<'s> MetricsEngine<'s> {
             )
             .map(|(metric, observer)| MetricRecord {
                 name: metric.name().to_string(),
-                value: observer.expect("at least one worker ran").finalize(),
+                value: observer
+                    .unwrap_or_else(|| metric.observer(&self.context))
+                    .finalize(),
             })
             .collect();
         let mut degree_histogram = histogram;
@@ -414,6 +418,17 @@ impl<'s> MetricsEngine<'s> {
         };
         (measured, report)
     }
+}
+
+/// Whether a run with this shape counts degrees in the run-wide shared
+/// atomic vector instead of per-worker local vectors — the budget decision
+/// [`MetricsEngine::new`] makes, exposed so the pipeline's fault-tolerant
+/// path can detect (and override) the shared mode, which cannot roll back a
+/// failed worker's partial counts.
+pub(crate) fn would_share(vertices: u64, workers: usize, max_histogram_bytes: u64) -> bool {
+    let concurrent = workers.min(rayon::current_num_threads()) + 1;
+    let local_histogram_bytes = (concurrent as u128) * (vertices as u128) * 8;
+    local_histogram_bytes > u128::from(max_histogram_bytes)
 }
 
 fn vec_of_none(len: usize) -> Vec<Option<Box<dyn MetricObserver>>> {
@@ -563,6 +578,18 @@ mod tests {
         assert_eq!(report.custom_value("upper_triangle"), Some("2"));
         assert_eq!(report.custom_value("loops"), Some("2"));
         assert_eq!(report.custom_value("missing"), None);
+    }
+
+    #[test]
+    fn finalize_tolerates_zero_finished_workers() {
+        // Every worker of a fault-tolerant run can be quarantined; the
+        // report must still assemble (as an empty graph) rather than panic.
+        let suite = MetricSuite::new().with(PredicateCountMetric::new("loops", |r, c| r == c));
+        let engine = MetricsEngine::new(&suite, 4, 2, u64::MAX);
+        let (_, report) = engine.finalize(vec![0, 0]);
+        assert_eq!(report.edges, 0);
+        assert_eq!(report.max_degree, 0);
+        assert_eq!(report.custom_value("loops"), Some("0"));
     }
 
     #[test]

@@ -44,7 +44,8 @@
 //! wrappers over this module.
 
 use std::path::{Path, PathBuf};
-use std::time::Instant;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use rayon::prelude::*;
 
@@ -54,16 +55,89 @@ use kron_sparse::{CooMatrix, SparseError};
 
 use crate::chunk::EdgeChunk;
 use crate::driver::DriverConfig;
-use crate::manifest::{RunManifest, MANIFEST_FILE_NAME};
-use crate::metrics::{MetricSuite, MetricsEngine, MetricsReport, StreamingMetric};
+use crate::manifest::{
+    JournalHeader, ProgressJournal, RunManifest, ShardRecord, MANIFEST_FILE_NAME,
+};
+use crate::metrics::{would_share, MetricSuite, MetricsEngine, MetricsReport, StreamingMetric};
 use crate::permute::FeistelPermutation;
+use crate::replay::{stream_binary_shard, stream_tsv_shard};
 use crate::sink::{BinaryShardSink, CooSink, CountingSink, EdgeSink, TsvShardSink};
 use crate::source::{EdgeSource, KroneckerSource, SourceRun};
 use crate::split::SplitPlan;
 use crate::stats::GenerationStats;
-use crate::writer::{prepare_directory, BlockFileSet, BlockFormat};
+use crate::writer::{prepare_directory, shard_checksum, BlockFileSet, BlockFormat};
 
 pub use crate::source::SelfLoopPolicy;
+
+/// How a pipeline run responds to a *transient* worker failure — a sink
+/// write error, a source read hiccup — before giving up on the shard: the
+/// whole worker attempt is thrown away ([`EdgeSink::abandon`] removes any
+/// partial temporary file, the worker's metrics check-out is discarded
+/// unfolded) and the attempt is re-run from the start after a bounded
+/// exponential backoff.  Re-running is safe because every
+/// [`SourceRun`] streams a worker's share deterministically and sinks stage
+/// into temporary files, so a failed attempt leaves nothing behind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = fail on the first error).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub base_backoff: Duration,
+    /// Upper bound the doubling backoff is clamped to.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// No retries — the default pipeline fails fast.
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
+impl RetryPolicy {
+    /// Never retry: the first worker error fails (or quarantines) the shard.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        }
+    }
+
+    /// Retry up to `max_retries` times with a 10 ms initial backoff doubling
+    /// to at most one second.
+    pub fn retries(max_retries: u32) -> Self {
+        RetryPolicy {
+            max_retries,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(1),
+        }
+    }
+
+    /// The backoff before 0-based retry `attempt`: `base * 2^attempt`,
+    /// clamped to `max_backoff`.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let doubled = self
+            .base_backoff
+            .saturating_mul(1u32.checked_shl(attempt.min(31)).unwrap_or(u32::MAX));
+        doubled.min(self.max_backoff)
+    }
+}
+
+/// One shard the run could not produce: the typed quarantine record a
+/// fault-tolerant run ([`Pipeline::quarantine_failures`]) returns in
+/// [`RunReport::failures`] instead of failing the whole run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardFailure {
+    /// The worker whose shard failed.
+    pub worker: usize,
+    /// The output file the shard would have landed in, for file terminals.
+    pub path: Option<PathBuf>,
+    /// The error of the last attempt.
+    pub error: CoreError,
+    /// Attempts made (1 + retries).
+    pub attempts: u32,
+}
 
 /// The concrete pipeline type of a Kronecker-design run — what
 /// [`Pipeline::for_design`] returns.
@@ -87,6 +161,8 @@ pub struct Pipeline<S> {
     max_histogram_bytes: u64,
     permutation_seed: Option<u64>,
     metrics: MetricSuite,
+    retry: RetryPolicy,
+    quarantine: bool,
 }
 
 impl<'d> Pipeline<KroneckerSource<'d>> {
@@ -104,6 +180,8 @@ impl<'d> Pipeline<KroneckerSource<'d>> {
             max_histogram_bytes: config.max_histogram_bytes,
             permutation_seed: None,
             metrics: MetricSuite::new(),
+            retry: RetryPolicy::none(),
+            quarantine: false,
         }
     }
 
@@ -159,6 +237,8 @@ impl<S: EdgeSource> Pipeline<S> {
             max_histogram_bytes: defaults.max_histogram_bytes,
             permutation_seed: None,
             metrics: MetricSuite::new(),
+            retry: RetryPolicy::none(),
+            quarantine: false,
         }
     }
 
@@ -210,6 +290,26 @@ impl<S: EdgeSource> Pipeline<S> {
         self
     }
 
+    /// Retry a failed worker attempt under `retry` before giving up on its
+    /// shard.  A retried attempt restarts the worker's deterministic stream
+    /// from scratch (the failed sink is [abandoned](EdgeSink::abandon), its
+    /// metrics discarded), so a transient fault costs time, never
+    /// correctness.
+    pub fn retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Degrade gracefully on permanent worker failures: instead of failing
+    /// the whole run when a worker exhausts its retries, record a
+    /// [`ShardFailure`] in [`RunReport::failures`], count the worker's
+    /// delivered edges as zero, and complete every other shard.  A later
+    /// [`Pipeline::resume`] regenerates exactly the missing shards.
+    pub fn quarantine_failures(mut self, quarantine: bool) -> Self {
+        self.quarantine = quarantine;
+        self
+    }
+
     /// Generate and validate with a [`CountingSink`] per worker: no output
     /// at all — the cheapest way to reproduce measured-equals-predicted at
     /// scales far beyond memory for edges.
@@ -255,11 +355,153 @@ impl<S: EdgeSource> Pipeline<S> {
         self.run(SinkSpec::plain("custom"), make_sink)
     }
 
-    /// The engine: prepare the source, stream every worker's share through
-    /// the optional permutation into the per-worker sinks, accumulate the
-    /// streaming degree histogram, and assemble the report (validation +
-    /// manifest included).
+    /// Resume an interrupted (or partially quarantined) file-writing run
+    /// from the progress journal in `directory`.
+    ///
+    /// The pipeline must be configured exactly as the interrupted run was —
+    /// same source, seeds, workers, and permutation; any disagreement with
+    /// the journal header is rejected up front with
+    /// [`CoreError::ResumeMismatch`], because every source streams a
+    /// worker's share deterministically *per configuration* and a resumed
+    /// run mixing configurations would silently produce a different graph.
+    ///
+    /// Each shard the journal records as complete is re-verified by checksum
+    /// on disk: verified shards are *skipped* (their edges stream back
+    /// through the metrics engine, so the report still measures the whole
+    /// graph), missing or corrupt shards are regenerated (with a warning
+    /// naming the shard), and orphaned `.tmp` staging files from the crash
+    /// are deleted.  The result is bit-identical — shard bytes and
+    /// [`MetricsReport`] — to the same run never having been interrupted.
+    pub fn resume(self, directory: &Path) -> Result<RunReport<PathBuf>, CoreError> {
+        if self.workers == 0 {
+            return Err(CoreError::InvalidConfig {
+                message: "the pipeline needs at least one worker".into(),
+            });
+        }
+        let (header, records) = ProgressJournal::read(directory)?;
+        if header.workers != self.workers {
+            return Err(CoreError::ResumeMismatch {
+                field: "workers".into(),
+                journal: header.workers.to_string(),
+                run: self.workers.to_string(),
+            });
+        }
+        if header.permutation_seed != self.permutation_seed {
+            return Err(CoreError::ResumeMismatch {
+                field: "permutation_seed".into(),
+                journal: fmt_seed(header.permutation_seed),
+                run: fmt_seed(self.permutation_seed),
+            });
+        }
+        let vertices = self.source.vertices()?;
+        let (format, extension, label) = match header.sink.as_str() {
+            "tsv" => (BlockFormat::Tsv, "tsv", "tsv"),
+            "binary" => (BlockFormat::Binary, "kbk", "binary"),
+            other => {
+                return Err(CoreError::InvalidConfig {
+                    message: format!(
+                        "cannot resume a '{other}' run: only tsv and binary file runs \
+                         journal their progress"
+                    ),
+                })
+            }
+        };
+        if header.vertices != vertices.to_string() {
+            return Err(CoreError::ResumeMismatch {
+                field: "vertices".into(),
+                journal: header.vertices,
+                run: vertices.to_string(),
+            });
+        }
+
+        let files = prepare_directory(directory, self.workers, extension)?;
+        let mut notes = Vec::new();
+        let removed = remove_orphaned_tmp_files(directory)?;
+        if removed > 0 {
+            notes.push(format!(
+                "resume: removed {removed} orphaned .tmp staging file(s) left by the \
+                 interrupted run"
+            ));
+        }
+        let mut skips: Vec<Option<SkipShard<PathBuf>>> = (0..self.workers).map(|_| None).collect();
+        for record in records {
+            let Some(expected) = files.get(record.worker) else {
+                continue;
+            };
+            if Some(record.file.as_str()) != expected.file_name().and_then(|n| n.to_str()) {
+                // A record from a different layout (e.g. a renamed file):
+                // nothing safe to skip, regenerate the shard.
+                continue;
+            }
+            let path = directory.join(&record.file);
+            match shard_checksum(&path, format) {
+                Ok(actual) if actual == record.checksum => {
+                    let worker = record.worker;
+                    skips[worker] = Some(SkipShard {
+                        output: expected.clone(),
+                        path,
+                        format,
+                        record,
+                    });
+                }
+                Ok(actual) => notes.push(format!(
+                    "resume: shard {} failed checksum verification (journal \
+                     {:#018x}, disk {actual:#018x}); regenerating",
+                    record.file, record.checksum
+                )),
+                Err(_) => notes.push(format!(
+                    "resume: shard {} missing or unreadable; regenerating",
+                    record.file
+                )),
+            }
+        }
+        let verified = skips.iter().filter(|s| s.is_some()).count();
+        notes.push(format!(
+            "resume: {verified} shard(s) verified complete, {} to generate",
+            self.workers - verified
+        ));
+
+        let mut spec = SinkSpec::files(label, directory, &files, format);
+        spec.journal = JournalMode::Append;
+        spec.expect = Some(ResumeExpectation {
+            source: header.source,
+            source_seed: header.source_seed,
+        });
+        spec.notes = notes;
+        match format {
+            BlockFormat::Tsv => {
+                self.run_with(spec, |worker| TsvShardSink::create(&files[worker]), skips)
+            }
+            BlockFormat::Binary => self.run_with(
+                spec,
+                |worker| BinaryShardSink::create(&files[worker], vertices, vertices),
+                skips,
+            ),
+        }
+    }
+
     fn run<K, F>(self, spec: SinkSpec, make_sink: F) -> Result<RunReport<K::Output>, CoreError>
+    where
+        K: EdgeSink,
+        K::Output: Send,
+        F: Fn(usize) -> Result<K, SparseError> + Sync,
+    {
+        let skips = (0..self.workers).map(|_| None).collect();
+        self.run_with(spec, make_sink, skips)
+    }
+
+    /// The engine: prepare the source, stream every worker's share through
+    /// the optional permutation into the per-worker sinks (retrying and
+    /// quarantining failures per the pipeline's policy, journalling shard
+    /// completions, and skipping shards a resume already verified),
+    /// accumulate the streaming degree histogram, and assemble the report
+    /// (validation + manifest included).
+    fn run_with<K, F>(
+        self,
+        spec: SinkSpec,
+        make_sink: F,
+        skips: Vec<Option<SkipShard<K::Output>>>,
+    ) -> Result<RunReport<K::Output>, CoreError>
     where
         K: EdgeSink,
         K::Output: Send,
@@ -271,70 +513,255 @@ impl<S: EdgeSource> Pipeline<S> {
             });
         }
         let vertices = self.source.vertices()?;
-        let (source_run, warnings) = self.source.prepare(self.workers)?;
+        let (source_run, mut warnings) = self.source.prepare(self.workers)?;
+        let descriptor = source_run.descriptor();
+        if let Some(expect) = &spec.expect {
+            if descriptor.kind != expect.source {
+                return Err(CoreError::ResumeMismatch {
+                    field: "source".into(),
+                    journal: expect.source.clone(),
+                    run: descriptor.kind.to_string(),
+                });
+            }
+            if descriptor.seed != expect.source_seed {
+                return Err(CoreError::ResumeMismatch {
+                    field: "source_seed".into(),
+                    journal: fmt_seed(expect.source_seed),
+                    run: fmt_seed(descriptor.seed),
+                });
+            }
+        }
+        warnings.extend(spec.notes.iter().cloned());
+        let journal = match (&spec.journal, spec.directory.as_ref()) {
+            (JournalMode::Off, _) | (_, None) => None,
+            (JournalMode::Fresh, Some(directory)) => Some(ProgressJournal::create(
+                directory,
+                &JournalHeader {
+                    source: descriptor.kind.to_string(),
+                    source_seed: descriptor.seed,
+                    permutation_seed: self.permutation_seed,
+                    workers: self.workers,
+                    vertices: descriptor.vertices.clone(),
+                    sink: spec.label.to_string(),
+                },
+            )?),
+            (JournalMode::Append, Some(directory)) => {
+                Some(ProgressJournal::open_for_append(directory)?)
+            }
+        };
         let permutation = self
             .permutation_seed
             .map(|seed| FeistelPermutation::new(vertices, seed));
 
+        // A failed attempt can discard a *local* degree vector unfolded, but
+        // partial counts in the run-wide shared atomic vector cannot be
+        // taken back — so a run that may retry or quarantine must count
+        // locally, trading the budget for rollback safety.
+        let fault_tolerant = self.retry.max_retries > 0 || self.quarantine;
+        let mut histogram_budget = self.max_histogram_bytes;
+        if fault_tolerant && would_share(vertices, self.workers, histogram_budget) {
+            histogram_budget = u64::MAX;
+            warnings.push(
+                "fault-tolerant run: counting degrees per worker (the shared atomic \
+                 histogram cannot roll back a failed attempt), exceeding \
+                 max_histogram_bytes"
+                    .to_string(),
+            );
+        }
+
+        // The per-vertex degree vectors of every worker merge into one, so
+        // all workers must count in the same label space.  A fresh run
+        // counts source labels (cheap, local); a resumed run's skipped
+        // shards can only replay *delivered* (possibly permuted) labels, so
+        // its regenerating workers count delivered labels too.  Either space
+        // yields the identical histogram — the permutation is a bijection —
+        // which is exactly why a resumed report equals an uninterrupted one.
+        let builtins_on_delivered = spec.expect.is_some();
+
         let started = Instant::now();
-        let engine = MetricsEngine::new(
-            &self.metrics,
-            vertices,
-            self.workers,
-            self.max_histogram_bytes,
-        );
-        let worker_results: Vec<Result<WorkerResult<K::Output>, CoreError>> = (0..self.workers)
+        let engine = MetricsEngine::new(&self.metrics, vertices, self.workers, histogram_budget);
+        let skips: Vec<Mutex<Option<SkipShard<K::Output>>>> =
+            skips.into_iter().map(Mutex::new).collect();
+        let worker_results: Vec<Result<WorkerOutcome<K::Output>, CoreError>> = (0..self.workers)
             .into_par_iter()
             .map(|worker| {
-                let mut sink = make_sink(worker).map_err(CoreError::Sparse)?;
-                let mut metrics = engine.worker();
-                let mut chunk = EdgeChunk::new(self.chunk_capacity);
-                // The permutation stage's scratch buffers, reused across
-                // chunks: the only per-worker state the stage needs.
-                let mut relabelled: Vec<(u64, u64)> = Vec::new();
-                let mut walking: Vec<u32> = Vec::new();
-                let delivered = source_run
-                    .stream_worker::<SparseError, _>(worker, &mut chunk, |edges| {
-                        // The built-in degree metrics are invariant under
-                        // the vertex bijection, so they observe the source's
-                        // labels (cheap, local); custom metrics and the sink
-                        // see exactly the delivered (relabelled) stream.
+                let taken = skips
+                    .get(worker)
+                    .and_then(|slot| slot.lock().expect("skip slot poisoned").take());
+                if let Some(skip) = taken {
+                    // The shard already exists and its checksum verified:
+                    // stream it back through the metrics engine (verifying
+                    // again as it streams) instead of regenerating it, so
+                    // the report covers the whole graph.
+                    let mut metrics = engine.worker();
+                    let mut chunk = EdgeChunk::new(self.chunk_capacity);
+                    let mut observe = |edges: &[(u64, u64)]| -> Result<(), SparseError> {
+                        // The shard holds *delivered* (possibly permuted)
+                        // labels; the built-in metrics are invariant under
+                        // the bijection, so observing them here reproduces
+                        // the uninterrupted run's report exactly.
                         metrics.observe_source(edges);
-                        let out: &[(u64, u64)] = match permutation.as_ref() {
-                            Some(perm) => {
-                                perm.apply_edges_into(edges, &mut relabelled, &mut walking);
-                                &relabelled
-                            }
-                            None => edges,
-                        };
-                        metrics.observe_delivered(out);
-                        sink.consume(out)
-                    })
+                        metrics.observe_delivered(edges);
+                        Ok(())
+                    };
+                    let delivered = match skip.format {
+                        BlockFormat::Tsv => stream_tsv_shard(
+                            &skip.path,
+                            vertices,
+                            Some(skip.record.checksum),
+                            &mut chunk,
+                            &mut observe,
+                        ),
+                        BlockFormat::Binary => {
+                            stream_binary_shard(&skip.path, vertices, &mut chunk, &mut observe)
+                        }
+                    }
                     .map_err(CoreError::Sparse)?;
-                let output = sink.finish().map_err(CoreError::Sparse)?;
-                metrics.finish();
-                Ok(WorkerResult { output, delivered })
+                    metrics.finish();
+                    return Ok(WorkerOutcome::Done {
+                        output: skip.output,
+                        delivered,
+                        record: Some(skip.record),
+                    });
+                }
+
+                let mut attempts = 0u32;
+                loop {
+                    attempts += 1;
+                    let attempt = || -> Result<(K::Output, u64, Option<u64>), CoreError> {
+                        let mut sink = make_sink(worker).map_err(CoreError::Sparse)?;
+                        let mut metrics = engine.worker();
+                        let mut chunk = EdgeChunk::new(self.chunk_capacity);
+                        // The permutation stage's scratch buffers, reused
+                        // across chunks: the only per-worker state the stage
+                        // needs.
+                        let mut relabelled: Vec<(u64, u64)> = Vec::new();
+                        let mut walking: Vec<u32> = Vec::new();
+                        let streamed = source_run.stream_worker::<SparseError, _>(
+                            worker,
+                            &mut chunk,
+                            |edges| {
+                                // The built-in degree metrics are invariant
+                                // under the vertex bijection, so a fresh run
+                                // feeds them the source's labels (cheap,
+                                // local); custom metrics and the sink see
+                                // exactly the delivered (relabelled) stream.
+                                let out: &[(u64, u64)] = match permutation.as_ref() {
+                                    Some(perm) => {
+                                        perm.apply_edges_into(edges, &mut relabelled, &mut walking);
+                                        &relabelled
+                                    }
+                                    None => edges,
+                                };
+                                metrics.observe_source(if builtins_on_delivered {
+                                    out
+                                } else {
+                                    edges
+                                });
+                                metrics.observe_delivered(out);
+                                sink.consume(out)
+                            },
+                        );
+                        let delivered = match streamed {
+                            Ok(delivered) => delivered,
+                            Err(e) => {
+                                // Dropping `metrics` unfolded discards the
+                                // attempt's partial counts; abandoning the
+                                // sink removes its staging file silently.
+                                sink.abandon();
+                                return Err(CoreError::Sparse(e));
+                            }
+                        };
+                        // Read the running checksum before finish() consumes
+                        // the sink; the journal record carries it.
+                        let checksum = sink.payload_checksum();
+                        let output = sink.finish().map_err(CoreError::Sparse)?;
+                        metrics.finish();
+                        Ok((output, delivered, checksum))
+                    };
+                    match attempt() {
+                        Ok((output, delivered, checksum)) => {
+                            // Journal the completion only now, *after* the
+                            // atomic rename: a record always points at a
+                            // fully-renamed, checksummed shard.
+                            let record = match (journal.as_ref(), checksum) {
+                                (Some(journal), Some(checksum)) => {
+                                    let record = ShardRecord {
+                                        worker,
+                                        file: shard_file_name(&spec.outputs[worker]),
+                                        edges: delivered,
+                                        checksum,
+                                    };
+                                    journal.record_shard(&record)?;
+                                    Some(record)
+                                }
+                                _ => None,
+                            };
+                            return Ok(WorkerOutcome::Done {
+                                output,
+                                delivered,
+                                record,
+                            });
+                        }
+                        Err(error) => {
+                            if attempts <= self.retry.max_retries {
+                                std::thread::sleep(self.retry.backoff(attempts - 1));
+                                continue;
+                            }
+                            if self.quarantine {
+                                return Ok(WorkerOutcome::Quarantined(ShardFailure {
+                                    worker,
+                                    path: spec.outputs.get(worker).cloned(),
+                                    error,
+                                    attempts,
+                                }));
+                            }
+                            return Err(error);
+                        }
+                    }
+                }
             })
             .collect();
         let elapsed = started.elapsed();
 
         let mut outputs = Vec::with_capacity(self.workers);
         let mut delivered = Vec::with_capacity(self.workers);
+        let mut failures = Vec::new();
+        let mut shard_records = Vec::new();
         for result in worker_results {
-            let result = result?;
-            outputs.push(result.output);
-            delivered.push(result.delivered);
+            match result? {
+                WorkerOutcome::Done {
+                    output,
+                    delivered: count,
+                    record,
+                } => {
+                    outputs.push(output);
+                    delivered.push(count);
+                    if let Some(record) = record {
+                        shard_records.push(record);
+                    }
+                }
+                WorkerOutcome::Quarantined(failure) => {
+                    delivered.push(0);
+                    failures.push(failure);
+                }
+            }
         }
         let (measured, metrics) = engine.finalize(delivered.clone());
         let mut stats = GenerationStats::new(delivered, elapsed);
         for warning in warnings {
             stats.warn(warning);
         }
+        for failure in &failures {
+            stats.warn(format!(
+                "worker {} quarantined after {} attempt(s): {}",
+                failure.worker, failure.attempts, failure.error
+            ));
+        }
         debug_assert_eq!(stats.total_edges, metrics.edges);
 
         let predicted = source_run.predicted_properties();
         let validation = source_run.validate(&measured);
-        let descriptor = source_run.descriptor();
 
         let manifest = RunManifest {
             source: descriptor.kind.to_string(),
@@ -363,6 +790,7 @@ impl<S: EdgeSource> Pipeline<S> {
             seconds: stats.seconds,
             exact_match: validation.is_exact_match(),
             warnings: stats.warnings.clone(),
+            shards: shard_records,
             metrics: metrics.records(),
         };
         let files = spec.directory.as_ref().map(|directory| {
@@ -389,16 +817,50 @@ impl<S: EdgeSource> Pipeline<S> {
             metrics,
             stats,
             validation,
+            failures,
             manifest,
             files,
         })
     }
 }
 
-/// Everything one worker hands back when its stream ends.
-struct WorkerResult<O> {
+/// Everything one worker hands back when its turn ends: a finished (or
+/// skipped-as-verified) shard, or the quarantine record of a shard the run
+/// gave up on.
+enum WorkerOutcome<O> {
+    Done {
+        output: O,
+        delivered: u64,
+        record: Option<ShardRecord>,
+    },
+    Quarantined(ShardFailure),
+}
+
+/// A shard a resume verified complete on disk: stream it back through the
+/// metrics instead of regenerating it.
+struct SkipShard<O> {
     output: O,
-    delivered: u64,
+    path: PathBuf,
+    format: BlockFormat,
+    record: ShardRecord,
+}
+
+/// Whether (and how) a run writes the progress journal.
+enum JournalMode {
+    /// Non-file terminals: nothing to journal.
+    Off,
+    /// A new file run: truncate any previous journal and write the header.
+    Fresh,
+    /// A resumed run: append to the interrupted run's journal.
+    Append,
+}
+
+/// The journal header's run identity a resume asks the engine to enforce
+/// against the *prepared* source (kind and seed are only known after
+/// `prepare`).
+struct ResumeExpectation {
+    source: String,
+    source_seed: Option<u64>,
 }
 
 /// How a terminal labels itself in the manifest and, for file terminals,
@@ -408,6 +870,9 @@ struct SinkSpec {
     directory: Option<PathBuf>,
     outputs: Vec<PathBuf>,
     format: Option<BlockFormat>,
+    journal: JournalMode,
+    expect: Option<ResumeExpectation>,
+    notes: Vec<String>,
 }
 
 impl SinkSpec {
@@ -417,6 +882,9 @@ impl SinkSpec {
             directory: None,
             outputs: Vec::new(),
             format: None,
+            journal: JournalMode::Off,
+            expect: None,
+            notes: Vec::new(),
         }
     }
 
@@ -431,8 +899,48 @@ impl SinkSpec {
             directory: Some(directory.to_path_buf()),
             outputs: files.to_vec(),
             format: Some(format),
+            journal: JournalMode::Fresh,
+            expect: None,
+            notes: Vec::new(),
         }
     }
+}
+
+/// A seed as the mismatch error prints it.
+fn fmt_seed(seed: Option<u64>) -> String {
+    match seed {
+        Some(seed) => seed.to_string(),
+        None => "none".to_string(),
+    }
+}
+
+/// The file name a shard record stores (relative, so a relocated run
+/// directory stays resumable).
+fn shard_file_name(path: &Path) -> String {
+    path.file_name()
+        .map(|name| name.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.display().to_string())
+}
+
+/// Delete every `*.tmp` staging file in `directory` — the leftovers of
+/// sinks that were mid-write when an interrupted run died.  Returns how
+/// many were removed.
+fn remove_orphaned_tmp_files(directory: &Path) -> Result<usize, CoreError> {
+    let to_sparse = |e: std::io::Error| {
+        CoreError::Sparse(SparseError::with_path(
+            directory,
+            SparseError::Io(e.to_string()),
+        ))
+    };
+    let mut removed = 0;
+    for entry in std::fs::read_dir(directory).map_err(to_sparse)? {
+        let path = entry.map_err(to_sparse)?.path();
+        if path.extension().is_some_and(|extension| extension == "tmp") && path.is_file() {
+            std::fs::remove_file(&path).map_err(to_sparse)?;
+            removed += 1;
+        }
+    }
+    Ok(removed)
 }
 
 /// The result of one pipeline run: per-worker sink outputs plus everything
@@ -463,6 +971,11 @@ pub struct RunReport<O> {
     /// The streamed measured-equals-predicted comparison (the paper's
     /// Figure 4), over every field the source predicts exactly.
     pub validation: ValidationReport,
+    /// Shards a quarantining run ([`Pipeline::quarantine_failures`]) gave up
+    /// on after exhausting retries, in worker order.  Empty for complete
+    /// runs; a non-quarantining run fails instead of recording anything
+    /// here.  [`Pipeline::resume`] regenerates exactly these shards.
+    pub failures: Vec<ShardFailure>,
     /// The run's reproducibility record; file terminals also write it as
     /// `manifest.json` next to the shards.
     pub manifest: RunManifest,
@@ -479,6 +992,12 @@ impl<O> RunReport<O> {
     /// Whether the streamed validation matched the prediction exactly.
     pub fn is_valid(&self) -> bool {
         self.validation.is_exact_match()
+    }
+
+    /// Whether every shard completed — `false` exactly when a quarantining
+    /// run recorded [`failures`](RunReport::failures).
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
     }
 }
 

@@ -45,7 +45,7 @@ use crate::partition::Partition;
 use crate::source::{EdgeSource, SourceDescriptor, SourceRun};
 use crate::split::SplitPlan;
 use crate::writer::{
-    read_block_header, BlockFileSet, BlockFormat, BLOCK_HEADER_LEN, BLOCK_VERSION_PAIRS,
+    read_block_header, BlockFileSet, BlockFormat, Fnv1a, BLOCK_HEADER_LEN, BLOCK_VERSION,
 };
 
 /// An [`EdgeSource`] that streams an existing shard set back through the
@@ -53,6 +53,12 @@ use crate::writer::{
 #[derive(Debug, Clone)]
 pub struct ReplaySource {
     files: Vec<PathBuf>,
+    /// Expected whole-file checksum per shard (same order as `files`), from
+    /// the manifest's `shards` records.  Binary shards carry their checksum
+    /// in the v3 header and verify it regardless; this sidecar is what
+    /// makes *TSV* shards verifiable.  `None` (pre-checksum manifests,
+    /// hand-built file sets) skips verification for that shard.
+    checksums: Vec<Option<u64>>,
     format: BlockFormat,
     vertices: u64,
     expected_edges: Option<u64>,
@@ -98,6 +104,20 @@ impl ReplaySource {
                 Ok(directory.join(name))
             })
             .collect::<Result<Vec<_>, CoreError>>()?;
+        // Match checksum records to files by name — the manifest's `shards`
+        // array may be sparse (quarantined workers) or absent (pre-checksum
+        // manifests).
+        let checksums = files
+            .iter()
+            .map(|file| {
+                let name = file.file_name().map(|n| n.to_string_lossy().to_string());
+                manifest
+                    .shards
+                    .iter()
+                    .find(|shard| Some(&shard.file) == name.as_ref())
+                    .map(|shard| shard.checksum)
+            })
+            .collect();
         let vertices = manifest
             .vertices
             .parse::<u64>()
@@ -109,6 +129,7 @@ impl ReplaySource {
             })?;
         Ok(ReplaySource {
             files,
+            checksums,
             format,
             vertices,
             expected_edges: Some(manifest.total_edges),
@@ -124,6 +145,7 @@ impl ReplaySource {
     /// [`ReplaySource::expect_edges`] supplies one.
     pub fn from_file_set(files: &BlockFileSet) -> Self {
         ReplaySource {
+            checksums: vec![None; files.files.len()],
             files: files.files.clone(),
             format: files.format,
             vertices: files.vertices,
@@ -205,9 +227,16 @@ impl SourceRun for ReplayRun {
     {
         chunk.try_flush(&mut sink)?;
         let mut delivered = 0u64;
-        for file in &self.source.files[self.partition.range(worker)] {
+        for index in self.partition.range(worker) {
+            let file = &self.source.files[index];
             delivered += match self.source.format {
-                BlockFormat::Tsv => stream_tsv_shard(file, self.source.vertices, chunk, &mut sink),
+                BlockFormat::Tsv => stream_tsv_shard(
+                    file,
+                    self.source.vertices,
+                    self.source.checksums[index],
+                    chunk,
+                    &mut sink,
+                ),
                 BlockFormat::Binary => {
                     stream_binary_shard(file, self.source.vertices, chunk, &mut sink)
                 }
@@ -298,9 +327,15 @@ where
 
 /// Stream one TSV shard (`row<TAB>col[<TAB>value]` lines, `#` comments)
 /// through the chunk without materialising it.
-fn stream_tsv_shard<E, F>(
+///
+/// When `expected_checksum` is given (from the run's manifest or progress
+/// journal), the whole file is FNV-1a-hashed as it streams and verified at
+/// the end; a mismatch fails with [`SparseError::ChecksumMismatch`] naming
+/// the shard.
+pub(crate) fn stream_tsv_shard<E, F>(
     path: &Path,
     vertices: u64,
+    expected_checksum: Option<u64>,
     chunk: &mut EdgeChunk,
     sink: &mut F,
 ) -> Result<u64, E>
@@ -311,6 +346,7 @@ where
     let file = std::fs::File::open(path).map_err(|e| shard_error(path, e.into()))?;
     let mut reader = BufReader::with_capacity(1 << 18, file);
     let mut delivered = 0u64;
+    let mut hasher = Fnv1a::new();
     // One reused line buffer for the whole shard — `lines()` would allocate
     // a fresh String per edge on the replay hot path.
     let mut line = String::new();
@@ -323,6 +359,11 @@ where
             == 0
         {
             break;
+        }
+        if expected_checksum.is_some() {
+            // read_line hands back the exact bytes read (newline included),
+            // so hashing the lines hashes the file.
+            hasher.update(line.as_bytes());
         }
         number += 1;
         let trimmed = line.trim();
@@ -348,17 +389,36 @@ where
         };
         let row = endpoint("row")?;
         let col = endpoint("col")?;
+        // Bounds-check here, where the line number is known, so an
+        // out-of-range endpoint reports shard *and* line.
+        if row >= vertices || col >= vertices {
+            return Err(parse_error(format!(
+                "edge ({row}, {col}) out of bounds for {vertices} vertices"
+            )));
+        }
         push_edge(path, vertices, chunk, sink, row, col)?;
         delivered += 1;
+    }
+    if let Some(expected) = expected_checksum {
+        let actual = hasher.finish();
+        if actual != expected {
+            return Err(shard_error(
+                path,
+                SparseError::ChecksumMismatch { expected, actual },
+            ));
+        }
     }
     chunk.try_flush(sink)?;
     Ok(delivered)
 }
 
-/// Stream one binary shard through the chunk in bounded buffers: v2
+/// Stream one binary shard through the chunk in bounded buffers: v2/v3
 /// interleaved pairs slab by slab, v1 split arrays through two cursors
-/// walking the row and column segments in lockstep.
-fn stream_binary_shard<E, F>(
+/// walking the row and column segments in lockstep.  v3 shards carry their
+/// payload checksum in the header; it is verified as the shard streams, and
+/// a mismatch fails with [`SparseError::ChecksumMismatch`] naming the
+/// shard.
+pub(crate) fn stream_binary_shard<E, F>(
     path: &Path,
     vertices: u64,
     chunk: &mut EdgeChunk,
@@ -380,22 +440,35 @@ where
     let header = read_block_header(file_len, &mut reader).map_err(|e| shard_error(path, e))?;
     let (version, nnz) = (header.version, header.nnz);
 
-    if version == BLOCK_VERSION_PAIRS {
+    if version != BLOCK_VERSION {
         // Interleaved (row, col) pairs: 4096 at a time.
         let mut buffer = [0u8; 16 * 4096];
         let mut remaining = nnz;
+        let mut hasher = Fnv1a::new();
         while remaining > 0 {
             let pairs = remaining.min(4096) as usize;
             let bytes = &mut buffer[..16 * pairs];
             reader
                 .read_exact(bytes)
                 .map_err(|e| shard_error(path, e.into()))?;
+            if header.checksum.is_some() {
+                hasher.update(bytes);
+            }
             for pair in bytes.chunks_exact(16) {
                 let row = u64::from_le_bytes(pair[..8].try_into().expect("sized"));
                 let col = u64::from_le_bytes(pair[8..].try_into().expect("sized"));
                 push_edge(path, vertices, chunk, sink, row, col)?;
             }
             remaining -= pairs as u64;
+        }
+        if let Some(expected) = header.checksum {
+            let actual = hasher.finish();
+            if actual != expected {
+                return Err(shard_error(
+                    path,
+                    SparseError::ChecksumMismatch { expected, actual },
+                ));
+            }
         }
     } else {
         // Split arrays: a second cursor over the same file walks the column
@@ -605,13 +678,15 @@ mod tests {
         assert!(message.contains("block_00000.tsv"), "{message}");
         assert!(message.contains("line 4"), "{message}");
 
-        // An out-of-bounds endpoint is rejected with the shard named.
-        std::fs::write(&path, "0\t9\t1\n").unwrap();
+        // An out-of-bounds endpoint is rejected with the shard *and* the
+        // offending line named.
+        std::fs::write(&path, "0\t1\t1\n0\t9\t1\n").unwrap();
         let error = run
             .stream_worker::<SparseError, _>(0, &mut chunk, |_| Ok(()))
             .unwrap_err();
         assert!(error.to_string().contains("out of bounds"), "{error}");
         assert!(error.to_string().contains("block_00000.tsv"), "{error}");
+        assert!(error.to_string().contains("line 2"), "{error}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -35,7 +35,9 @@ use kron_sparse::reduce::DegreeAccumulator;
 use kron_sparse::{CooMatrix, SparseError};
 
 use crate::permute::FeistelPermutation;
-use crate::writer::{write_tsv_edges, BLOCK_HEADER_LEN, BLOCK_MAGIC, BLOCK_VERSION_PAIRS};
+use crate::writer::{
+    write_tsv_edges, Fnv1a, BLOCK_HEADER_LEN, BLOCK_MAGIC, BLOCK_VERSION_CHECKSUM,
+};
 
 /// A per-worker consumer of generated edge chunks.
 ///
@@ -56,6 +58,45 @@ pub trait EdgeSink {
     /// output.
     #[must_use = "finish flushes buffers and returns the sink's output; dropping the result loses both"]
     fn finish(self) -> Result<Self::Output, SparseError>;
+
+    /// Deliberately discard the sink without finishing it — the clean way to
+    /// throw a failed attempt away.  File-backed sinks remove their
+    /// temporary file and suppress the dropped-without-`finish` warning;
+    /// the default just drops the sink.
+    fn abandon(self)
+    where
+        Self: Sized,
+    {
+        drop(self);
+    }
+
+    /// The checksum of everything the sink has written so far, if the sink
+    /// produces a durable artefact worth checksumming.  File shard sinks
+    /// return the FNV-1a hash the progress journal records; in-memory sinks
+    /// return `None`.
+    fn payload_checksum(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// `<path>.tmp` — where a shard sink stages its bytes until `finish()`
+/// atomically renames them into place.
+pub(crate) fn tmp_shard_path(path: &Path) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(".tmp");
+    PathBuf::from(name)
+}
+
+/// Best-effort fsync of `path`'s parent directory so the rename that put
+/// `path` in place is itself durable.  Failures are ignored: not every
+/// platform lets a directory be opened for syncing, and the shard data
+/// itself is already synced.
+fn sync_parent_dir(path: &Path) {
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = std::fs::File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
 }
 
 /// An [`EdgeSink`] that only counts — the sink behind throughput
@@ -132,18 +173,35 @@ impl EdgeSink for CooSink {
 
 /// An [`EdgeSink`] writing `row<TAB>col<TAB>1` triples through a buffered
 /// writer — one TSV shard per worker.
+///
+/// The shard is staged at `<path>.tmp`, fsynced, and atomically renamed to
+/// `path` by `finish()`, so a crash can never leave a truncated file under
+/// the final name: a shard that exists is a shard that finished.  The sink
+/// also maintains a running FNV-1a checksum of every byte written
+/// ([`EdgeSink::payload_checksum`]) — the sidecar checksum the run's
+/// progress journal and manifest record for later verification.
 pub struct TsvShardSink {
-    writer: BufWriter<std::fs::File>,
+    writer: Option<BufWriter<std::fs::File>>,
     path: PathBuf,
+    tmp: PathBuf,
+    hasher: Fnv1a,
+    scratch: Vec<u8>,
+    finished: bool,
 }
 
 impl TsvShardSink {
-    /// Create the shard file at `path`.
+    /// Create the shard, staging bytes at `<path>.tmp` until `finish()`.
     pub fn create(path: &Path) -> Result<Self, SparseError> {
-        let file = std::fs::File::create(path)?;
+        let tmp = tmp_shard_path(path);
+        let file =
+            std::fs::File::create(&tmp).map_err(|e| SparseError::with_path(&tmp, e.into()))?;
         Ok(TsvShardSink {
-            writer: BufWriter::with_capacity(1 << 18, file),
+            writer: Some(BufWriter::with_capacity(1 << 18, file)),
             path: path.to_path_buf(),
+            tmp,
+            hasher: Fnv1a::new(),
+            scratch: Vec::new(),
+            finished: false,
         })
     }
 }
@@ -152,43 +210,99 @@ impl EdgeSink for TsvShardSink {
     type Output = PathBuf;
 
     fn consume(&mut self, edges: &[(u64, u64)]) -> Result<(), SparseError> {
-        write_tsv_edges(&mut self.writer, edges)?;
+        // Format into a reusable buffer first so the checksum sees exactly
+        // the bytes that reach the file.
+        self.scratch.clear();
+        write_tsv_edges(&mut self.scratch, edges)?;
+        self.hasher.update(&self.scratch);
+        self.writer
+            .as_mut()
+            .expect("sink used after finish")
+            .write_all(&self.scratch)?;
         Ok(())
     }
 
     fn finish(mut self) -> Result<PathBuf, SparseError> {
-        self.writer.flush()?;
-        Ok(self.path)
+        self.finished = true;
+        let mut writer = self.writer.take().expect("finish called once");
+        writer.flush()?;
+        let file = writer
+            .into_inner()
+            .map_err(|e| SparseError::Io(e.to_string()))?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&self.tmp, &self.path)
+            .map_err(|e| SparseError::with_path(&self.path, e.into()))?;
+        sync_parent_dir(&self.path);
+        Ok(self.path.clone())
+    }
+
+    fn abandon(mut self) {
+        self.finished = true;
+        self.writer.take();
+        let _ = std::fs::remove_file(&self.tmp);
+    }
+
+    fn payload_checksum(&self) -> Option<u64> {
+        Some(self.hasher.finish())
     }
 }
 
-/// An [`EdgeSink`] writing the interleaved binary shard layout
-/// ([`BLOCK_VERSION_PAIRS`]): the shared block header with a zero entry
-/// count, then `(row, col)` pairs appended as they stream; `finish` seeks
-/// back and patches the true count into the header.  16 bytes per edge, no
-/// buffering beyond the write buffer.
+impl Drop for TsvShardSink {
+    fn drop(&mut self) {
+        if !self.finished && !std::thread::panicking() {
+            eprintln!(
+                "warning: TSV shard sink for {} dropped without finish(); \
+                 the partial shard stays at {}",
+                self.path.display(),
+                self.tmp.display()
+            );
+        }
+    }
+}
+
+/// An [`EdgeSink`] writing the checksummed interleaved binary shard layout
+/// ([`BLOCK_VERSION_CHECKSUM`]): the block header with a zero entry count
+/// and zero checksum, then `(row, col)` pairs appended as they stream;
+/// `finish` seeks back and patches the true count and the payload's FNV-1a
+/// checksum into the header.  16 bytes per edge, no buffering beyond the
+/// write buffer.
+///
+/// Like [`TsvShardSink`], the shard is staged at `<path>.tmp` and
+/// atomically renamed into place by `finish()` after an fsync, so the final
+/// name only ever holds a complete, checksummed shard.
 pub struct BinaryShardSink {
-    writer: BufWriter<std::fs::File>,
+    writer: Option<BufWriter<std::fs::File>>,
     path: PathBuf,
+    tmp: PathBuf,
     written: u64,
+    hasher: Fnv1a,
     scratch: Vec<u8>,
+    finished: bool,
 }
 
 impl BinaryShardSink {
-    /// Create the shard file at `path` for a `nrows × ncols` graph.
+    /// Create the shard for a `nrows × ncols` graph, staging bytes at
+    /// `<path>.tmp` until `finish()`.
     pub fn create(path: &Path, nrows: u64, ncols: u64) -> Result<Self, SparseError> {
-        let file = std::fs::File::create(path)?;
+        let tmp = tmp_shard_path(path);
+        let file =
+            std::fs::File::create(&tmp).map_err(|e| SparseError::with_path(&tmp, e.into()))?;
         let mut writer = BufWriter::with_capacity(1 << 18, file);
         writer.write_all(&BLOCK_MAGIC)?;
-        writer.write_all(&BLOCK_VERSION_PAIRS.to_le_bytes())?;
+        writer.write_all(&BLOCK_VERSION_CHECKSUM.to_le_bytes())?;
         writer.write_all(&nrows.to_le_bytes())?;
         writer.write_all(&ncols.to_le_bytes())?;
-        writer.write_all(&0u64.to_le_bytes())?; // patched by finish()
+        writer.write_all(&0u64.to_le_bytes())?; // entry count, patched by finish()
+        writer.write_all(&0u64.to_le_bytes())?; // checksum, patched by finish()
         Ok(BinaryShardSink {
-            writer,
+            writer: Some(writer),
             path: path.to_path_buf(),
+            tmp,
             written: 0,
+            hasher: Fnv1a::new(),
             scratch: Vec::new(),
+            finished: false,
         })
     }
 }
@@ -205,21 +319,56 @@ impl EdgeSink for BinaryShardSink {
             self.scratch.extend_from_slice(&row.to_le_bytes());
             self.scratch.extend_from_slice(&col.to_le_bytes());
         }
-        self.writer.write_all(&self.scratch)?;
+        self.hasher.update(&self.scratch);
+        self.writer
+            .as_mut()
+            .expect("sink used after finish")
+            .write_all(&self.scratch)?;
         self.written += edges.len() as u64;
         Ok(())
     }
 
     fn finish(mut self) -> Result<PathBuf, SparseError> {
-        self.writer.flush()?;
-        let mut file = self
-            .writer
+        self.finished = true;
+        let mut writer = self.writer.take().expect("finish called once");
+        writer.flush()?;
+        let mut file = writer
             .into_inner()
             .map_err(|e| SparseError::Io(e.to_string()))?;
+        // The count sits at the same offset in every layout version; the
+        // checksum follows it directly in v3.
         file.seek(SeekFrom::Start(BLOCK_HEADER_LEN - 8))?;
         file.write_all(&self.written.to_le_bytes())?;
-        file.sync_data()?;
-        Ok(self.path)
+        file.write_all(&self.hasher.finish().to_le_bytes())?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&self.tmp, &self.path)
+            .map_err(|e| SparseError::with_path(&self.path, e.into()))?;
+        sync_parent_dir(&self.path);
+        Ok(self.path.clone())
+    }
+
+    fn abandon(mut self) {
+        self.finished = true;
+        self.writer.take();
+        let _ = std::fs::remove_file(&self.tmp);
+    }
+
+    fn payload_checksum(&self) -> Option<u64> {
+        Some(self.hasher.finish())
+    }
+}
+
+impl Drop for BinaryShardSink {
+    fn drop(&mut self) {
+        if !self.finished && !std::thread::panicking() {
+            eprintln!(
+                "warning: binary shard sink for {} dropped without finish(); \
+                 the partial shard stays at {}",
+                self.path.display(),
+                self.tmp.display()
+            );
+        }
     }
 }
 
@@ -284,6 +433,11 @@ impl<A: EdgeSink, B: EdgeSink> EdgeSink for TeeSink<A, B> {
         let second = self.second.finish()?;
         Ok((first, second))
     }
+
+    fn abandon(self) {
+        self.first.abandon();
+        self.second.abandon();
+    }
 }
 
 /// An [`EdgeSink`] that applies a `(row, col) → Option<(row, col)>`
@@ -333,6 +487,14 @@ where
 
     fn finish(self) -> Result<S::Output, SparseError> {
         self.inner.finish()
+    }
+
+    fn abandon(self) {
+        self.inner.abandon();
+    }
+
+    fn payload_checksum(&self) -> Option<u64> {
+        self.inner.payload_checksum()
     }
 }
 
@@ -386,6 +548,14 @@ impl<S: EdgeSink> EdgeSink for PermuteSink<S> {
 
     fn finish(self) -> Result<S::Output, SparseError> {
         self.inner.finish()
+    }
+
+    fn abandon(self) {
+        self.inner.abandon();
+    }
+
+    fn payload_checksum(&self) -> Option<u64> {
+        self.inner.payload_checksum()
     }
 }
 
@@ -445,6 +615,85 @@ mod tests {
             relabelled.iter().filter(|&&(r, c)| r == c).count(),
             EDGES.iter().filter(|&&(r, c)| r == c).count()
         );
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("kron_gen_sink_tests").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn shard_sinks_stage_in_tmp_and_rename_on_finish() {
+        let dir = temp_dir("atomic");
+        let tsv = dir.join("shard.tsv");
+        let mut sink = TsvShardSink::create(&tsv).unwrap();
+        sink.consume(EDGES).unwrap();
+        assert!(!tsv.exists(), "the final name must not exist mid-stream");
+        assert!(tmp_shard_path(&tsv).exists());
+        let out = sink.finish().unwrap();
+        assert_eq!(out, tsv);
+        assert!(tsv.exists());
+        assert!(!tmp_shard_path(&tsv).exists());
+
+        let kbk = dir.join("shard.kbk");
+        let mut sink = BinaryShardSink::create(&kbk, 4, 4).unwrap();
+        sink.consume(EDGES).unwrap();
+        assert!(!kbk.exists());
+        sink.finish().unwrap();
+        assert!(kbk.exists());
+        assert!(!tmp_shard_path(&kbk).exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dropped_sinks_never_produce_a_complete_looking_shard() {
+        let dir = temp_dir("dropped");
+        let tsv = dir.join("shard.tsv");
+        let mut sink = TsvShardSink::create(&tsv).unwrap();
+        sink.consume(EDGES).unwrap();
+        drop(sink); // simulates a worker dying mid-stream (warns on stderr)
+        assert!(!tsv.exists(), "no shard may appear without finish()");
+        assert!(tmp_shard_path(&tsv).exists(), "the partial stays visible");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn abandon_removes_the_partial_and_stays_silent() {
+        let dir = temp_dir("abandon");
+        let kbk = dir.join("shard.kbk");
+        let mut sink = BinaryShardSink::create(&kbk, 4, 4).unwrap();
+        sink.consume(EDGES).unwrap();
+        sink.abandon();
+        assert!(!kbk.exists());
+        assert!(!tmp_shard_path(&kbk).exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn payload_checksums_match_the_bytes_on_disk() {
+        use crate::writer::{shard_checksum, BlockFormat};
+        let dir = temp_dir("checksums");
+        let tsv = dir.join("shard.tsv");
+        let mut sink = TsvShardSink::create(&tsv).unwrap();
+        sink.consume(EDGES).unwrap();
+        let reported = sink.payload_checksum().unwrap();
+        sink.finish().unwrap();
+        assert_eq!(reported, shard_checksum(&tsv, BlockFormat::Tsv).unwrap());
+        assert_eq!(reported, Fnv1a::hash(&std::fs::read(&tsv).unwrap()));
+
+        let kbk = dir.join("shard.kbk");
+        let mut sink = BinaryShardSink::create(&kbk, 4, 4).unwrap();
+        sink.consume(EDGES).unwrap();
+        let reported = sink.payload_checksum().unwrap();
+        sink.finish().unwrap();
+        assert_eq!(reported, shard_checksum(&kbk, BlockFormat::Binary).unwrap());
+        // …and the header stores the same checksum the trait reported.
+        let bytes = std::fs::read(&kbk).unwrap();
+        let stored = u64::from_le_bytes(bytes[32..40].try_into().unwrap());
+        assert_eq!(stored, reported);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -41,9 +41,68 @@ pub const BLOCK_VERSION: u32 = 1;
 /// never has to be buffered in memory (see
 /// [`crate::driver::BinaryShardSink`]).
 pub const BLOCK_VERSION_PAIRS: u32 = 2;
+/// Version of the binary block layout with interleaved pairs **and** an
+/// FNV-1a checksum of the payload appended to the header.  The shard sinks
+/// write this version; the checksum (like the count) is patched in at
+/// `finish()`, and every reader verifies it so a flipped byte on disk is
+/// caught before the shard is trusted (see
+/// [`crate::sink::BinaryShardSink`]).
+pub const BLOCK_VERSION_CHECKSUM: u32 = 3;
 /// Size in bytes of the binary block header (magic, version, dimensions,
-/// entry count) shared by both layout versions.
+/// entry count) shared by the v1/v2 layout versions.
 pub const BLOCK_HEADER_LEN: u64 = 4 + 4 + 8 + 8 + 8;
+/// Size in bytes of the v3 ([`BLOCK_VERSION_CHECKSUM`]) header: the shared
+/// fields followed by the `u64` payload checksum.  The checksum is appended
+/// *after* the entry count so the count stays at the same offset in every
+/// version.
+pub const BLOCK_HEADER_CHECKSUM_LEN: u64 = BLOCK_HEADER_LEN + 8;
+
+/// Streaming 64-bit FNV-1a hasher — the checksum every shard carries.
+///
+/// FNV-1a is not cryptographic; it is a fast, dependency-free integrity
+/// check that reliably catches the corruption modes a crash or a bad disk
+/// produces (flipped bytes, truncation combined with the length check).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Start a fresh hash.
+    pub fn new() -> Self {
+        Fnv1a(Self::OFFSET_BASIS)
+    }
+
+    /// Absorb a byte slice.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut hash = self.0;
+        for &byte in bytes {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(Self::PRIME);
+        }
+        self.0 = hash;
+    }
+
+    /// The hash of everything absorbed so far (non-consuming — more bytes
+    /// may still be absorbed afterwards).
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+
+    /// Hash a complete byte slice in one call.
+    pub fn hash(bytes: &[u8]) -> u64 {
+        let mut hasher = Fnv1a::new();
+        hasher.update(bytes);
+        hasher.finish()
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
 
 /// On-disk format of a block file set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -263,7 +322,8 @@ pub fn write_block_bin(edges: &CooMatrix<u64>, path: &Path) -> Result<(), Sparse
 /// The validated header of a binary block file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct BlockHeader {
-    /// Layout version ([`BLOCK_VERSION`] or [`BLOCK_VERSION_PAIRS`]).
+    /// Layout version ([`BLOCK_VERSION`], [`BLOCK_VERSION_PAIRS`] or
+    /// [`BLOCK_VERSION_CHECKSUM`]).
     pub version: u32,
     /// Declared number of rows.
     pub nrows: u64,
@@ -271,6 +331,9 @@ pub(crate) struct BlockHeader {
     pub ncols: u64,
     /// Declared number of stored entries.
     pub nnz: u64,
+    /// FNV-1a checksum of the payload — present from
+    /// [`BLOCK_VERSION_CHECKSUM`] on; `None` for v1/v2 files.
+    pub checksum: Option<u64>,
 }
 
 /// Read and validate the shared binary block header — magic, version, and
@@ -294,7 +357,10 @@ pub(crate) fn read_block_header(
     let mut version = [0u8; 4];
     reader.read_exact(&mut version)?;
     let version = u32::from_le_bytes(version);
-    if version != BLOCK_VERSION && version != BLOCK_VERSION_PAIRS {
+    if version != BLOCK_VERSION
+        && version != BLOCK_VERSION_PAIRS
+        && version != BLOCK_VERSION_CHECKSUM
+    {
         return Err(SparseError::Parse {
             line: 0,
             message: format!("unsupported block version {version}"),
@@ -305,9 +371,21 @@ pub(crate) fn read_block_header(
     let nrows = u64::from_le_bytes(header[0..8].try_into().expect("sized"));
     let ncols = u64::from_le_bytes(header[8..16].try_into().expect("sized"));
     let nnz = u64::from_le_bytes(header[16..24].try_into().expect("sized"));
+    let checksum = if version == BLOCK_VERSION_CHECKSUM {
+        let mut sum = [0u8; 8];
+        reader.read_exact(&mut sum)?;
+        Some(u64::from_le_bytes(sum))
+    } else {
+        None
+    };
+    let header_len = if checksum.is_some() {
+        BLOCK_HEADER_CHECKSUM_LEN
+    } else {
+        BLOCK_HEADER_LEN
+    };
     let expected_len = nnz
         .checked_mul(16)
-        .and_then(|body| body.checked_add(BLOCK_HEADER_LEN))
+        .and_then(|body| body.checked_add(header_len))
         .ok_or(SparseError::TooLarge {
             what: "binary block entry count",
             requested: nnz as u128,
@@ -325,6 +403,7 @@ pub(crate) fn read_block_header(
         nrows,
         ncols,
         nnz,
+        checksum,
     })
 }
 
@@ -350,6 +429,7 @@ pub fn read_block_bin(path: &Path) -> Result<CooMatrix<u64>, SparseError> {
         nrows,
         ncols,
         nnz,
+        checksum,
     } = read_block_header(file_len, &mut reader)?;
     let nnz = usize::try_from(nnz).map_err(|_| SparseError::TooLarge {
         what: "binary block entry count",
@@ -367,15 +447,27 @@ pub fn read_block_bin(path: &Path) -> Result<CooMatrix<u64>, SparseError> {
         let mut cols = Vec::with_capacity(nnz);
         let mut buffer = [0u8; 16 * 4096];
         let mut remaining = nnz;
+        let mut hasher = Fnv1a::new();
         while remaining > 0 {
             let pairs = remaining.min(4096);
             let bytes = &mut buffer[..16 * pairs];
             reader.read_exact(bytes)?;
+            if checksum.is_some() {
+                hasher.update(bytes);
+            }
             for pair in bytes.chunks_exact(16) {
                 rows.push(u64::from_le_bytes(pair[..8].try_into().expect("sized")));
                 cols.push(u64::from_le_bytes(pair[8..].try_into().expect("sized")));
             }
             remaining -= pairs;
+        }
+        // Verify before the indices are trusted: a flipped byte must fail
+        // as corruption, not as a confusing out-of-bounds index.
+        if let Some(expected) = checksum {
+            let actual = hasher.finish();
+            if actual != expected {
+                return Err(SparseError::ChecksumMismatch { expected, actual });
+            }
         }
         (rows, cols)
     };
@@ -394,6 +486,37 @@ pub fn read_block_bin(path: &Path) -> Result<CooMatrix<u64>, SparseError> {
     let mut m = CooMatrix::new(nrows, ncols);
     m.append_raw(rows, cols, vec![1u64; nnz]);
     Ok(m)
+}
+
+/// Recompute the checksum a shard *should* carry by streaming its bytes
+/// back from disk: for TSV shards the FNV-1a hash of the whole file, for
+/// binary shards the hash of the payload after the header (equal to the
+/// checksum a v3 header stores).  Errors are annotated with the shard path.
+///
+/// This is what `Pipeline::resume` uses to decide whether a shard recorded
+/// in the progress journal is still intact or must be regenerated.
+pub fn shard_checksum(path: &Path, format: BlockFormat) -> Result<u64, SparseError> {
+    let attempt = || -> Result<u64, SparseError> {
+        let file = std::fs::File::open(path)?;
+        let file_len = file.metadata()?.len();
+        let mut reader = std::io::BufReader::with_capacity(1 << 18, file);
+        if format == BlockFormat::Binary {
+            // Position the reader past the (version-dependent) header; the
+            // header itself is validated in passing.
+            read_block_header(file_len, &mut reader)?;
+        }
+        let mut hasher = Fnv1a::new();
+        let mut buffer = [0u8; 1 << 16];
+        loop {
+            let read = reader.read(&mut buffer)?;
+            if read == 0 {
+                break;
+            }
+            hasher.update(&buffer[..read]);
+        }
+        Ok(hasher.finish())
+    };
+    attempt().map_err(|e| SparseError::with_path(path, e))
 }
 
 /// Write each block of a materialised distributed graph in the compact
@@ -538,6 +661,18 @@ mod tests {
         materialised.sort();
         assert_eq!(streamed, materialised);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fnv1a_matches_published_test_vectors() {
+        assert_eq!(Fnv1a::hash(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(Fnv1a::hash(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(Fnv1a::hash(b"foobar"), 0x8594_4171_f739_67e8);
+        // Incremental hashing equals one-shot hashing.
+        let mut hasher = Fnv1a::new();
+        hasher.update(b"foo");
+        hasher.update(b"bar");
+        assert_eq!(hasher.finish(), Fnv1a::hash(b"foobar"));
     }
 
     #[test]

@@ -41,6 +41,14 @@ pub enum SparseError {
     },
     /// An underlying I/O error (stringified to keep the error type `Clone`).
     Io(String),
+    /// Stored and recomputed checksums of a file disagree: the bytes on disk
+    /// are not the bytes that were written.
+    ChecksumMismatch {
+        /// The checksum recorded when the file was written.
+        expected: u64,
+        /// The checksum computed from the bytes actually read.
+        actual: u64,
+    },
     /// An error annotated with the file it occurred in — multi-file readers
     /// wrap per-file failures so the caller learns *which* shard was bad.
     WithPath {
@@ -89,6 +97,10 @@ impl fmt::Display for SparseError {
                 write!(f, "parse error at line {line}: {message}")
             }
             SparseError::Io(msg) => write!(f, "i/o error: {msg}"),
+            SparseError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "checksum mismatch: stored {expected:#018x}, computed {actual:#018x}"
+            ),
             SparseError::WithPath { path, source } => write!(f, "{path}: {source}"),
         }
     }
@@ -145,6 +157,17 @@ mod tests {
         assert!(wrapped.to_string().contains("bad magic"));
         let rewrapped = SparseError::with_path(std::path::Path::new("/other"), wrapped.clone());
         assert_eq!(rewrapped, wrapped, "annotation must be idempotent");
+    }
+
+    #[test]
+    fn checksum_mismatch_displays_both_sums_in_hex() {
+        let e = SparseError::ChecksumMismatch {
+            expected: 0xdead,
+            actual: 0xbeef,
+        };
+        let text = e.to_string();
+        assert!(text.contains("0x000000000000dead"), "{text}");
+        assert!(text.contains("0x000000000000beef"), "{text}");
     }
 
     #[test]

@@ -172,10 +172,12 @@ pub use kron_core::{
     SelfLoop, StarGraph, ValidationReport,
 };
 pub use kron_gen::{
-    DesignPipeline, DistributedGraph, DriverConfig, EdgeSource, FeistelPermutation,
-    GenerationStats, GeneratorConfig, KroneckerSource, MetricRecord, MetricSuite, MetricsReport,
-    ParallelGenerator, PermuteSink, Pipeline, PredicateCountMetric, ReplaySource, RunManifest,
-    RunReport, SelfLoopPolicy, ShardDriver, ShardRun, SourceDescriptor, SourceRun, StreamingMetric,
+    DesignPipeline, DistributedGraph, DriverConfig, EdgeSource, FaultSchedule, FaultySink,
+    FaultySource, FeistelPermutation, GenerationStats, GeneratorConfig, KroneckerSource,
+    MetricRecord, MetricSuite, MetricsReport, ParallelGenerator, PermuteSink, Pipeline,
+    PredicateCountMetric, ProgressJournal, ReplaySource, RetryPolicy, RunManifest, RunReport,
+    SelfLoopPolicy, ShardDriver, ShardFailure, ShardRecord, ShardRun, SourceDescriptor, SourceRun,
+    StreamingMetric,
 };
 pub use kron_rmat::{RmatGenerator, RmatParams, RmatSource};
 

@@ -1,0 +1,364 @@
+//! Crash safety end to end: checksummed atomic shards, checkpointed resume,
+//! and the deterministic fault-injection harness.
+//!
+//! The contract under test is the strongest one the pipeline makes: a run
+//! interrupted by an injected fault — transient (retried in place) or
+//! permanent (quarantined, repaired by [`Pipeline::resume`]) — must end with
+//! **byte-identical shard files** and a `==`-equal [`MetricsReport`]
+//! compared to the same run never having failed; and a shard corrupted on
+//! disk must be caught by checksum, naming the shard, on both the resume
+//! and the replay path.
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use extreme_graphs::core::CoreError;
+use extreme_graphs::gen::ReplaySource;
+use extreme_graphs::{
+    FaultSchedule, FaultySource, KroneckerDesign, KroneckerSource, Pipeline, RetryPolicy, SelfLoop,
+};
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("extreme_graphs_crash_resume")
+        .join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn design() -> KroneckerDesign {
+    KroneckerDesign::from_star_points(&[3, 4, 5, 9], SelfLoop::Centre).unwrap()
+}
+
+/// A pipeline over `design` configured identically every time it is built —
+/// the determinism `resume` relies on.
+fn pipeline(design: &KroneckerDesign, workers: usize) -> extreme_graphs::DesignPipeline<'_> {
+    Pipeline::for_design(design)
+        .workers(workers)
+        .split_index(2)
+        .max_c_edges(100_000)
+        .chunk_capacity(512)
+}
+
+/// The same run over a fault-injecting source.
+fn faulty_pipeline<'d>(
+    design: &'d KroneckerDesign,
+    workers: usize,
+    schedule: FaultSchedule,
+) -> Pipeline<FaultySource<KroneckerSource<'d>>> {
+    let source = KroneckerSource::new(design)
+        .split_index(2)
+        .max_c_edges(100_000);
+    Pipeline::for_source(FaultySource::new(source, schedule))
+        .workers(workers)
+        .chunk_capacity(512)
+}
+
+fn shard_bytes(directory: &Path, extension: &str) -> Vec<(String, Vec<u8>)> {
+    let mut shards: Vec<(String, Vec<u8>)> = std::fs::read_dir(directory)
+        .unwrap()
+        .map(|entry| entry.unwrap().path())
+        .filter(|path| path.extension().is_some_and(|e| e == extension))
+        .map(|path| {
+            (
+                path.file_name().unwrap().to_string_lossy().into_owned(),
+                std::fs::read(&path).unwrap(),
+            )
+        })
+        .collect();
+    shards.sort();
+    shards
+}
+
+#[test]
+fn permanent_fault_quarantines_and_resume_is_bit_identical() {
+    let design = design();
+    let workers = 4;
+
+    // The reference: the same run, never interrupted.
+    let clean_dir = temp_dir("permanent_clean");
+    let clean = pipeline(&design, workers).write_binary(&clean_dir).unwrap();
+    assert!(clean.is_valid());
+
+    // Kill worker 2 mid-shard, permanently; quarantine instead of failing.
+    let crash_dir = temp_dir("permanent_crash");
+    let schedule = FaultSchedule::none().with_permanent(2, 100);
+    let crashed = faulty_pipeline(&design, workers, schedule)
+        .quarantine_failures(true)
+        .write_binary(&crash_dir)
+        .unwrap();
+    assert!(!crashed.is_complete());
+    assert_eq!(crashed.failures.len(), 1);
+    let failure = &crashed.failures[0];
+    assert_eq!(failure.worker, 2);
+    assert_eq!(failure.attempts, 1);
+    assert!(failure
+        .error
+        .to_string()
+        .contains("injected permanent fault"));
+    assert!(failure
+        .path
+        .as_ref()
+        .expect("file terminals name the failed shard")
+        .to_string_lossy()
+        .contains("block_00002"));
+    // The failed worker's shard is absent — not a truncated file that looks
+    // complete — and no staging litter survives the abandon.
+    assert!(!crash_dir.join("block_00002.kbk").exists());
+    assert!(shard_bytes(&crash_dir, "tmp").is_empty());
+    // The other three shards are already byte-identical to the clean run's.
+    assert_eq!(shard_bytes(&crash_dir, "kbk").len(), 3);
+    // The incomplete run cannot match the prediction.
+    assert!(!crashed.is_valid());
+
+    // Resume with the *same* (fault-free) configuration: only the missing
+    // shard is regenerated.
+    let resumed = pipeline(&design, workers).resume(&crash_dir).unwrap();
+    assert!(resumed.is_complete());
+    assert!(resumed.is_valid());
+    assert_eq!(
+        shard_bytes(&crash_dir, "kbk"),
+        shard_bytes(&clean_dir, "kbk"),
+        "resumed shards must be byte-identical to the uninterrupted run"
+    );
+    assert_eq!(resumed.metrics, clean.metrics);
+    assert_eq!(resumed.manifest.shards, clean.manifest.shards);
+    assert_eq!(
+        resumed.manifest.edges_per_worker,
+        clean.manifest.edges_per_worker
+    );
+    assert!(resumed
+        .stats
+        .warnings
+        .iter()
+        .any(|w| w.contains("3 shard(s) verified complete")));
+
+    std::fs::remove_dir_all(&clean_dir).ok();
+    std::fs::remove_dir_all(&crash_dir).ok();
+}
+
+#[test]
+fn transient_fault_retries_in_place_bit_identically() {
+    let design = design();
+    let workers = 3;
+
+    let clean_dir = temp_dir("transient_clean");
+    let clean = pipeline(&design, workers).write_tsv(&clean_dir).unwrap();
+
+    // Worker 1 fails twice at edge 50, then succeeds; three retries cover it.
+    let crash_dir = temp_dir("transient_crash");
+    let schedule = FaultSchedule::none().with_transient(1, 50, 2);
+    let report = faulty_pipeline(&design, workers, schedule.clone())
+        .retry_policy(RetryPolicy {
+            max_retries: 3,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(4),
+        })
+        .write_tsv(&crash_dir)
+        .unwrap();
+    assert!(report.is_complete(), "retries absorb a transient fault");
+    assert!(report.is_valid());
+    assert!(schedule.is_exhausted());
+    assert_eq!(
+        shard_bytes(&crash_dir, "tsv"),
+        shard_bytes(&clean_dir, "tsv")
+    );
+    assert_eq!(report.metrics, clean.metrics);
+
+    // Without retries the same fault fails the run outright.
+    let fail_dir = temp_dir("transient_no_retry");
+    let err = faulty_pipeline(
+        &design,
+        workers,
+        FaultSchedule::none().with_transient(1, 50, 2),
+    )
+    .write_tsv(&fail_dir)
+    .unwrap_err();
+    assert!(err.to_string().contains("injected transient fault"));
+
+    std::fs::remove_dir_all(&clean_dir).ok();
+    std::fs::remove_dir_all(&crash_dir).ok();
+    std::fs::remove_dir_all(&fail_dir).ok();
+}
+
+#[test]
+fn corrupt_shard_is_detected_on_resume_and_regenerated() {
+    let design = design();
+    let workers = 3;
+
+    let clean_dir = temp_dir("corrupt_resume_clean");
+    let _ = pipeline(&design, workers).write_binary(&clean_dir).unwrap();
+
+    let dir = temp_dir("corrupt_resume");
+    let _ = pipeline(&design, workers).write_binary(&dir).unwrap();
+    // Flip the low bit of the first payload byte (offset 40, past the v3
+    // header): the edge stays in bounds, so only the checksum can tell.
+    let shard = dir.join("block_00001.kbk");
+    let mut bytes = std::fs::read(&shard).unwrap();
+    bytes[40] ^= 1;
+    std::fs::write(&shard, &bytes).unwrap();
+
+    let resumed = pipeline(&design, workers).resume(&dir).unwrap();
+    assert!(resumed.is_valid());
+    assert!(
+        resumed
+            .stats
+            .warnings
+            .iter()
+            .any(|w| w.contains("block_00001.kbk") && w.contains("checksum")),
+        "the corrupt shard must be named: {:?}",
+        resumed.stats.warnings
+    );
+    assert_eq!(shard_bytes(&dir, "kbk"), shard_bytes(&clean_dir, "kbk"));
+
+    std::fs::remove_dir_all(&clean_dir).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_shard_fails_replay_with_checksum_error_naming_the_shard() {
+    let design = design();
+
+    // TSV: turn a value field "1" into "2" — still a perfectly parseable
+    // line, so only the recorded checksum can catch it.
+    let tsv_dir = temp_dir("corrupt_replay_tsv");
+    let _ = pipeline(&design, 2).write_tsv(&tsv_dir).unwrap();
+    let shard = tsv_dir.join("block_00000.tsv");
+    let text = std::fs::read_to_string(&shard).unwrap();
+    let corrupted = text.replacen("\t1\n", "\t2\n", 1);
+    assert_ne!(text, corrupted, "the corruption must change the file");
+    std::fs::write(&shard, corrupted).unwrap();
+    let err = Pipeline::for_source(ReplaySource::from_directory(&tsv_dir).unwrap())
+        .workers(2)
+        .count()
+        .unwrap_err();
+    let message = err.to_string();
+    assert!(message.contains("checksum mismatch"), "{message}");
+    assert!(message.contains("block_00000.tsv"), "{message}");
+
+    // Binary: flip a payload bit; the v3 header checksum catches it.
+    let bin_dir = temp_dir("corrupt_replay_bin");
+    let _ = pipeline(&design, 2).write_binary(&bin_dir).unwrap();
+    let shard = bin_dir.join("block_00001.kbk");
+    let mut bytes = std::fs::read(&shard).unwrap();
+    bytes[40] ^= 1;
+    std::fs::write(&shard, &bytes).unwrap();
+    let err = Pipeline::for_source(ReplaySource::from_directory(&bin_dir).unwrap())
+        .workers(2)
+        .count()
+        .unwrap_err();
+    let message = err.to_string();
+    assert!(message.contains("checksum mismatch"), "{message}");
+    assert!(message.contains("block_00001.kbk"), "{message}");
+
+    std::fs::remove_dir_all(&tsv_dir).ok();
+    std::fs::remove_dir_all(&bin_dir).ok();
+}
+
+#[test]
+fn resume_rejects_mismatched_configuration() {
+    let design = design();
+    let dir = temp_dir("resume_mismatch");
+    let schedule = FaultSchedule::none().with_permanent(0, 10);
+    let _ = faulty_pipeline(&design, 2, schedule)
+        .quarantine_failures(true)
+        .write_binary(&dir)
+        .unwrap();
+
+    // Wrong worker count.
+    match pipeline(&design, 3).resume(&dir) {
+        Err(CoreError::ResumeMismatch { field, .. }) => assert_eq!(field, "workers"),
+        other => panic!("expected a workers mismatch, got {other:?}"),
+    }
+    // Wrong permutation.
+    match pipeline(&design, 2).permute_vertices(7).resume(&dir) {
+        Err(CoreError::ResumeMismatch { field, .. }) => assert_eq!(field, "permutation_seed"),
+        other => panic!("expected a permutation mismatch, got {other:?}"),
+    }
+    // Wrong graph entirely.
+    let other_design = KroneckerDesign::from_star_points(&[3, 4], SelfLoop::None).unwrap();
+    let err = Pipeline::for_design(&other_design)
+        .workers(2)
+        .resume(&dir)
+        .unwrap_err();
+    assert!(matches!(err, CoreError::ResumeMismatch { .. }), "{err}");
+
+    // No journal at all.
+    let empty = temp_dir("resume_no_journal");
+    std::fs::create_dir_all(&empty).unwrap();
+    assert!(pipeline(&design, 2).resume(&empty).is_err());
+
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&empty).ok();
+}
+
+mod seeded_faults {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        /// The tentpole invariant, swept: for any worker count, shard
+        /// format, permutation choice, and fault point, a run interrupted by
+        /// a permanent fault and then resumed is bit-identical — shard bytes
+        /// and metrics report — to the run that never failed.
+        #[test]
+        fn resume_after_a_fault_is_bit_identical(
+            workers in 1usize..5,
+            binary in any::<bool>(),
+            permute in any::<bool>(),
+            fault_worker in 0usize..5,
+            after_edges in 0u64..200,
+        ) {
+            let fault_worker = fault_worker % workers;
+            let design = design();
+            let seed = 0xFEEDu64;
+            let name = format!(
+                "prop_{workers}_{binary}_{permute}_{fault_worker}_{after_edges}"
+            );
+
+            let clean_dir = temp_dir(&format!("{name}_clean"));
+            let mut clean_pipe = pipeline(&design, workers);
+            if permute {
+                clean_pipe = clean_pipe.permute_vertices(seed);
+            }
+            let clean = if binary {
+                clean_pipe.write_binary(&clean_dir).unwrap()
+            } else {
+                clean_pipe.write_tsv(&clean_dir).unwrap()
+            };
+
+            let crash_dir = temp_dir(&format!("{name}_crash"));
+            let schedule = FaultSchedule::none().with_permanent(fault_worker, after_edges);
+            let mut crash_pipe =
+                faulty_pipeline(&design, workers, schedule).quarantine_failures(true);
+            if permute {
+                crash_pipe = crash_pipe.permute_vertices(seed);
+            }
+            let crashed = if binary {
+                crash_pipe.write_binary(&crash_dir).unwrap()
+            } else {
+                crash_pipe.write_tsv(&crash_dir).unwrap()
+            };
+            prop_assert_eq!(crashed.failures.len(), 1);
+
+            let mut resume_pipe = pipeline(&design, workers);
+            if permute {
+                resume_pipe = resume_pipe.permute_vertices(seed);
+            }
+            let resumed = resume_pipe.resume(&crash_dir).unwrap();
+            prop_assert!(resumed.is_complete());
+            prop_assert!(resumed.is_valid());
+            let extension = if binary { "kbk" } else { "tsv" };
+            prop_assert_eq!(
+                shard_bytes(&crash_dir, extension),
+                shard_bytes(&clean_dir, extension)
+            );
+            prop_assert_eq!(&resumed.metrics, &clean.metrics);
+            prop_assert_eq!(&resumed.manifest.shards, &clean.manifest.shards);
+
+            std::fs::remove_dir_all(&clean_dir).ok();
+            std::fs::remove_dir_all(&crash_dir).ok();
+        }
+    }
+}
