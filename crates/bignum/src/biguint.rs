@@ -237,6 +237,7 @@ impl BigUint {
                 remainder += BigUint::one();
             }
             if remainder >= *divisor {
+                // lint:allow(no-expect) -- the compare above guarantees remainder >= divisor, so checked_sub cannot return None
                 remainder = remainder.checked_sub(divisor).expect("checked by compare");
                 quotient.set_bit(i);
             }
@@ -271,6 +272,7 @@ impl BigUint {
             if a > b {
                 std::mem::swap(&mut a, &mut b);
             }
+            // lint:allow(no-expect) -- the swap above orders b >= a, so checked_sub cannot return None
             b = b.checked_sub(&a).expect("b >= a after swap");
             if b.is_zero() {
                 return a << shift;
@@ -469,6 +471,7 @@ impl Sub for BigUint {
     type Output = BigUint;
     fn sub(self, rhs: BigUint) -> BigUint {
         self.checked_sub(&rhs)
+            // lint:allow(no-expect) -- the Sub operator mirrors std integer semantics: underflow is a documented panic; checked_sub is the non-panicking path
             .expect("BigUint subtraction underflow")
     }
 }
@@ -477,6 +480,7 @@ impl Sub for &BigUint {
     type Output = BigUint;
     fn sub(self, rhs: &BigUint) -> BigUint {
         self.checked_sub(rhs)
+            // lint:allow(no-expect) -- the Sub operator mirrors std integer semantics: underflow is a documented panic; checked_sub is the non-panicking path
             .expect("BigUint subtraction underflow")
     }
 }
@@ -485,6 +489,7 @@ impl SubAssign for BigUint {
     fn sub_assign(&mut self, rhs: BigUint) {
         *self = self
             .checked_sub(&rhs)
+            // lint:allow(no-expect) -- the Sub operator mirrors std integer semantics: underflow is a documented panic; checked_sub is the non-panicking path
             .expect("BigUint subtraction underflow");
     }
 }

@@ -78,6 +78,7 @@ impl DegreeDistribution {
         let current = self.count(degree);
         let remaining = current
             .checked_sub(count)
+            // lint:allow(no-expect) -- the distribution accounting above proves the bucket holds at least this many vertices
             .expect("cannot remove more vertices of a degree than the distribution contains");
         if remaining.is_zero() {
             self.counts.remove(degree);
@@ -177,6 +178,7 @@ impl DegreeDistribution {
         self.subtract(loop_degree, &one);
         let reduced = loop_degree
             .checked_sub(&one)
+            // lint:allow(no-expect) -- a vertex hosting a self-loop has degree at least one by construction of the distribution
             .expect("self-loop vertex must have degree at least one");
         if !reduced.is_zero() {
             self.add(reduced, one);

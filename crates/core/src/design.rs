@@ -167,6 +167,7 @@ impl KroneckerDesign {
         if self.has_removable_self_loop() {
             let d = self
                 .self_loop_vertex_degree()
+                // lint:allow(no-expect) -- a design that reports a removable self-loop always carries the loop vertex degree
                 .expect("removable self-loop implies a well-defined loop vertex degree");
             // corrected = (∏ raw_k − 3·D + 2) / 6, exactly.
             let numerator = raw_product + BigUint::from(2u64) - BigUint::from(3u64) * d;

@@ -133,6 +133,7 @@ impl DesignSearch {
                 message: "edge target must be positive".into(),
             });
         }
+        // lint:allow(no-expect) -- edge targets are validated non-zero before the search starts, so log10 is defined
         let target_log_edges = targets.edges.log10().expect("non-zero target");
         let target_log_vertices = targets.vertices.as_ref().and_then(|v| v.log10());
 
@@ -157,6 +158,7 @@ impl DesignSearch {
         candidates.sort_by(|a, b| {
             a.score()
                 .partial_cmp(&b.score())
+                // lint:allow(no-expect) -- candidate scores are sums of finite terms, so partial_cmp cannot return None
                 .expect("scores are finite")
         });
         candidates.truncate(top_k.max(1));

@@ -34,7 +34,9 @@ impl IncidencePair {
         let mut out = CooMatrix::with_capacity(edges, vertices_out, adjacency.nnz());
         let mut inc = CooMatrix::with_capacity(edges, vertices_in, adjacency.nnz());
         for (e, (i, j, _)) in adjacency.iter().enumerate() {
+            // lint:allow(no-expect) -- edge row e < edge count, the exact dimension the matrix was created with
             out.push(e as u64, i, 1).expect("edge row in bounds");
+            // lint:allow(no-expect) -- edge row e < edge count, the exact dimension the matrix was created with
             inc.push(e as u64, j, 1).expect("edge row in bounds");
         }
         IncidencePair { out, inc }

@@ -161,6 +161,7 @@ impl StarGraph {
             SelfLoop::Centre => edges.push((0, 0)),
             SelfLoop::Leaf => edges.push((self.points, self.points)),
         }
+        // lint:allow(no-expect) -- the loop bounds above keep every star index below m
         CooMatrix::from_edges(m, m, edges).expect("star indices are in bounds by construction")
     }
 
@@ -174,7 +175,9 @@ impl StarGraph {
         let mut eout = CooMatrix::new(nnz, m);
         let mut ein = CooMatrix::new(nnz, m);
         for (e, (i, j, _)) in adjacency.iter().enumerate() {
+            // lint:allow(no-expect) -- edge index e < edge count by the enumeration
             eout.push(e as u64, i, 1).expect("edge index in bounds");
+            // lint:allow(no-expect) -- edge index e < edge count by the enumeration
             ein.push(e as u64, j, 1).expect("edge index in bounds");
         }
         (eout, ein)

@@ -96,6 +96,7 @@ impl GraphBlock {
         for (r, c, v) in self.edges.iter() {
             local
                 .push(r, c - min_col, v)
+                // lint:allow(no-expect) -- the shift is bounded by the block dimensions validated at construction
                 .expect("shifted column stays in bounds");
         }
         local

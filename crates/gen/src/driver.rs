@@ -105,9 +105,11 @@ impl<O> ShardRun<O> {
         ShardRun {
             outputs: report.outputs,
             vertices: report.vertices,
+            // lint:allow(no-expect) -- the deprecated driver only wraps Kronecker runs, whose reports always carry a split
             split: report.split.expect("a Kronecker run always has a split"),
             predicted: report
                 .predicted
+                // lint:allow(no-expect) -- a Kronecker run always computes its predicted properties
                 .expect("a Kronecker run predicts its properties exactly"),
             measured: report.measured,
             stats: report.stats,
@@ -218,6 +220,7 @@ impl ShardDriver {
         directory: &Path,
     ) -> Result<(ShardRun<PathBuf>, BlockFileSet), CoreError> {
         let report = self.pipeline(design, split_index).write_tsv(directory)?;
+        // lint:allow(no-expect) -- the driver configured a file terminal above, so the report carries files
         let files = report.files.clone().expect("file terminal produces files");
         Ok((ShardRun::from_report(report), files))
     }
@@ -234,6 +237,7 @@ impl ShardDriver {
         directory: &Path,
     ) -> Result<(ShardRun<PathBuf>, BlockFileSet), CoreError> {
         let report = self.pipeline(design, split_index).write_binary(directory)?;
+        // lint:allow(no-expect) -- the driver configured a file terminal above, so the report carries files
         let files = report.files.clone().expect("file terminal produces files");
         Ok((ShardRun::from_report(report), files))
     }

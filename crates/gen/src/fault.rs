@@ -93,6 +93,7 @@ impl FaultSchedule {
     /// `after_edges` edges, on its next `failures` attempts.
     pub fn with_transient(self, worker: usize, after_edges: u64, failures: u32) -> Self {
         if failures > 0 {
+            // lint:allow(no-expect) -- a poisoned fault-plan mutex means a worker already panicked; re-panicking is the correct fault-injection outcome
             self.faults.lock().expect("fault plan poisoned").insert(
                 worker,
                 FaultState {
@@ -107,6 +108,7 @@ impl FaultSchedule {
     /// Plan a permanent fault: worker `worker` fails after delivering
     /// `after_edges` edges, on every attempt.
     pub fn with_permanent(self, worker: usize, after_edges: u64) -> Self {
+        // lint:allow(no-expect) -- a poisoned fault-plan mutex means a worker already panicked; re-panicking is the correct fault-injection outcome
         self.faults.lock().expect("fault plan poisoned").insert(
             worker,
             FaultState {
@@ -142,6 +144,7 @@ impl FaultSchedule {
             schedule
                 .faults
                 .lock()
+                // lint:allow(no-expect) -- a poisoned fault-plan mutex means a worker already panicked; re-panicking is the correct fault-injection outcome
                 .expect("fault plan poisoned")
                 .insert(worker, FaultState { after_edges, kind });
         }
@@ -153,6 +156,7 @@ impl FaultSchedule {
     pub fn planned(&self) -> Vec<PlannedFault> {
         self.faults
             .lock()
+            // lint:allow(no-expect) -- a poisoned fault-plan mutex means a worker already panicked; re-panicking is the correct fault-injection outcome
             .expect("fault plan poisoned")
             .iter()
             .map(|(&worker, state)| PlannedFault {
@@ -165,6 +169,7 @@ impl FaultSchedule {
 
     /// Whether any fault is still pending.
     pub fn is_exhausted(&self) -> bool {
+        // lint:allow(no-expect) -- a poisoned fault-plan mutex means a worker already panicked; re-panicking is the correct fault-injection outcome
         self.faults.lock().expect("fault plan poisoned").is_empty()
     }
 
@@ -174,6 +179,7 @@ impl FaultSchedule {
     /// batch's edges to deliver before failing, plus the injected error —
     /// and counts a transient firing down.
     fn take_fault(&self, worker: usize, delivered: u64, batch: u64) -> Option<(u64, SparseError)> {
+        // lint:allow(no-expect) -- a poisoned fault-plan mutex means a worker already panicked; re-panicking is the correct fault-injection outcome
         let mut faults = self.faults.lock().expect("fault plan poisoned");
         let state = faults.get_mut(&worker)?;
         if delivered + batch < state.after_edges {

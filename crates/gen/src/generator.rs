@@ -74,6 +74,7 @@ impl DistributedGraph {
         let mut all = CooMatrix::new(self.vertices, self.vertices);
         for block in &self.blocks {
             all.append(&block.edges)
+                // lint:allow(no-expect) -- every block is created with the same full-graph dimensions a few lines above
                 .expect("blocks share the full graph dimensions");
         }
         all
@@ -198,9 +199,11 @@ impl ParallelGenerator {
         Ok(DistributedGraph {
             blocks,
             vertices: report.vertices,
+            // lint:allow(no-expect) -- the deprecated generator only runs Kronecker plans, whose reports always carry a split
             split: report.split.expect("a Kronecker run always has a split"),
             predicted: report
                 .predicted
+                // lint:allow(no-expect) -- a Kronecker run always computes its predicted properties
                 .expect("a Kronecker run predicts its properties exactly"),
             stats: report.stats,
         })

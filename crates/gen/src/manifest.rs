@@ -342,6 +342,7 @@ impl ProgressJournal {
     }
 
     fn append_line(&self, line: &str) -> Result<(), SparseError> {
+        // lint:allow(no-expect) -- a poisoned journal mutex means another worker already panicked mid-record; continuing could corrupt the journal
         let mut file = self.file.lock().expect("journal lock poisoned");
         let mut attempt = || -> std::io::Result<()> {
             file.write_all(line.as_bytes())?;
@@ -690,7 +691,7 @@ impl Cursor<'_> {
             .ok_or_else(|| parse_error("unexpected end of JSON"))
     }
 
-    fn expect(&mut self, byte: u8) -> Result<(), SparseError> {
+    fn expect_byte(&mut self, byte: u8) -> Result<(), SparseError> {
         if self.peek()? == byte {
             self.pos += 1;
             Ok(())
@@ -728,7 +729,7 @@ impl Cursor<'_> {
     }
 
     fn object(&mut self) -> Result<JsonValue, SparseError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut fields = Vec::new();
         if self.peek()? == b'}' {
             self.pos += 1;
@@ -737,7 +738,7 @@ impl Cursor<'_> {
         loop {
             self.skip_whitespace();
             let key = self.string()?;
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             let value = self.value()?;
             fields.push((key, value));
             match self.peek()? {
@@ -757,7 +758,7 @@ impl Cursor<'_> {
     }
 
     fn array(&mut self) -> Result<JsonValue, SparseError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         if self.peek()? == b']' {
             self.pos += 1;
@@ -793,9 +794,7 @@ impl Cursor<'_> {
         if self.pos == start {
             return Err(parse_error("empty number"));
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number bytes are ASCII")
-            .to_string();
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
         Ok(JsonValue::Number(text))
     }
 

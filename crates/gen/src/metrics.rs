@@ -143,6 +143,7 @@ impl MetricObserver for PredicateCountObserver {
         let other = other
             .into_any()
             .downcast::<PredicateCountObserver>()
+            // lint:allow(no-expect) -- merge is only called over observers cloned from the same engine, so the metric ids match
             .expect("merged observers come from the same metric");
         self.count += other.count;
     }
@@ -374,6 +375,7 @@ impl<'s> MetricsEngine<'s> {
                 let merged = self
                     .merged_degrees
                     .into_inner()
+                    // lint:allow(no-expect) -- a poisoned metrics mutex means a worker already panicked; that panic is already aborting the run
                     .expect("degree mutex poisoned")
                     .unwrap_or_else(|| {
                         DegreeAccumulator::rows_only(self.context.vertices, self.context.vertices)
@@ -394,6 +396,7 @@ impl<'s> MetricsEngine<'s> {
             .zip(
                 self.merged_custom
                     .into_inner()
+                    // lint:allow(no-expect) -- a poisoned metrics mutex means a worker already panicked; that panic is already aborting the run
                     .expect("metric mutex poisoned"),
             )
             .map(|(metric, observer)| MetricRecord {
@@ -488,6 +491,7 @@ impl WorkerMetrics<'_> {
                 .engine
                 .merged_degrees
                 .lock()
+                // lint:allow(no-expect) -- a poisoned metrics mutex means a worker already panicked; that panic is already aborting the run
                 .expect("degree mutex poisoned");
             match guard.as_mut() {
                 Some(merged) => merged.merge(&local),
@@ -499,6 +503,7 @@ impl WorkerMetrics<'_> {
                 .engine
                 .merged_custom
                 .lock()
+                // lint:allow(no-expect) -- a poisoned metrics mutex means a worker already panicked; that panic is already aborting the run
                 .expect("metric mutex poisoned");
             for (slot, observer) in guard.iter_mut().zip(self.observers) {
                 match slot.as_mut() {

@@ -578,6 +578,10 @@ impl<S: EdgeSource> Pipeline<S> {
         // which is exactly why a resumed report equals an uninterrupted one.
         let builtins_on_delivered = spec.expect.is_some();
 
+        // Wall-clock time is reported to operators in RunStats only; it
+        // never feeds the edge stream, which stays (seed, index)-derived.
+        #[allow(clippy::disallowed_methods)]
+        // lint:allow(no-ambient-time) -- operator-facing run timing only; the edge stream never reads the clock
         let started = Instant::now();
         let engine = MetricsEngine::new(&self.metrics, vertices, self.workers, histogram_budget);
         let skips: Vec<Mutex<Option<SkipShard<K::Output>>>> =
@@ -587,6 +591,7 @@ impl<S: EdgeSource> Pipeline<S> {
             .map(|worker| {
                 let taken = skips
                     .get(worker)
+                    // lint:allow(no-expect) -- a poisoned skip-slot mutex means a sibling worker already panicked; rayon surfaces that panic
                     .and_then(|slot| slot.lock().expect("skip slot poisoned").take());
                 if let Some(skip) = taken {
                     // The shard already exists and its checksum verified:
@@ -800,6 +805,7 @@ impl<S: EdgeSource> Pipeline<S> {
                     directory: directory.clone(),
                     files: spec.outputs.clone(),
                     vertices,
+                    // lint:allow(no-expect) -- file-terminal specs always carry a format; the builder sets it when the terminal is chosen
                     format: spec.format.expect("file sinks declare a format"),
                 })
         });
@@ -1008,6 +1014,7 @@ impl RunReport<CooMatrix<u64>> {
         let mut all = CooMatrix::new(self.vertices, self.vertices);
         for block in &self.outputs {
             all.append(block)
+                // lint:allow(no-expect) -- every block is created with the same full-graph dimensions in this method
                 .expect("blocks share the full graph dimensions");
         }
         all

@@ -45,7 +45,7 @@ use crate::partition::Partition;
 use crate::source::{EdgeSource, SourceDescriptor, SourceRun};
 use crate::split::SplitPlan;
 use crate::writer::{
-    read_block_header, BlockFileSet, BlockFormat, Fnv1a, BLOCK_HEADER_LEN, BLOCK_VERSION,
+    le_u64, read_block_header, BlockFileSet, BlockFormat, Fnv1a, BLOCK_HEADER_LEN, BLOCK_VERSION,
 };
 
 /// An [`EdgeSource`] that streams an existing shard set back through the
@@ -455,8 +455,8 @@ where
                 hasher.update(bytes);
             }
             for pair in bytes.chunks_exact(16) {
-                let row = u64::from_le_bytes(pair[..8].try_into().expect("sized"));
-                let col = u64::from_le_bytes(pair[8..].try_into().expect("sized"));
+                let row = le_u64(&pair[..8]);
+                let col = le_u64(&pair[8..]);
                 push_edge(path, vertices, chunk, sink, row, col)?;
             }
             remaining -= pairs as u64;
@@ -492,8 +492,8 @@ where
                 .chunks_exact(8)
                 .zip(col_bytes[..8 * run].chunks_exact(8))
             {
-                let row = u64::from_le_bytes(row.try_into().expect("sized"));
-                let col = u64::from_le_bytes(col.try_into().expect("sized"));
+                let row = le_u64(row);
+                let col = le_u64(col);
                 push_edge(path, vertices, chunk, sink, row, col)?;
             }
             remaining -= run as u64;

@@ -217,6 +217,7 @@ impl EdgeSink for TsvShardSink {
         self.hasher.update(&self.scratch);
         self.writer
             .as_mut()
+            // lint:allow(no-expect) -- the writer is Some until finish(); use-after-finish is a caller contract violation documented on the type
             .expect("sink used after finish")
             .write_all(&self.scratch)?;
         Ok(())
@@ -224,6 +225,7 @@ impl EdgeSink for TsvShardSink {
 
     fn finish(mut self) -> Result<PathBuf, SparseError> {
         self.finished = true;
+        // lint:allow(no-expect) -- the finished flag checked above guarantees the writer has not been taken yet
         let mut writer = self.writer.take().expect("finish called once");
         writer.flush()?;
         let file = writer
@@ -322,6 +324,7 @@ impl EdgeSink for BinaryShardSink {
         self.hasher.update(&self.scratch);
         self.writer
             .as_mut()
+            // lint:allow(no-expect) -- the writer is Some until finish(); use-after-finish is a caller contract violation documented on the type
             .expect("sink used after finish")
             .write_all(&self.scratch)?;
         self.written += edges.len() as u64;
@@ -330,6 +333,7 @@ impl EdgeSink for BinaryShardSink {
 
     fn finish(mut self) -> Result<PathBuf, SparseError> {
         self.finished = true;
+        // lint:allow(no-expect) -- the finished flag checked above guarantees the writer has not been taken yet
         let mut writer = self.writer.take().expect("finish called once");
         writer.flush()?;
         let mut file = writer

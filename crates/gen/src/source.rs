@@ -275,9 +275,11 @@ impl<'d> EdgeSource for KroneckerSource<'d> {
             let position = triples
                 .iter()
                 .position(|&(r, c, _)| r == b_loop && c == b_loop)
+                // lint:allow(no-expect) -- a triangle-control B factor is constructed with exactly one diagonal triple
                 .expect("a triangle-control B factor has exactly one diagonal triple");
             let owner = (0..workers)
                 .find(|&w| partition.range(w).contains(&position))
+                // lint:allow(no-expect) -- the partition above assigns every triple index to exactly one worker range
                 .expect("every triple index belongs to one worker");
             Some((owner, self_loop_vertex_index(design)))
         } else {

@@ -66,7 +66,7 @@ impl GenerationStats {
         if self.edges_per_worker.is_empty() || self.total_edges == 0 {
             return 1.0;
         }
-        let max = *self.edges_per_worker.iter().max().expect("non-empty") as f64;
+        let max = self.edges_per_worker.iter().copied().max().unwrap_or(0) as f64;
         let mean = self.total_edges as f64 / self.workers as f64;
         max / mean
     }

@@ -205,6 +205,7 @@ pub fn stream_block_tsv(
     chunk: &mut EdgeChunk,
     path: &Path,
 ) -> Result<u64, SparseError> {
+    // lint:allow(raw-fs-shard) -- legacy materialising writer, documented non-atomic; new code writes through the sinks
     let file = std::fs::File::create(path)?;
     let mut writer = BufWriter::with_capacity(1 << 18, file);
     // The first write error aborts the whole expansion (a full disk must
@@ -302,6 +303,7 @@ pub fn stream_blocks_tsv(
 /// pattern (every stored entry is 1), which is what makes the format 16
 /// bytes per edge.
 pub fn write_block_bin(edges: &CooMatrix<u64>, path: &Path) -> Result<(), SparseError> {
+    // lint:allow(raw-fs-shard) -- legacy materialising writer, documented non-atomic; new code writes through the sinks
     let file = std::fs::File::create(path)?;
     let mut w = BufWriter::with_capacity(1 << 18, file);
     w.write_all(&BLOCK_MAGIC)?;
@@ -368,9 +370,9 @@ pub(crate) fn read_block_header(
     }
     let mut header = [0u8; 24];
     reader.read_exact(&mut header)?;
-    let nrows = u64::from_le_bytes(header[0..8].try_into().expect("sized"));
-    let ncols = u64::from_le_bytes(header[8..16].try_into().expect("sized"));
-    let nnz = u64::from_le_bytes(header[16..24].try_into().expect("sized"));
+    let nrows = le_u64(&header[0..8]);
+    let ncols = le_u64(&header[8..16]);
+    let nnz = le_u64(&header[16..24]);
     let checksum = if version == BLOCK_VERSION_CHECKSUM {
         let mut sum = [0u8; 8];
         reader.read_exact(&mut sum)?;
@@ -407,13 +409,20 @@ pub(crate) fn read_block_header(
     })
 }
 
+/// Decode a little-endian `u64` from an exactly-8-byte slice.
+///
+/// Single owner of the slice→array conversion for block decoding: every
+/// caller passes a `chunks_exact(8)` chunk or a fixed 8-byte range, so
+/// the length is right by construction.
+pub(crate) fn le_u64(bytes: &[u8]) -> u64 {
+    // lint:allow(no-expect) -- single owner of the 8-byte slice contract; callers only pass chunks_exact(8) or fixed ranges
+    u64::from_le_bytes(bytes.try_into().expect("8-byte slice"))
+}
+
 fn read_u64_array(reader: &mut impl Read, count: usize) -> Result<Vec<u64>, SparseError> {
     let mut bytes = vec![0u8; count * 8];
     reader.read_exact(&mut bytes)?;
-    Ok(bytes
-        .chunks_exact(8)
-        .map(|chunk| u64::from_le_bytes(chunk.try_into().expect("exact chunk")))
-        .collect())
+    Ok(bytes.chunks_exact(8).map(le_u64).collect())
 }
 
 /// Read a binary block file back into a COO matrix (all values 1), with the
@@ -456,8 +465,8 @@ pub fn read_block_bin(path: &Path) -> Result<CooMatrix<u64>, SparseError> {
                 hasher.update(bytes);
             }
             for pair in bytes.chunks_exact(16) {
-                rows.push(u64::from_le_bytes(pair[..8].try_into().expect("sized")));
-                cols.push(u64::from_le_bytes(pair[8..].try_into().expect("sized")));
+                rows.push(le_u64(&pair[..8]));
+                cols.push(le_u64(&pair[8..]));
             }
             remaining -= pairs;
         }

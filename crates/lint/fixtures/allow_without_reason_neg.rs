@@ -1,0 +1,7 @@
+//@ path: crates/core/src/under_test.rs
+#[allow(dead_code)] // kept for the next PR's staged-executor refactor
+fn helper() {}
+
+// The justification may also sit on the line above.
+#[allow(dead_code)]
+fn other_helper() {}

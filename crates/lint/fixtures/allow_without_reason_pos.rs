@@ -1,0 +1,7 @@
+//@ path: crates/core/src/under_test.rs
+//@ expect: allow-without-reason@6
+
+pub fn used() {}
+
+#[allow(dead_code)]
+fn helper() {}

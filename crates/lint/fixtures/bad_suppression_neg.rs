@@ -1,0 +1,9 @@
+//@ path: crates/core/src/under_test.rs
+pub fn first(values: &[u32]) -> u32 {
+    *values.first().unwrap() // lint:allow(no-unwrap) -- fixture proves a reasoned suppression is honoured
+}
+
+pub fn second(values: &[u32]) -> u32 {
+    // lint:allow(no-unwrap) -- standalone form covers the line below
+    *values.get(1).unwrap()
+}

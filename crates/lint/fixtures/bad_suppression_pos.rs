@@ -1,0 +1,13 @@
+//@ path: crates/core/src/under_test.rs
+//@ expect: bad-suppression@8
+//@ expect: bad-suppression@12
+//@ expect: no-unwrap@8
+//@ expect: no-unwrap@12
+
+pub fn first(values: &[u32]) -> u32 {
+    *values.first().unwrap() // lint:allow(no-unwrap)
+}
+
+pub fn second(values: &[u32]) -> u32 {
+    *values.get(1).unwrap() // lint:allow(no-unwrap) --
+}

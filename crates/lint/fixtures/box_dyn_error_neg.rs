@@ -1,0 +1,24 @@
+//@ path: crates/core/src/under_test.rs
+pub trait Observer {}
+
+// Non-Error trait objects are fine in public signatures.
+pub fn observer() -> Box<dyn Observer> {
+    unimplemented_marker()
+}
+
+// Private helpers may erase error types; only the public surface is held
+// to typed errors.
+fn erased() -> Result<(), Box<dyn std::error::Error>> {
+    Ok(())
+}
+
+pub fn typed() -> Result<(), std::io::Error> {
+    erased().ok();
+    Ok(())
+}
+
+fn unimplemented_marker() -> Box<dyn Observer> {
+    struct Noop;
+    impl Observer for Noop {}
+    Box::new(Noop)
+}

@@ -1,0 +1,4 @@
+//@ path: crates/core/src/under_test.rs
+pub fn run() -> Result<(), Box<dyn std::error::Error>> { //~ box-dyn-error
+    Ok(())
+}

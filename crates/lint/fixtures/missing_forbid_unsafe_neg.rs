@@ -1,0 +1,3 @@
+//@ path: crates/core/src/lib.rs
+#![forbid(unsafe_code)]
+pub mod under_test;

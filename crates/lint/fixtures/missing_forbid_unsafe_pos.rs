@@ -1,0 +1,3 @@
+//@ path: crates/core/src/lib.rs
+//@ expect: missing-forbid-unsafe@1
+pub mod under_test;

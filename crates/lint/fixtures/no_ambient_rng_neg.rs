@@ -1,0 +1,11 @@
+//@ path: crates/core/src/under_test.rs
+// Explicitly seeded streams are the workspace idiom: (seed, index)
+// determinism for any worker count.
+pub fn splitmix64(seed: u64, index: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(index.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}

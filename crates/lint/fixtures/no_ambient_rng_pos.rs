@@ -1,0 +1,6 @@
+//@ path: crates/core/src/under_test.rs
+pub fn sample() -> (u64, u64) {
+    let a = rand::random(); //~ no-ambient-rng
+    let mut rng = rand::thread_rng(); //~ no-ambient-rng
+    (a, rng.next_u64())
+}

@@ -1,0 +1,7 @@
+//@ path: crates/core/src/under_test.rs
+use std::time::{Duration, Instant};
+
+// Accepting a clock reading from the caller keeps the library replayable.
+pub fn elapsed_since(start: Instant, now: Instant) -> Duration {
+    now.duration_since(start)
+}

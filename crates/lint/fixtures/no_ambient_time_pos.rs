@@ -1,0 +1,6 @@
+//@ path: crates/core/src/under_test.rs
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now() //~ no-ambient-time
+}

@@ -1,0 +1,24 @@
+//@ path: crates/core/src/under_test.rs
+pub struct Parser {
+    pos: usize,
+}
+
+impl Parser {
+    fn expect_byte(&mut self, _byte: u8) -> Result<(), String> {
+        self.pos += 1;
+        Ok(())
+    }
+
+    pub fn run(&mut self) -> Result<(), String> {
+        // A method *named* expect_byte is not Option::expect.
+        self.expect_byte(b'{')
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn expect_is_fine_in_tests() {
+        Some(1u32).expect("present");
+    }
+}

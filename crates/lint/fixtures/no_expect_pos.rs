@@ -1,0 +1,4 @@
+//@ path: crates/core/src/under_test.rs
+pub fn first(values: &[u32]) -> u32 {
+    *values.first().expect("non-empty") //~ no-expect
+}

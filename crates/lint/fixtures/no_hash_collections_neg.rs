@@ -1,0 +1,10 @@
+//@ path: crates/core/src/under_test.rs
+use std::collections::BTreeMap;
+
+pub fn histogram(values: &[u64]) -> BTreeMap<u64, u64> {
+    let mut out = BTreeMap::new();
+    for &v in values {
+        *out.entry(v).or_insert(0) += 1;
+    }
+    out
+}

@@ -1,0 +1,13 @@
+//@ path: crates/core/src/under_test.rs
+//@ expect: no-hash-collections@5
+//@ expect: no-hash-collections@7
+
+use std::collections::HashMap;
+
+pub fn histogram(values: &[u64]) -> HashMap<u64, u64> {
+    let mut out = HashMap::new(); //~ no-hash-collections
+    for &v in values {
+        *out.entry(v).or_insert(0) += 1;
+    }
+    out
+}

@@ -1,0 +1,19 @@
+//@ path: crates/core/src/under_test.rs
+pub fn checked(flag: bool) -> Result<(), String> {
+    // assert! and debug_assert! document invariants without the ban.
+    debug_assert!(flag);
+    if !flag {
+        return Err("invariant violated".to_string());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_are_fine_in_tests() {
+        if false {
+            panic!("test-only");
+        }
+    }
+}

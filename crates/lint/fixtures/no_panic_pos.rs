@@ -1,0 +1,6 @@
+//@ path: crates/core/src/under_test.rs
+pub fn checked(flag: bool) {
+    if !flag {
+        panic!("invariant violated"); //~ no-panic
+    }
+}

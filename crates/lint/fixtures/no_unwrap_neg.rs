@@ -1,0 +1,12 @@
+//@ path: crates/core/src/under_test.rs
+pub fn first(values: &[u32]) -> u32 {
+    values.first().copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        Some(1u32).unwrap();
+    }
+}

@@ -1,0 +1,13 @@
+//@ path: crates/gen/src/sink.rs
+use std::fs::File;
+use std::path::Path;
+
+// Inside the atomic sink module itself, raw creation is the point: this
+// is the one owner of the fsync -> rename path.
+pub fn stage(path: &Path) -> std::io::Result<File> {
+    File::create(path)
+}
+
+pub fn publish(tmp: &Path, path: &Path) -> std::io::Result<()> {
+    std::fs::rename(tmp, path)
+}

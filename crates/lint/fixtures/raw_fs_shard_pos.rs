@@ -1,0 +1,24 @@
+//@ path: crates/gen/src/under_test.rs
+use std::fs::File;
+use std::path::Path;
+
+pub fn dump(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    std::fs::write(path, bytes) //~ raw-fs-shard
+}
+
+pub fn open_new(path: &Path) -> std::io::Result<File> {
+    File::create(path) //~ raw-fs-shard
+}
+
+pub fn publish(tmp: &Path, path: &Path) -> std::io::Result<()> {
+    std::fs::rename(tmp, path) //~ raw-fs-shard
+}
+
+pub fn append(path: &Path) -> std::io::Result<File> {
+    std::fs::OpenOptions::new().append(true).open(path) //~ raw-fs-shard
+}
+
+// Reading is unrestricted: only creation/rename must take the atomic path.
+pub fn read_back(path: &Path) -> std::io::Result<Vec<u8>> {
+    std::fs::read(path)
+}

@@ -1,0 +1,138 @@
+#![forbid(unsafe_code)]
+//! Command-line front end for `kron-lint`.
+//!
+//! ```text
+//! kron-lint [--deny] [--json] [--rules] [ROOT]
+//! ```
+//!
+//! * `--deny`  — exit non-zero when any unsuppressed finding remains
+//!   (the CI gate).
+//! * `--json`  — emit the report as JSON instead of `file:line` text.
+//! * `--rules` — list every rule with its rationale and exit.
+//! * `ROOT`    — workspace root to scan (default: walk up from the
+//!   current directory to the first `Cargo.toml` owning a `crates/`
+//!   directory).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use kron_lint::{lint_root, Finding, RULES};
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--json" => json = true,
+            "--rules" => {
+                for (id, why) in RULES {
+                    println!("{id:24} {why}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("usage: kron-lint [--deny] [--json] [--rules] [ROOT]");
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') => root = Some(PathBuf::from(other)),
+            other => {
+                eprintln!("kron-lint: unknown flag `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.or_else(find_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("kron-lint: could not locate the workspace root; pass it explicitly");
+            return ExitCode::from(2);
+        }
+    };
+
+    let findings = match lint_root(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("kron-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let active: Vec<&Finding> = findings.iter().filter(|f| !f.suppressed).collect();
+    let suppressed = findings.len() - active.len();
+
+    if json {
+        println!("{}", report_json(&active, suppressed));
+    } else {
+        for f in &active {
+            println!("{f}");
+        }
+        println!(
+            "kron-lint: {} finding(s), {} suppression(s) honoured",
+            active.len(),
+            suppressed
+        );
+    }
+
+    if deny && !active.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Walk up from the current directory to the first directory that looks
+/// like the workspace root (a `Cargo.toml` next to a `crates/` dir).
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Hand-rolled JSON report (the workspace's vendored serde is API-only,
+/// and the lint stays dependency-free on purpose).
+fn report_json(active: &[&Finding], suppressed: usize) -> String {
+    let mut s = String::from("{\n  \"findings\": [\n");
+    for (i, f) in active.iter().enumerate() {
+        let comma = if i + 1 < active.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}{comma}\n",
+            json_str(&f.file),
+            f.line,
+            json_str(f.rule),
+            json_str(&f.message),
+        ));
+    }
+    s.push_str(&format!(
+        "  ],\n  \"unsuppressed\": {},\n  \"suppressed\": {}\n}}",
+        active.len(),
+        suppressed
+    ));
+    s
+}
+
+fn json_str(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len() + 2);
+    out.push('"');
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

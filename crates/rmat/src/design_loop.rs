@@ -59,6 +59,7 @@ impl DesignLoopReport {
         self.iterations.iter().min_by(|a, b| {
             a.relative_error
                 .partial_cmp(&b.relative_error)
+                // lint:allow(no-expect) -- fitness errors are sums of absolute values of finite floats, so partial_cmp cannot return None
                 .expect("finite errors")
         })
     }
@@ -92,6 +93,7 @@ impl TrialAndErrorDesigner {
             let mut params = RmatParams::graph500(scale);
             params.edge_factor = edge_factor;
             let generator = RmatGenerator::new(params, self.seed.wrapping_add(iteration as u64))
+                // lint:allow(no-expect) -- the Graph500-derived initiator constants are a compile-time-valid probability vector
                 .expect("graph500-derived parameters are always valid");
             let edges: Vec<(u64, u64)> = (0..params.requested_edges())
                 .map(|index| generator.edge_at(index))

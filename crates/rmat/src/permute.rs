@@ -46,8 +46,8 @@ pub fn relabel_edges(edges: &[(u64, u64)], perm: &[u64]) -> Vec<(u64, u64)> {
         .iter()
         .map(|&(u, v)| {
             (
-                perm[usize::try_from(u).expect("vertex id fits in usize")],
-                perm[usize::try_from(v).expect("vertex id fits in usize")],
+                perm[kron_sparse::addressable(u, "vertex id fits in usize")],
+                perm[kron_sparse::addressable(v, "vertex id fits in usize")],
             )
         })
         .collect()

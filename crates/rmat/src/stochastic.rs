@@ -43,6 +43,7 @@ impl Initiator {
 
     /// The classic 2×2 initiator matching the Graph500 R-MAT parameters.
     pub fn graph500_like() -> Self {
+        // lint:allow(no-expect) -- the Graph500 initiator constants are a compile-time-valid probability vector
         Initiator::new(2, vec![0.57, 0.19, 0.19, 0.05]).expect("valid probabilities")
     }
 

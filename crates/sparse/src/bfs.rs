@@ -168,6 +168,7 @@ pub fn bfs_reference<T: Scalar>(
     levels[source] = Some(0);
     let mut queue = std::collections::VecDeque::from([source]);
     while let Some(u) = queue.pop_front() {
+        // lint:allow(no-expect) -- every vertex is assigned a level before it is queued
         let lu = levels[u].expect("queued vertices have levels");
         let (cols, _) = graph.row(u);
         for &v in cols {

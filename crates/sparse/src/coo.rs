@@ -119,6 +119,7 @@ impl<T: Scalar> CooMatrix<T> {
         let mut m = CooMatrix::with_capacity(n, n, usize::try_from(n).unwrap_or(0));
         for i in 0..n {
             m.push(i, i, <PlusTimes as Semiring<T>>::one())
+                // lint:allow(no-expect) -- indices were bounds-checked by the enclosing constructor before this push
                 .expect("in bounds");
         }
         m
@@ -415,6 +416,7 @@ impl<T: Scalar> CooMatrix<T> {
         for (r, c, v) in self.iter() {
             if let (Some(&lr), Some(&lc)) = (out_rows.last(), out_cols.last()) {
                 if lr == r && lc == c {
+                    // lint:allow(no-expect) -- out_vals grows in lockstep with out_rows, so last_mut is Some
                     let last = out_vals.last_mut().expect("parallel vectors");
                     *last = S::add(*last, v);
                     continue;

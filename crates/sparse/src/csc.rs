@@ -142,6 +142,7 @@ impl<T: Scalar> CscMatrix<T> {
         let mut out = CooMatrix::with_capacity(self.nrows as u64, self.ncols as u64, self.nnz());
         for (r, c, v) in self.iter() {
             out.push(r as u64, c as u64, v)
+                // lint:allow(no-expect) -- indices were validated against the matrix dimensions at construction
                 .expect("indices in bounds by invariant");
         }
         out

@@ -91,7 +91,7 @@ impl<T: Scalar> CsrMatrix<T> {
                 message: "row_ptr must have nrows+1 entries starting at 0".into(),
             });
         }
-        if col_idx.len() != vals.len() || col_idx.len() != *row_ptr.last().unwrap() {
+        if col_idx.len() != vals.len() || row_ptr.last() != Some(&col_idx.len()) {
             return Err(SparseError::Parse {
                 line: 0,
                 message: "col_idx/vals length must equal row_ptr[nrows]".into(),
@@ -199,6 +199,7 @@ impl<T: Scalar> CsrMatrix<T> {
         let mut out = CooMatrix::with_capacity(self.nrows as u64, self.ncols as u64, self.nnz());
         for (r, c, v) in self.iter() {
             out.push(r as u64, c as u64, v)
+                // lint:allow(no-expect) -- indices were validated against the matrix dimensions at construction
                 .expect("indices in bounds by invariant");
         }
         out

@@ -37,6 +37,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Convert a `u64` dimension or index into a `usize` the host can
+/// address, panicking with the caller's capacity message when it cannot.
+///
+/// This is the single owner of the workspace's "fits in memory" contract:
+/// per-vertex vectors (degree counts, bitmaps, permutation tables) are
+/// `O(vertices)` by design, so failing to address them is a host capacity
+/// limit, not a data error, and every call site documents what would not
+/// fit via `what`.
+///
+/// # Panics
+/// Panics with `what` when `n` exceeds `usize::MAX` (32-bit hosts).
+pub fn addressable(n: u64, what: &str) -> usize {
+    // lint:allow(no-expect) -- single documented owner of the capacity contract: a host that cannot address the vector cannot run the algorithm at all
+    usize::try_from(n).expect(what)
+}
+
 pub mod bfs;
 pub mod coo;
 pub mod csc;

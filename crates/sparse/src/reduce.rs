@@ -15,7 +15,7 @@ use crate::semiring::Scalar;
 
 /// Number of stored entries in each row of a COO matrix.
 pub fn row_counts<T: Scalar>(m: &CooMatrix<T>) -> Vec<u64> {
-    let nrows = usize::try_from(m.nrows()).expect("row count vector must fit in memory");
+    let nrows = crate::addressable(m.nrows(), "row count vector must fit in memory");
     let mut counts = vec![0u64; nrows];
     for &r in m.row_indices() {
         counts[r as usize] += 1;
@@ -25,7 +25,7 @@ pub fn row_counts<T: Scalar>(m: &CooMatrix<T>) -> Vec<u64> {
 
 /// Number of stored entries in each column of a COO matrix.
 pub fn col_counts<T: Scalar>(m: &CooMatrix<T>) -> Vec<u64> {
-    let ncols = usize::try_from(m.ncols()).expect("column count vector must fit in memory");
+    let ncols = crate::addressable(m.ncols(), "column count vector must fit in memory");
     let mut counts = vec![0u64; ncols];
     for &c in m.col_indices() {
         counts[c as usize] += 1;
@@ -48,7 +48,7 @@ pub fn symmetric_degrees<T: Scalar>(m: &CooMatrix<T>) -> Vec<u64> {
 /// Total (in + out) pattern degree of each vertex of a square COO matrix.
 pub fn total_degrees<T: Scalar>(m: &CooMatrix<T>) -> Vec<u64> {
     assert!(m.is_square(), "total_degrees requires a square matrix");
-    let n = usize::try_from(m.nrows()).expect("degree vector must fit in memory");
+    let n = crate::addressable(m.nrows(), "degree vector must fit in memory");
     let mut counts = vec![0u64; n];
     for (r, c, _) in m.iter() {
         counts[r as usize] += 1;
@@ -117,8 +117,8 @@ impl DegreeAccumulator {
     /// # Panics
     /// Panics if either dimension does not fit in addressable memory.
     pub fn new(nrows: u64, ncols: u64) -> Self {
-        let rows = usize::try_from(nrows).expect("row count vector must fit in memory");
-        let cols = usize::try_from(ncols).expect("column count vector must fit in memory");
+        let rows = crate::addressable(nrows, "row count vector must fit in memory");
+        let cols = crate::addressable(ncols, "column count vector must fit in memory");
         DegreeAccumulator {
             ncols,
             row_counts: vec![0u64; rows],
@@ -135,7 +135,7 @@ impl DegreeAccumulator {
     /// # Panics
     /// Panics if the row dimension does not fit in addressable memory.
     pub fn rows_only(nrows: u64, ncols: u64) -> Self {
-        let rows = usize::try_from(nrows).expect("row count vector must fit in memory");
+        let rows = crate::addressable(nrows, "row count vector must fit in memory");
         DegreeAccumulator {
             ncols,
             row_counts: vec![0u64; rows],
@@ -170,15 +170,15 @@ impl DegreeAccumulator {
         match self.col_counts.as_mut() {
             Some(col_counts) => {
                 for &(row, col) in edges {
-                    self.row_counts[usize::try_from(row).expect("row index addressable")] += 1;
-                    col_counts[usize::try_from(col).expect("column index addressable")] += 1;
+                    self.row_counts[crate::addressable(row, "row index addressable")] += 1;
+                    col_counts[crate::addressable(col, "column index addressable")] += 1;
                     self.self_loops += u64::from(row == col);
                 }
             }
             None => {
                 for &(row, col) in edges {
                     assert!(col < self.ncols, "column index out of bounds");
-                    self.row_counts[usize::try_from(row).expect("row index addressable")] += 1;
+                    self.row_counts[crate::addressable(row, "row index addressable")] += 1;
                     self.self_loops += u64::from(row == col);
                 }
             }
@@ -261,10 +261,31 @@ impl DegreeAccumulator {
 /// validation side-channel costs exactly `O(vertices)` no matter how many
 /// workers record into it concurrently.
 ///
-/// Increments use relaxed ordering — the counts are pure tallies with no
-/// ordering relationship to any other memory — and reads
-/// ([`SharedDegreeAccumulator::row_histogram`] and friends) are only
-/// meaningful once the recording workers have been joined.
+/// # Memory ordering
+///
+/// Every atomic access in this type uses [`Ordering::Relaxed`], and each
+/// site has been audited against the same argument:
+///
+/// * The `fetch_add`s in [`record`](SharedDegreeAccumulator::record) are
+///   pure tallies.  No thread reads a counter to decide what to write
+///   next, no counter value guards any other memory, and `fetch_add` is a
+///   single atomic read-modify-write, so relaxed ordering still loses no
+///   increments — only the *ordering* between counters is unspecified
+///   while workers run, and nothing observes it.
+/// * The loads in [`edge_count`](SharedDegreeAccumulator::edge_count),
+///   [`self_loop_count`](SharedDegreeAccumulator::self_loop_count),
+///   [`row_histogram`](SharedDegreeAccumulator::row_histogram), and
+///   [`max_row_degree`](SharedDegreeAccumulator::max_row_degree) are only
+///   meaningful once the recording workers have been *joined*: the join
+///   itself (e.g. the end of a [`std::thread::scope`] or a rayon parallel
+///   iterator) publishes every worker's writes with a happens-before
+///   edge, so by the time a reader runs, relaxed loads observe the final
+///   values exactly.  Mid-run calls are permitted (progress reporting)
+///   but return an unspecified interleaving, never a torn value.
+///
+/// The `exact_totals_under_concurrent_recording` stress test pins the
+/// joined-read contract: hammering `record` from many threads must yield
+/// byte-exact totals, not approximations.
 #[derive(Debug)]
 pub struct SharedDegreeAccumulator {
     ncols: u64,
@@ -280,7 +301,7 @@ impl SharedDegreeAccumulator {
     /// # Panics
     /// Panics if the row dimension does not fit in addressable memory.
     pub fn rows_only(nrows: u64, ncols: u64) -> Self {
-        let rows = usize::try_from(nrows).expect("row count vector must fit in memory");
+        let rows = crate::addressable(nrows, "row count vector must fit in memory");
         let mut row_counts = Vec::with_capacity(rows);
         row_counts.resize_with(rows, || AtomicU64::new(0));
         SharedDegreeAccumulator {
@@ -310,7 +331,7 @@ impl SharedDegreeAccumulator {
         let mut loops = 0u64;
         for &(row, col) in edges {
             assert!(col < self.ncols, "column index out of bounds");
-            self.row_counts[usize::try_from(row).expect("row index addressable")]
+            self.row_counts[crate::addressable(row, "row index addressable")]
                 .fetch_add(1, Ordering::Relaxed);
             loops += u64::from(row == col);
         }
@@ -358,8 +379,8 @@ pub fn balance_stats(counts: &[usize]) -> (usize, usize, f64) {
     if counts.is_empty() {
         return (0, 0, 0.0);
     }
-    let max = *counts.iter().max().expect("non-empty");
-    let min = *counts.iter().min().expect("non-empty");
+    let max = counts.iter().copied().max().unwrap_or(0);
+    let min = counts.iter().copied().min().unwrap_or(0);
     let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
     (max, min, mean)
 }
@@ -505,6 +526,57 @@ mod tests {
         let hist = acc.row_histogram();
         assert_eq!(hist.get(&400), Some(&2));
         assert_eq!(hist.get(&0), Some(&2));
+    }
+
+    /// Stress the relaxed-ordering contract documented on
+    /// [`SharedDegreeAccumulator`]: many threads hammering `fetch_add`
+    /// through `record`, with reads only after the scope join, must
+    /// produce *exact* totals — identical to a serial replay through the
+    /// single-threaded [`DegreeAccumulator`] — never an approximation.
+    #[test]
+    fn exact_totals_under_concurrent_recording() {
+        const THREADS: u64 = 8;
+        const CHUNKS: u64 = 250;
+        const CHUNK_LEN: u64 = 16;
+        const NROWS: u64 = 64;
+
+        // Deterministic per-thread edge stream; rows deliberately collide
+        // across threads so every counter sees real contention.
+        let edges_for = |thread: u64, chunk: u64| -> Vec<(u64, u64)> {
+            (0..CHUNK_LEN)
+                .map(|k| {
+                    let row = (thread * 17 + chunk * 5 + k * 3) % NROWS;
+                    let col = if k % 7 == 0 { row } else { (row + 1) % NROWS };
+                    (row, col)
+                })
+                .collect()
+        };
+
+        let shared = SharedDegreeAccumulator::rows_only(NROWS, NROWS);
+        std::thread::scope(|scope| {
+            for thread in 0..THREADS {
+                let shared = &shared;
+                scope.spawn(move || {
+                    for chunk in 0..CHUNKS {
+                        shared.record(&edges_for(thread, chunk));
+                    }
+                });
+            }
+        });
+
+        // Serial ground truth over the identical stream.
+        let mut serial = DegreeAccumulator::rows_only(NROWS, NROWS);
+        for thread in 0..THREADS {
+            for chunk in 0..CHUNKS {
+                serial.record(&edges_for(thread, chunk));
+            }
+        }
+
+        assert_eq!(shared.edge_count(), THREADS * CHUNKS * CHUNK_LEN);
+        assert_eq!(shared.edge_count(), serial.edge_count());
+        assert_eq!(shared.self_loop_count(), serial.self_loop_count());
+        assert_eq!(shared.row_histogram(), serial.row_histogram());
+        assert_eq!(shared.max_row_degree(), serial.max_row_degree());
     }
 
     #[test]

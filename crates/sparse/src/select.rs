@@ -31,6 +31,7 @@ pub fn remove_entry<T: Scalar>(m: &CooMatrix<T>, row: u64, col: u64) -> CooMatri
 pub fn with_entry<T: Scalar>(m: &CooMatrix<T>, row: u64, col: u64, val: T) -> CooMatrix<T> {
     let mut out = m.clone();
     out.push(row, col, val)
+        // lint:allow(no-expect) -- entries come from a CooMatrix whose constructor bounds-checked them
         .expect("entry must be inside matrix bounds");
     out
 }
@@ -48,6 +49,7 @@ pub fn submatrix<T: Scalar>(
     for (r, c, v) in m.iter() {
         if row_range.contains(&r) && col_range.contains(&c) {
             out.push(r - row_range.start, c - col_range.start, v)
+                // lint:allow(no-expect) -- re-indexed entries are positions in the kept-vertex map built above
                 .expect("re-indexed entry is in bounds by construction");
         }
     }
@@ -61,7 +63,7 @@ pub fn empty_vertices<T: Scalar>(m: &CooMatrix<T>) -> Vec<u64> {
         m.is_square(),
         "empty_vertices requires a square adjacency matrix"
     );
-    let n = usize::try_from(m.nrows()).expect("vertex bitmap must fit in memory");
+    let n = crate::addressable(m.nrows(), "vertex bitmap must fit in memory");
     let mut touched = vec![false; n];
     for (r, c, _) in m.iter() {
         touched[r as usize] = true;

@@ -14,7 +14,7 @@ use extreme_graphs::bignum::BigUint;
 use extreme_graphs::rmat::{TrialAndErrorDesigner, TrialTargets};
 use extreme_graphs::{DesignSearch, DesignTargets, SelfLoop};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let target_edges: u64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
@@ -27,7 +27,7 @@ fn main() {
     let search = DesignSearch::default();
     let mut targets = DesignTargets::edges(BigUint::from(target_edges));
     targets.max_constituents = 5;
-    let candidates = search.search(&targets, 5).expect("search succeeds");
+    let candidates = search.search(&targets, 5)?;
     let exact_elapsed = started.elapsed();
 
     println!("=== exact Kronecker design search ===");
@@ -46,9 +46,7 @@ fn main() {
         );
     }
     let best = candidates[0].clone();
-    let design = best
-        .into_design(SelfLoop::None)
-        .expect("candidate is a valid design");
+    let design = best.into_design(SelfLoop::None)?;
     println!("\nbest design, full property sheet (still nothing generated):");
     println!("{}", design.properties());
 
@@ -88,4 +86,6 @@ fn main() {
         "the trial-and-error loop generated {} edges to reach (or fail to reach) the same target.",
         report.total_edges_generated
     );
+
+    Ok(())
 }

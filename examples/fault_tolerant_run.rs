@@ -27,23 +27,20 @@ fn pipeline(design: &KroneckerDesign, workers: usize) -> extreme_graphs::DesignP
         .chunk_capacity(512)
 }
 
-fn shard_bytes(directory: &Path, extension: &str) -> Vec<(String, Vec<u8>)> {
-    let mut shards: Vec<(String, Vec<u8>)> = std::fs::read_dir(directory)
-        .expect("shard directory is readable")
-        .map(|entry| entry.expect("directory entry is readable").path())
-        .filter(|path| path.extension().is_some_and(|e| e == extension))
-        .map(|path| {
-            (
-                path.file_name()
-                    .expect("shard files have names")
-                    .to_string_lossy()
-                    .into_owned(),
-                std::fs::read(&path).expect("shard file is readable"),
-            )
-        })
-        .collect();
+fn shard_bytes(directory: &Path, extension: &str) -> std::io::Result<Vec<(String, Vec<u8>)>> {
+    let mut shards = Vec::new();
+    for entry in std::fs::read_dir(directory)? {
+        let path = entry?.path();
+        if path.extension().is_some_and(|e| e == extension) {
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            shards.push((name, std::fs::read(&path)?));
+        }
+    }
     shards.sort();
-    shards
+    Ok(shards)
 }
 
 fn fresh_dir(name: &str) -> PathBuf {
@@ -54,16 +51,13 @@ fn fresh_dir(name: &str) -> PathBuf {
     dir
 }
 
-fn main() {
-    let design = KroneckerDesign::from_star_points(&[3, 4, 5, 9], SelfLoop::Centre)
-        .expect("valid star parameters");
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let design = KroneckerDesign::from_star_points(&[3, 4, 5, 9], SelfLoop::Centre)?;
     let workers = 4;
 
     // 0. The reference: the same run, never interrupted.
     let clean_dir = fresh_dir("clean");
-    let clean = pipeline(&design, workers)
-        .write_binary(&clean_dir)
-        .expect("clean generation succeeds");
+    let clean = pipeline(&design, workers).write_binary(&clean_dir)?;
     assert!(clean.is_valid());
     println!("=== reference run (no faults) ===");
     println!(
@@ -90,8 +84,7 @@ fn main() {
             max_backoff: Duration::from_millis(4),
         })
         .quarantine_failures(true)
-        .write_binary(&crash_dir)
-        .expect("quarantine turns the permanent fault into a typed failure");
+        .write_binary(&crash_dir)?;
 
     println!();
     println!("=== faulty run (transient fault on worker 1, permanent on worker 2) ===");
@@ -116,15 +109,13 @@ fn main() {
     // The transient fault was retried in place; the permanent one left no
     // truncated shard behind — its staging file was abandoned.
     assert!(!crash_dir.join("block_00002.kbk").exists());
-    assert_eq!(shard_bytes(&crash_dir, "kbk").len(), 3);
-    assert!(shard_bytes(&crash_dir, "tmp").is_empty());
+    assert_eq!(shard_bytes(&crash_dir, "kbk")?.len(), 3);
+    assert!(shard_bytes(&crash_dir, "tmp")?.is_empty());
 
     // 2. Resume with the same (fault-free) configuration: the journal knows
     //    which shards finished; each is verified by checksum and skipped,
     //    and only worker 2's shard is regenerated.
-    let resumed = pipeline(&design, workers)
-        .resume(&crash_dir)
-        .expect("resume repairs the quarantined shard");
+    let resumed = pipeline(&design, workers).resume(&crash_dir)?;
     println!();
     println!("=== resumed run ===");
     for warning in &resumed.stats.warnings {
@@ -133,8 +124,8 @@ fn main() {
     assert!(resumed.is_complete());
     assert!(resumed.is_valid());
     assert_eq!(
-        shard_bytes(&crash_dir, "kbk"),
-        shard_bytes(&clean_dir, "kbk"),
+        shard_bytes(&crash_dir, "kbk")?,
+        shard_bytes(&clean_dir, "kbk")?,
         "resumed shards are byte-identical to the uninterrupted run"
     );
     assert_eq!(resumed.metrics, clean.metrics);
@@ -148,15 +139,13 @@ fn main() {
     //    The edge stays in bounds, so only the recorded checksum can tell —
     //    and the error names the failing shard.
     let shard = crash_dir.join("block_00001.kbk");
-    let mut bytes = std::fs::read(&shard).expect("shard is readable");
+    let mut bytes = std::fs::read(&shard)?;
     bytes[40] ^= 1;
-    std::fs::write(&shard, &bytes).expect("shard is writable");
-    let err = Pipeline::for_source(
-        ReplaySource::from_directory(&crash_dir).expect("shard directory has a manifest"),
-    )
-    .workers(workers)
-    .count()
-    .expect_err("a flipped payload bit must fail the replay checksum");
+    std::fs::write(&shard, &bytes)?;
+    let err = Pipeline::for_source(ReplaySource::from_directory(&crash_dir)?)
+        .workers(workers)
+        .count()
+        .expect_err("a flipped payload bit must fail the replay checksum");
     println!();
     println!("=== corruption detection on replay ===");
     println!("  {err}");
@@ -165,13 +154,11 @@ fn main() {
 
     // 4. Resume heals the corruption too: the bad shard fails verification,
     //    is regenerated, and the directory matches the reference again.
-    let healed = pipeline(&design, workers)
-        .resume(&crash_dir)
-        .expect("resume regenerates the corrupt shard");
+    let healed = pipeline(&design, workers).resume(&crash_dir)?;
     assert!(healed.is_valid());
     assert_eq!(
-        shard_bytes(&crash_dir, "kbk"),
-        shard_bytes(&clean_dir, "kbk")
+        shard_bytes(&crash_dir, "kbk")?,
+        shard_bytes(&clean_dir, "kbk")?
     );
     println!();
     println!("=== corruption repaired by resume ===");
@@ -187,4 +174,6 @@ fn main() {
 
     std::fs::remove_dir_all(&clean_dir).ok();
     std::fs::remove_dir_all(&crash_dir).ok();
+
+    Ok(())
 }

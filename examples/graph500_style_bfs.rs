@@ -17,24 +17,22 @@ use extreme_graphs::sparse::bfs::{bfs, connected_components};
 use extreme_graphs::sparse::{CsrMatrix, PlusTimes};
 use extreme_graphs::{KroneckerDesign, Pipeline, SelfLoop};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Design and generate: centre-loop construction so the graph is connected
     // through its hub and has a known triangle count too.
-    let design = KroneckerDesign::from_star_points(&[3, 4, 5, 9, 16], SelfLoop::Centre)
-        .expect("valid design");
+    let design = KroneckerDesign::from_star_points(&[3, 4, 5, 9, 16], SelfLoop::Centre)?;
     println!(
         "designed graph: {} vertices, {} edges, {} triangles (all known before generation)",
         design.vertices(),
         design.edges(),
-        design.triangles().expect("triangle-countable"),
+        design.triangles()?,
     );
 
     let started = Instant::now();
     let report = Pipeline::for_design(&design)
         .workers(8)
         .max_c_edges(200_000)
-        .collect_coo()
-        .expect("fits in memory");
+        .collect_coo()?;
     println!(
         "generated in {:?} on {} workers ({:.1} Medges/s), streamed validation exact: {}",
         started.elapsed(),
@@ -45,11 +43,11 @@ fn main() {
 
     // Build the CSR the traversal kernels consume.
     let assembled = report.assemble();
-    let csr = CsrMatrix::from_coo::<PlusTimes>(&assembled).expect("fits in memory");
+    let csr = CsrMatrix::from_coo::<PlusTimes>(&assembled)?;
 
     // Connectivity: the centre-loop star product is a single connected
     // component (every vertex reaches the all-centres hub).
-    let (_, components) = connected_components(&csr).expect("square matrix");
+    let (_, components) = connected_components(&csr)?;
     println!("connected components: {components}");
 
     // BFS from a deterministic sample of roots, Graph500-style.
@@ -63,10 +61,9 @@ fn main() {
     let mut total_seconds = 0.0f64;
     for &root in &roots {
         let started = Instant::now();
-        let tree = bfs(&csr, root).expect("valid root");
+        let tree = bfs(&csr, root)?;
         let elapsed = started.elapsed();
-        tree.validate(&csr)
-            .expect("BFS tree must validate against the graph");
+        tree.validate(&csr)?;
         total_edges_traversed += csr.nnz() as u64;
         total_seconds += elapsed.as_secs_f64();
         println!(
@@ -89,4 +86,6 @@ fn main() {
         roots.len()
     );
     println!("graph500_style_bfs: every BFS tree validated against the designed graph ✓");
+
+    Ok(())
 }

@@ -11,13 +11,12 @@
 use extreme_graphs::core::validate::measure_properties;
 use extreme_graphs::{KroneckerDesign, Pipeline, SelfLoop};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Design: Kronecker product of stars with m̂ = {3, 4, 5, 9} points and
     //    a self-loop on every centre vertex (the paper's "many triangles"
     //    construction).  Every property below is computed without building
     //    the graph.
-    let design = KroneckerDesign::from_star_points(&[3, 4, 5, 9], SelfLoop::Centre)
-        .expect("valid star parameters");
+    let design = KroneckerDesign::from_star_points(&[3, 4, 5, 9], SelfLoop::Centre)?;
 
     println!("=== designed properties (computed before generation) ===");
     println!("{}", design.properties());
@@ -27,10 +26,7 @@ fn main() {
     //    workers an equal slice of B's triples, stream every worker's
     //    expansion into an in-memory block — no inter-worker communication —
     //    while a streaming degree histogram measures the result.
-    let report = Pipeline::for_design(&design)
-        .workers(4)
-        .collect_coo()
-        .expect("design fits in memory");
+    let report = Pipeline::for_design(&design).workers(4).collect_coo()?;
     println!("=== generation ===");
     println!(
         "workers: {}   edges: {}   rate: {:.1} Medges/s   balance (max/mean): {:.4}",
@@ -54,7 +50,7 @@ fn main() {
     // 4. The same exactness holds for the assembled matrix — including the
     //    triangle count, which a stream cannot measure.
     let assembled = report.assemble();
-    let assembled_props = measure_properties(&assembled).expect("assembled measurement");
+    let assembled_props = measure_properties(&assembled)?;
     assert!(design.properties().exactly_matches(&assembled_props));
 
     // 5. Every run carries a serialisable manifest: the design spec, the
@@ -65,4 +61,6 @@ fn main() {
     println!("{}", report.manifest.to_json());
 
     println!("quickstart: all predictions verified exactly ✓");
+
+    Ok(())
 }

@@ -12,18 +12,16 @@
 use extreme_graphs::gen::{Pipeline, PredicateCountMetric, ReplaySource};
 use extreme_graphs::{KroneckerDesign, SelfLoop};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dir = std::env::temp_dir().join("extreme_graphs_replay_validation");
     let _ = std::fs::remove_dir_all(&dir);
 
     // 1. Generate a designed graph to binary shards (one per worker, plus a
     //    manifest.json describing the run and its measured metrics).
-    let design = KroneckerDesign::from_star_points(&[3, 4, 5, 9], SelfLoop::Centre)
-        .expect("valid star parameters");
+    let design = KroneckerDesign::from_star_points(&[3, 4, 5, 9], SelfLoop::Centre)?;
     let generated = Pipeline::for_design(&design)
         .workers(4)
-        .write_binary(&dir)
-        .expect("generation succeeds");
+        .write_binary(&dir)?;
     assert!(generated.is_valid());
     println!("=== generation ===");
     println!(
@@ -36,12 +34,11 @@ fn main() {
     // 2. Replay: stream the shard set back through the same pipeline — no
     //    regeneration — re-measuring everything the run measured, plus a
     //    custom metric the original run never computed.
-    let source = ReplaySource::from_directory(&dir).expect("shard directory has a manifest");
+    let source = ReplaySource::from_directory(&dir)?;
     let replayed = Pipeline::for_source(source)
         .workers(4)
         .with_metric(PredicateCountMetric::new("upper_triangle", |r, c| r < c))
-        .count()
-        .expect("replay succeeds");
+        .count()?;
     assert!(replayed.is_valid());
 
     println!();
@@ -69,11 +66,13 @@ fn main() {
         .metrics
         .power_law
         .as_ref()
-        .expect("a designed graph pins a slope");
+        .ok_or("a designed graph pins a slope")?;
     println!(
         "power-law fit: alpha {:.4}, residual vs ideal {:.4}",
         fit.alpha, fit.residual_vs_ideal
     );
 
     std::fs::remove_dir_all(&dir).ok();
+
+    Ok(())
 }

@@ -15,7 +15,7 @@ use extreme_graphs::core::validate::measure_properties;
 use extreme_graphs::rmat::{measure_edge_list, RmatParams, RmatSource};
 use extreme_graphs::{KroneckerDesign, Pipeline, SelfLoop};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Pick designs of comparable size: the Kronecker design below has
     // 530,400 vertices and 13,824,000 edges (the paper's B factor); R-MAT at
     // scale 19 / edge factor 16 requests 8,388,608 edge samples over 524,288
@@ -25,8 +25,7 @@ fn main() {
 
     // --- Kronecker ----------------------------------------------------------
     println!("=== exact Kronecker generator ===");
-    let design =
-        KroneckerDesign::from_star_points(&kron_points, SelfLoop::None).expect("valid design");
+    let design = KroneckerDesign::from_star_points(&kron_points, SelfLoop::None)?;
     let predict_start = Instant::now();
     let properties = design.properties();
     let predict_elapsed = predict_start.elapsed();
@@ -37,8 +36,7 @@ fn main() {
     let report = Pipeline::for_design(&design)
         .workers(8)
         .max_c_edges(200_000)
-        .collect_coo()
-        .expect("design fits in memory");
+        .collect_coo()?;
     let generate_elapsed = generate_start.elapsed();
     println!(
         "\ngenerated {} edges in {:?} ({:.1} Medges/s), per-worker imbalance {} edges",
@@ -48,7 +46,7 @@ fn main() {
         report.stats.imbalance(),
     );
     let assembled = report.assemble();
-    let measured = measure_properties(&assembled).expect("measurement succeeds");
+    let measured = measure_properties(&assembled)?;
     println!(
         "structural artefacts: {} self-loops, {} duplicate edges, {} empty vertices",
         measured.self_loops, 0, 0,
@@ -63,11 +61,9 @@ fn main() {
     println!("properties known before generation: vertex and sample counts only —");
     println!("everything else must be measured afterwards.");
     let rmat_start = Instant::now();
-    let rmat_report =
-        Pipeline::for_source(RmatSource::new(rmat_params, 20180304).expect("valid parameters"))
-            .workers(8)
-            .collect_coo()
-            .expect("scale-19 samples fit in memory");
+    let rmat_report = Pipeline::for_source(RmatSource::new(rmat_params, 20180304)?)
+        .workers(8)
+        .collect_coo()?;
     let rmat_elapsed = rmat_start.elapsed();
     assert!(
         rmat_report.is_valid(),
@@ -112,8 +108,7 @@ fn main() {
         .workers(8)
         .max_c_edges(200_000)
         .permute_vertices(0x5EED)
-        .count()
-        .expect("design fits in memory");
+        .count()?;
     assert!(
         permuted.is_valid(),
         "relabelling is degree-preserving, so validation still passes"
@@ -129,4 +124,6 @@ fn main() {
     println!("  R-MAT:     properties approximate and only known after generating and measuring;");
     println!("             output needs de-duplication, loop removal, and re-indexing first.");
     println!("  Both now stream through one Pipeline: same sinks, validation, and manifests.");
+
+    Ok(())
 }

@@ -20,11 +20,10 @@ use extreme_graphs::core::validate::{compare_properties, measure_properties};
 use extreme_graphs::gen::measure::BalanceReport;
 use extreme_graphs::{KroneckerDesign, Pipeline, SelfLoop};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- 1. The paper's exact trillion-edge numbers, reproduced analytically.
     let paper_design =
-        KroneckerDesign::from_star_points(&[3, 4, 5, 9, 16, 25, 81, 256], SelfLoop::Centre)
-            .expect("paper design is valid");
+        KroneckerDesign::from_star_points(&[3, 4, 5, 9, 16, 25, 81, 256], SelfLoop::Centre)?;
 
     println!("=== Figure 4 design at full paper scale (analytic only) ===");
     println!("{:<12} {:>28} {:>28}", "", "this implementation", "paper");
@@ -43,19 +42,19 @@ fn main() {
     println!(
         "{:<12} {:>28} {:>28}",
         "triangles",
-        grouped(
-            &paper_design
-                .triangles()
-                .expect("triangle-countable design")
-                .to_string()
-        ),
+        grouped(&paper_design.triangles()?.to_string()),
         "6,777,007,252,427"
     );
     let distribution = paper_design.degree_distribution();
     println!(
         "degree distribution: {} support points, max degree {}",
         distribution.support_size(),
-        grouped(&distribution.max_degree().expect("non-empty").to_string()),
+        grouped(
+            &distribution
+                .max_degree()
+                .ok_or("empty degree distribution")?
+                .to_string()
+        ),
     );
     println!("first predicted points (degree, count):");
     for (d, n) in distribution.iter().take(8) {
@@ -68,8 +67,7 @@ fn main() {
 
     // --- 2. The same workflow, generated for real at machine scale through
     //        the pipeline.
-    let scaled = KroneckerDesign::from_star_points(&[3, 4, 5, 9, 16], SelfLoop::Centre)
-        .expect("scaled design is valid");
+    let scaled = KroneckerDesign::from_star_points(&[3, 4, 5, 9, 16], SelfLoop::Centre)?;
     let workers = 8;
 
     println!("\n=== same structure generated at machine scale ===");
@@ -81,8 +79,7 @@ fn main() {
     let run = Pipeline::for_design(&scaled)
         .workers(workers)
         .max_c_edges(50_000)
-        .collect_coo()
-        .expect("scaled design fits in memory");
+        .collect_coo()?;
     println!(
         "generated with {} workers in {:.3} s ({:.1} Medges/s)",
         workers,
@@ -101,7 +98,7 @@ fn main() {
         run.validation.is_exact_match(),
         "streamed validation must be exact"
     );
-    let measured = measure_properties(&run.assemble()).expect("measurement succeeds");
+    let measured = measure_properties(&run.assemble())?;
     let report = compare_properties(&scaled.properties(), &measured);
     println!("\npredicted vs measured (triangles included):\n{report}");
     assert!(
@@ -109,4 +106,6 @@ fn main() {
         "measured properties must equal the prediction exactly"
     );
     println!("\ntrillion_validation: measured degree distribution equals prediction exactly ✓");
+
+    Ok(())
 }
