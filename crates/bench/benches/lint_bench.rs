@@ -1,0 +1,84 @@
+//! Self-timing for the static analyzer: whole-workspace `kron-lint`
+//! wall time, tracked like every other hot path.
+//!
+//! The lint graduated from per-file token scanning to whole-workspace
+//! semantic analysis (item parsing, a cross-crate call graph, and the
+//! reachability BFS), so its cost is no longer trivially linear in file
+//! count.  This bench measures
+//!
+//! * `lint_full` — `lint_root` end to end: parallel per-file analysis
+//!   followed by the sequential cross-file phase,
+//! * `analyze_sequential` — the same end-to-end work (reads included)
+//!   on one thread, pricing what the vendored-rayon parallelism buys,
+//!
+//! and records file/finding/suppression counts so a finding-set change
+//! is visible next to any timing change.  Results are printed and
+//! written as machine-readable JSON to `BENCH_lint.json` at the
+//! workspace root, so successive PRs can track the trajectory.
+
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use kron_lint::{analyze_file, collect_sources, lint_root, lint_workspace};
+
+const SAMPLES: usize = 5;
+
+fn median(mut samples: Vec<Duration>) -> Duration {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn time_passes(mut pass: impl FnMut()) -> Duration {
+    median(
+        (0..SAMPLES)
+            .map(|_| {
+                let started = Instant::now();
+                pass();
+                started.elapsed()
+            })
+            .collect(),
+    )
+}
+
+fn main() {
+    let root = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+
+    let findings = lint_root(root).expect("workspace lints");
+    let unsuppressed = findings.iter().filter(|f| !f.suppressed).count();
+    let suppressed = findings.len() - unsuppressed;
+    let files = collect_sources(root)
+        .expect("workspace sources enumerate")
+        .len();
+    println!(
+        "lint_bench: {files} files, {unsuppressed} unsuppressed + {suppressed} suppressed finding(s)"
+    );
+
+    let full = time_passes(|| {
+        criterion::black_box(lint_root(root).expect("workspace lints"));
+    });
+    let sequential = time_passes(|| {
+        let analyses: Vec<_> = collect_sources(root)
+            .expect("workspace sources enumerate")
+            .into_iter()
+            .filter_map(|rel| {
+                let text = std::fs::read_to_string(root.join(&rel)).expect("readable source");
+                analyze_file(&rel, &text)
+            })
+            .collect();
+        criterion::black_box(lint_workspace(&analyses));
+    });
+
+    println!("  lint_full           median {full:>12?}");
+    println!("  analyze_sequential  median {sequential:>12?}");
+    let speedup = sequential.as_secs_f64() / full.as_secs_f64();
+    println!("  parallel speedup: {speedup:.2}x");
+
+    let json = format!(
+        "{{\n  \"bench\": \"lint\",\n  \"files\": {files},\n  \"findings_unsuppressed\": {unsuppressed},\n  \"findings_suppressed\": {suppressed},\n  \"samples\": {SAMPLES},\n  \"results\": [\n    {{\"name\": \"lint_full\", \"seconds\": {:.6}}},\n    {{\"name\": \"analyze_sequential\", \"seconds\": {:.6}}}\n  ],\n  \"parallel_speedup\": {speedup:.3}\n}}\n",
+        full.as_secs_f64(),
+        sequential.as_secs_f64(),
+    );
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_lint.json");
+    std::fs::write(out_path, &json).expect("write BENCH_lint.json");
+    println!("wrote {out_path}");
+}

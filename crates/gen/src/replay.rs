@@ -455,7 +455,9 @@ where
                 hasher.update(bytes);
             }
             for pair in bytes.chunks_exact(16) {
+                // lint:allow(panic-reachability) -- le_u64's 8-byte contract holds: chunks_exact(16) halves are exactly 8 bytes
                 let row = le_u64(&pair[..8]);
+                // lint:allow(panic-reachability) -- le_u64's 8-byte contract holds: chunks_exact(16) halves are exactly 8 bytes
                 let col = le_u64(&pair[8..]);
                 push_edge(path, vertices, chunk, sink, row, col)?;
             }
@@ -492,7 +494,9 @@ where
                 .chunks_exact(8)
                 .zip(col_bytes[..8 * run].chunks_exact(8))
             {
+                // lint:allow(panic-reachability) -- le_u64's 8-byte contract holds: chunks_exact(8) yields exactly 8 bytes
                 let row = le_u64(row);
+                // lint:allow(panic-reachability) -- le_u64's 8-byte contract holds: chunks_exact(8) yields exactly 8 bytes
                 let col = le_u64(col);
                 push_edge(path, vertices, chunk, sink, row, col)?;
             }

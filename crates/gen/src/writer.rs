@@ -370,8 +370,11 @@ pub(crate) fn read_block_header(
     }
     let mut header = [0u8; 24];
     reader.read_exact(&mut header)?;
+    // lint:allow(panic-reachability) -- le_u64's 8-byte contract holds: fixed slices of the 24-byte header
     let nrows = le_u64(&header[0..8]);
+    // lint:allow(panic-reachability) -- le_u64's 8-byte contract holds: fixed slices of the 24-byte header
     let ncols = le_u64(&header[8..16]);
+    // lint:allow(panic-reachability) -- le_u64's 8-byte contract holds: fixed slices of the 24-byte header
     let nnz = le_u64(&header[16..24]);
     let checksum = if version == BLOCK_VERSION_CHECKSUM {
         let mut sum = [0u8; 8];

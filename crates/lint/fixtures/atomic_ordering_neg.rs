@@ -1,0 +1,16 @@
+//@ path: crates/core/src/under_test.rs
+use std::cmp::Ordering;
+use std::sync::atomic::AtomicU64;
+
+pub fn bump(counter: &AtomicU64) -> u64 {
+    // ordering: Relaxed — independent counter increment, read only after workers join
+    counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
+pub fn rank(a: u64, b: u64) -> Ordering {
+    if a < b {
+        Ordering::Less
+    } else {
+        Ordering::Greater
+    }
+}

@@ -1,0 +1,6 @@
+//@ path: crates/core/src/under_test.rs
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::Relaxed) //~ atomic-ordering
+}

@@ -1,0 +1,12 @@
+//@ path: crates/gen/src/manifest.rs
+pub fn to_json(out: &mut String, v: &str, n: u64) {
+    write_string(out, "source", v);
+    write_number(out, "edges", &n.to_string());
+    out.push_str("{\"kind\": \"run\"}");
+}
+
+pub fn from_json(obj: &JsonObject) -> Option<u64> {
+    let _ = get(obj, "source")?;
+    let _ = get(obj, "kind")?;
+    optional_u64(obj, "edges")
+}

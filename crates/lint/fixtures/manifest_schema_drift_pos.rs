@@ -1,0 +1,11 @@
+//@ path: crates/gen/src/manifest.rs
+pub fn to_json(out: &mut String, v: &str, n: u64) {
+    write_string(out, "kept", v);
+    write_number(out, "dropped", &n.to_string()); //~ manifest-schema-drift
+    out.push_str("{\"journal\": true}"); //~ manifest-schema-drift
+}
+
+pub fn from_json(obj: &JsonObject) -> Option<u64> {
+    let _ = get(obj, "kept")?;
+    optional_u64(obj, "phantom") //~ manifest-schema-drift
+}

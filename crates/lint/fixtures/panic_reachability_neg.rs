@@ -1,0 +1,17 @@
+//@ path: crates/gen/src/under_test.rs
+pub struct Pipeline;
+
+impl Pipeline {
+    pub fn count(self, values: &[u32]) -> u32 {
+        total(values)
+    }
+}
+
+fn total(values: &[u32]) -> u32 {
+    // lint:allow(no-unwrap) -- documented contract: every caller passes a non-empty batch
+    *values.first().unwrap()
+}
+
+fn orphan(values: &[u32]) -> u32 {
+    *values.first().unwrap() //~ no-unwrap
+}

@@ -1,0 +1,12 @@
+//@ path: crates/gen/src/under_test.rs
+pub struct Pipeline;
+
+impl Pipeline {
+    pub fn count(self, values: &[u32]) -> u32 {
+        total(values)
+    }
+}
+
+fn total(values: &[u32]) -> u32 {
+    *values.first().unwrap() //~ no-unwrap, panic-reachability
+}

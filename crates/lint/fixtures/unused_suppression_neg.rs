@@ -1,0 +1,12 @@
+//@ path: crates/core/src/under_test.rs
+pub fn first(values: &[u32]) -> u32 {
+    // lint:allow(no-unwrap) -- documented contract: callers pass non-empty slices
+    *values.first().unwrap()
+}
+
+// A suppression kept deliberately documents itself by also naming
+// unused-suppression, which self-suppresses the staleness finding.
+// lint:allow(no-expect, unused-suppression) -- exemplar kept while no expect remains here
+pub fn second(values: &[u32]) -> u32 {
+    values.first().copied().unwrap_or(0)
+}

@@ -1,0 +1,5 @@
+//@ path: crates/core/src/under_test.rs
+// lint:allow(no-unwrap) -- stale: nothing below unwraps any more //~ unused-suppression
+pub fn safe(values: &[u32]) -> u32 {
+    values.first().copied().unwrap_or(0)
+}

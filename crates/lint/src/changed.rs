@@ -1,0 +1,71 @@
+//! `--changed` support: scope the *reported* findings to the files
+//! touched relative to the merge base with the main branch.
+//!
+//! The full workspace is still analyzed — the call graph must see every
+//! file or panic-reachability would miss cross-file paths — but only
+//! findings in changed files are printed and counted, so a local
+//! pre-push run stays quiet about pre-existing, already-justified
+//! state elsewhere in the tree.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+use std::process::Command;
+
+/// Merge-base candidates, tried in order; the first that resolves wins.
+const BASE_CANDIDATES: &[&str] = &["origin/main", "origin/master", "main", "master"];
+
+fn git_lines(root: &Path, args: &[&str]) -> Option<Vec<String>> {
+    let out = Command::new("git")
+        .arg("-C")
+        .arg(root)
+        .args(args)
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let text = String::from_utf8_lossy(&out.stdout);
+    Some(
+        text.lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty())
+            .map(str::to_string)
+            .collect(),
+    )
+}
+
+/// The set of workspace-relative paths changed vs the merge base with
+/// the main branch: committed + staged + working-tree diffs, plus
+/// untracked files.  `None` when `root` is not a git checkout (the
+/// caller should fall back to a full run).
+pub fn changed_files(root: &Path) -> Option<BTreeSet<String>> {
+    // Confirm we are inside a work tree at all.
+    git_lines(root, &["rev-parse", "--is-inside-work-tree"])?;
+    let base = BASE_CANDIDATES
+        .iter()
+        .find_map(|cand| {
+            git_lines(root, &["merge-base", "HEAD", cand]).and_then(|lines| lines.first().cloned())
+        })
+        .unwrap_or_else(|| "HEAD".to_string());
+    let mut out: BTreeSet<String> = BTreeSet::new();
+    // Diff of the working tree (committed + staged + unstaged) vs base.
+    if let Some(lines) = git_lines(root, &["diff", "--name-only", &base]) {
+        out.extend(lines);
+    }
+    // Untracked files are changes too.
+    if let Some(lines) = git_lines(root, &["ls-files", "--others", "--exclude-standard"]) {
+        out.extend(lines);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outside_a_repo_returns_none() {
+        // The filesystem root is reliably not a git work tree here.
+        assert!(changed_files(Path::new("/proc")).is_none());
+    }
+}

@@ -10,13 +10,20 @@
 
 use std::collections::BTreeSet;
 
-/// One surviving token: an identifier (with its text) or a single
-/// punctuation character.  Literals and comments are consumed by the
-/// lexer and never appear here.
+/// One surviving token: an identifier (with its text), a single
+/// punctuation character, or a string literal (with its raw, unescaped
+/// source text).  Numeric/char literals and comments are consumed by the
+/// lexer and never appear here.  String literals used to be consumed
+/// too; they are kept now because the manifest-schema-drift rule reads
+/// the JSON keys out of them — but they are a distinct token kind, so
+/// no identifier-matching rule can ever fire on string *contents*.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TokKind {
     Ident(String),
     Punct(char),
+    /// Raw source text between the quotes, escapes left as written
+    /// (`\"` stays two characters).
+    Str(String),
 }
 
 /// A token plus the 1-based line it starts on.
@@ -124,7 +131,10 @@ pub fn lex(src: &str) -> Lexed {
             }
             '"' => {
                 line_has_code = true;
-                i = skip_string(&chars, i, &mut line);
+                let str_line = line;
+                let end = skip_string(&chars, i, &mut line);
+                push_str_token(&mut out, &chars, i + 1, end, 1, str_line);
+                i = end;
             }
             '\'' => {
                 line_has_code = true;
@@ -148,7 +158,11 @@ pub fn lex(src: &str) -> Lexed {
                         hashes += 1;
                     }
                     if i + hashes < n && chars[i + hashes] == '"' {
-                        i = skip_raw_string(&chars, i + hashes + 1, hashes, &mut line);
+                        let str_line = line;
+                        let content_start = i + hashes + 1;
+                        let end = skip_raw_string(&chars, content_start, hashes, &mut line);
+                        push_str_token(&mut out, &chars, content_start, end, 1 + hashes, str_line);
+                        i = end;
                         continue;
                     }
                     if ident == "r" && hashes == 1 {
@@ -167,7 +181,10 @@ pub fn lex(src: &str) -> Lexed {
                     }
                 }
                 if ident == "b" && i < n && chars[i] == '"' {
-                    i = skip_string(&chars, i, &mut line);
+                    let str_line = line;
+                    let end = skip_string(&chars, i, &mut line);
+                    push_str_token(&mut out, &chars, i + 1, end, 1, str_line);
+                    i = end;
                     continue;
                 }
                 if ident == "b" && i < n && chars[i] == '\'' {
@@ -203,6 +220,27 @@ pub fn lex(src: &str) -> Lexed {
         }
     }
     out
+}
+
+/// Append a [`TokKind::Str`] token for a literal whose content starts at
+/// `content_start` and whose skipper returned `end` (the index just past
+/// the closing delimiter, `delim_len` characters long).  An unterminated
+/// literal at end of input keeps whatever content it had.
+fn push_str_token(
+    out: &mut Lexed,
+    chars: &[char],
+    content_start: usize,
+    end: usize,
+    delim_len: usize,
+    line: u32,
+) {
+    let content_end = end
+        .saturating_sub(delim_len)
+        .clamp(content_start, chars.len());
+    out.tokens.push(Token {
+        line,
+        kind: TokKind::Str(chars[content_start..content_end].iter().collect()),
+    });
 }
 
 /// Skip a `"..."` string starting at the opening quote; returns the index
@@ -427,6 +465,27 @@ mod tests {
         // still advance or every later diagnostic drifts upward.
         let src = "let s = \"first \\\n        second\";\nafter();\n";
         assert_eq!(line_of(src, "after"), 3);
+    }
+
+    #[test]
+    fn string_literals_survive_as_str_tokens_with_raw_content() {
+        let src = "let a = \"{\\\"kind\\\": \\\"run\\\"}\";\nlet b = r#\"raw \"text\"\"#;\nlet c = b\"bytes\";\n";
+        let strs: Vec<(u32, String)> = lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Str(s) => Some((t.line, s.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            strs,
+            vec![
+                (1, "{\\\"kind\\\": \\\"run\\\"}".to_string()),
+                (2, "raw \"text\"".to_string()),
+                (3, "bytes".to_string()),
+            ]
+        );
     }
 
     #[test]

@@ -19,10 +19,14 @@
 //! cargo run -p kron-lint -- --deny
 //! ```
 
+pub mod changed;
+pub mod graph;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod semantic;
 
 pub use rules::{
-    classify, collect_sources, lint_root, lint_source, parse_suppressions, FileClass, FileKind,
-    Finding, RULES,
+    analyze_file, classify, collect_sources, lint_root, lint_source, lint_workspace,
+    parse_suppressions, FileAnalysis, FileClass, FileKind, Finding, RULES,
 };

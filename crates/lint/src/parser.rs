@@ -1,0 +1,501 @@
+//! A lightweight item parser on top of the lexer: just enough structure
+//! for whole-workspace semantic analysis.
+//!
+//! The container has no registry access, so there is no `syn` and no
+//! `rustc` front end to lean on.  This module recovers the three facts
+//! the semantic rules need from the token stream:
+//!
+//! * **Functions** — every `fn` item with its name, line, visibility,
+//!   body token span, and (when defined inside an `impl` block) the
+//!   self type it is a method of.
+//! * **Impl contexts** — `impl Foo`, `impl<T> Foo<T>`, and
+//!   `impl Trait for Foo` headers, resolved to the bare type name.
+//! * **Imports** — `use` declarations flattened to full segment paths,
+//!   so the call graph can resolve a bare call to the crate it was
+//!   imported from.
+//!
+//! It is deliberately *not* a Rust parser: expressions, types, and
+//! generics are skipped structurally (balanced `<>`/`()`/`{}`), and
+//! anything unrecognised degrades to "no item recorded", never an
+//! error.  The call graph built on top ([`crate::graph`]) treats the
+//! result as an over-approximation.
+
+use crate::lexer::{Lexed, TokKind, Token};
+
+/// One `fn` item recovered from a source file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnItem {
+    /// The function's bare name.
+    pub name: String,
+    /// The self type when the function is defined inside an `impl`
+    /// block (`impl Pipeline { fn count.. }` → `Some("Pipeline")`).
+    pub self_type: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Whether any `pub` visibility (including `pub(crate)`) applies.
+    pub is_pub: bool,
+    /// Whether the item sits inside a `#[cfg(test)]`/`#[test]` region.
+    pub is_test: bool,
+    /// Token-index span of the body: `start` is the opening `{`, `end`
+    /// the index just past the matching `}`.  A bodiless trait method
+    /// gets an empty span.
+    pub body: (usize, usize),
+}
+
+/// The parsed view of one source file.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedFile {
+    /// Workspace-relative path, forward slashes.
+    pub rel: String,
+    /// The crate the file belongs to (`crates/<name>/src/..` → `name`,
+    /// the facade `src/..` → `facade`).
+    pub krate: String,
+    /// Every `fn` item, in source order.
+    pub fns: Vec<FnItem>,
+    /// Every `use` path, flattened: one `Vec<segment>` per imported
+    /// leaf (`use a::b::{c, d}` yields `[a,b,c]` and `[a,b,d]`).
+    pub imports: Vec<Vec<String>>,
+}
+
+/// The crate a workspace-relative path belongs to.
+pub fn crate_of(rel: &str) -> String {
+    let parts: Vec<&str> = rel.split('/').collect();
+    match parts.as_slice() {
+        ["crates", name, rest @ ..] if !rest.is_empty() => (*name).to_string(),
+        ["src", ..] => "facade".to_string(),
+        _ => "root".to_string(),
+    }
+}
+
+fn ident_at(tokens: &[Token], i: usize) -> Option<&str> {
+    match tokens.get(i).map(|t| &t.kind) {
+        Some(TokKind::Ident(s)) => Some(s),
+        _ => None,
+    }
+}
+
+fn punct_at(tokens: &[Token], i: usize, c: char) -> bool {
+    tokens.get(i).is_some_and(|t| t.is_punct(c))
+}
+
+/// Index just past the `}` matching the `{` at `open` (or `tokens.len()`
+/// if unbalanced).
+pub fn matching_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < tokens.len() {
+        if punct_at(tokens, i, '{') {
+            depth += 1;
+        } else if punct_at(tokens, i, '}') {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+/// Skip a balanced `<...>` group starting at `open`; `->` arrows inside
+/// (closure/fn-pointer bounds like `Fn(A) -> B`) do not close the group.
+fn skip_angles(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < tokens.len() {
+        if punct_at(tokens, i, '<') {
+            depth += 1;
+        } else if punct_at(tokens, i, '>') {
+            // `-` `>` is an arrow, not a closing angle.
+            if i > 0 && punct_at(tokens, i - 1, '-') {
+                i += 1;
+                continue;
+            }
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+/// Parse an `impl` header starting at the `impl` keyword.  Returns the
+/// self type's bare name and the index of the body's `{` — or `None`
+/// when the header is something this parser does not model (impls for
+/// tuples, slices, …), in which case the caller skips the block without
+/// an impl context.
+fn parse_impl_header(tokens: &[Token], impl_kw: usize) -> Option<(String, usize)> {
+    let mut i = impl_kw + 1;
+    if punct_at(tokens, i, '<') {
+        i = skip_angles(tokens, i);
+    }
+    let mut ty = read_type_path(tokens, &mut i)?;
+    if ident_at(tokens, i) == Some("for") {
+        i += 1;
+        ty = read_type_path(tokens, &mut i)?;
+    }
+    // Skip a `where` clause: everything up to the body `{` (where
+    // clauses carry no braces).
+    while i < tokens.len() && !punct_at(tokens, i, '{') {
+        i += 1;
+    }
+    if i < tokens.len() {
+        Some((ty, i))
+    } else {
+        None
+    }
+}
+
+/// Read a type path (`&mut a::b::Foo<T>`), advancing `i` past it, and
+/// return the bare name of its last segment.
+fn read_type_path(tokens: &[Token], i: &mut usize) -> Option<String> {
+    // Leading reference/pointer sigils and `dyn`/`mut`.
+    while punct_at(tokens, *i, '&')
+        || punct_at(tokens, *i, '\'')
+        || matches!(ident_at(tokens, *i), Some("dyn" | "mut"))
+    {
+        *i += 1;
+    }
+    let mut last: Option<String> = None;
+    loop {
+        let Some(name) = ident_at(tokens, *i) else {
+            return last;
+        };
+        if matches!(name, "for" | "where") {
+            return last;
+        }
+        last = Some(name.to_string());
+        *i += 1;
+        if punct_at(tokens, *i, '<') {
+            *i = skip_angles(tokens, *i);
+        }
+        if punct_at(tokens, *i, ':') && punct_at(tokens, *i + 1, ':') {
+            *i += 2;
+        } else {
+            return last;
+        }
+    }
+}
+
+/// Whether the `fn` keyword at `fn_kw` carries a `pub` qualifier
+/// (possibly with `const`/`async`/`unsafe`/`extern "C"` in between, and
+/// possibly restricted, `pub(crate)`).
+fn has_pub(tokens: &[Token], fn_kw: usize) -> bool {
+    let mut j = fn_kw;
+    while j > 0 {
+        j -= 1;
+        match &tokens[j].kind {
+            TokKind::Ident(name)
+                if matches!(name.as_str(), "const" | "async" | "unsafe" | "extern") => {}
+            TokKind::Str(_) => {} // the "C" of `extern "C"`
+            TokKind::Punct(')') => {
+                // Walk back over a `(crate)`/`(in ..)` restriction.
+                let mut depth = 0usize;
+                loop {
+                    match tokens.get(j).map(|t| &t.kind) {
+                        Some(TokKind::Punct(')')) => depth += 1,
+                        Some(TokKind::Punct('(')) => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    if j == 0 {
+                        return false;
+                    }
+                    j -= 1;
+                }
+            }
+            TokKind::Ident(name) => return name == "pub",
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Parse one lexed file into its item view.  `mask` is the test mask
+/// from [`crate::lexer::test_mask`].
+pub fn parse_file(rel: &str, lexed: &Lexed, mask: &[bool]) -> ParsedFile {
+    let t = &lexed.tokens;
+    let mut out = ParsedFile {
+        rel: rel.to_string(),
+        krate: crate_of(rel),
+        ..ParsedFile::default()
+    };
+    // Innermost-first stack of (impl close index, type name).
+    let mut impls: Vec<(usize, String)> = Vec::new();
+    let mut i = 0usize;
+    while i < t.len() {
+        impls.retain(|(close, _)| i < *close);
+        match ident_at(t, i) {
+            Some("impl") => {
+                if let Some((ty, open)) = parse_impl_header(t, i) {
+                    let close = matching_brace(t, open);
+                    impls.push((close, ty));
+                    i = open + 1;
+                    continue;
+                }
+                i += 1;
+            }
+            Some("use") => {
+                let end = parse_use(t, i + 1, &mut out.imports);
+                i = end;
+            }
+            Some("fn") if ident_at(t, i + 1).is_some() => {
+                let name = ident_at(t, i + 1).unwrap_or_default().to_string();
+                // The body opens at the first `{` after the signature; a
+                // trait declaration ends at `;` first and has no body.
+                let mut k = i + 2;
+                if punct_at(t, k, '<') {
+                    k = skip_angles(t, k);
+                }
+                while k < t.len() && !punct_at(t, k, '{') && !punct_at(t, k, ';') {
+                    k += 1;
+                }
+                let body = if punct_at(t, k, '{') {
+                    (k, matching_brace(t, k))
+                } else {
+                    (k, k)
+                };
+                out.fns.push(FnItem {
+                    name,
+                    self_type: impls.last().map(|(_, ty)| ty.clone()),
+                    line: t[i].line,
+                    is_pub: has_pub(t, i),
+                    is_test: mask.get(i).copied().unwrap_or(false),
+                    body,
+                });
+                // Continue *inside* the body so nested items are found.
+                i += 2;
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Parse a `use` declaration's path tree starting just after the `use`
+/// keyword; appends one flattened segment path per leaf and returns the
+/// index just past the terminating `;`.
+fn parse_use(t: &[Token], start: usize, out: &mut Vec<Vec<String>>) -> usize {
+    let mut i = start;
+    let mut prefix: Vec<String> = Vec::new();
+    collect_use_tree(t, &mut i, &mut prefix, out, 0);
+    while i < t.len() && !punct_at(t, i, ';') {
+        i += 1;
+    }
+    i + 1
+}
+
+fn collect_use_tree(
+    t: &[Token],
+    i: &mut usize,
+    prefix: &mut Vec<String>,
+    out: &mut Vec<Vec<String>>,
+    depth: usize,
+) {
+    // A malformed tree cannot recurse forever.
+    if depth > 16 {
+        return;
+    }
+    let popped = prefix.len();
+    loop {
+        match t.get(*i).map(|tok| &tok.kind) {
+            Some(TokKind::Ident(name)) if name == "as" => {
+                // `x as y`: the alias is the visible leaf.
+                *i += 1;
+                if let Some(alias) = ident_at(t, *i) {
+                    prefix.pop();
+                    prefix.push(alias.to_string());
+                    *i += 1;
+                }
+            }
+            Some(TokKind::Ident(name)) => {
+                prefix.push(name.clone());
+                *i += 1;
+            }
+            Some(TokKind::Punct(':')) if punct_at(t, *i + 1, ':') => {
+                *i += 2;
+            }
+            Some(TokKind::Punct('{')) => {
+                *i += 1;
+                loop {
+                    collect_use_tree(t, i, prefix, out, depth + 1);
+                    if punct_at(t, *i, ',') {
+                        *i += 1;
+                        continue;
+                    }
+                    break;
+                }
+                if punct_at(t, *i, '}') {
+                    *i += 1;
+                }
+                // The group was the leaf position; nothing more follows.
+                prefix.truncate(popped);
+                return;
+            }
+            Some(TokKind::Punct('*')) => {
+                // Glob import: record the prefix itself as a leaf.
+                *i += 1;
+                out.push(prefix.clone());
+                prefix.truncate(popped);
+                return;
+            }
+            _ => {
+                if prefix.len() > popped {
+                    out.push(prefix.clone());
+                }
+                prefix.truncate(popped);
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, test_mask};
+
+    fn parse(src: &str) -> ParsedFile {
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.tokens);
+        parse_file("crates/gen/src/demo.rs", &lexed, &mask)
+    }
+
+    #[test]
+    fn free_and_method_fns_are_distinguished() {
+        let p = parse(
+            "pub fn free() {}\n\
+             pub struct Pipeline;\n\
+             impl Pipeline {\n\
+                 pub fn count(self) -> u64 { helper() }\n\
+                 fn private(self) {}\n\
+             }\n\
+             fn helper() -> u64 { 0 }\n",
+        );
+        let names: Vec<(&str, Option<&str>, bool)> = p
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.self_type.as_deref(), f.is_pub))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("free", None, true),
+                ("count", Some("Pipeline"), true),
+                ("private", Some("Pipeline"), false),
+                ("helper", None, false),
+            ]
+        );
+    }
+
+    #[test]
+    fn generic_impls_and_trait_impls_resolve_the_self_type() {
+        let p = parse(
+            "impl<S: EdgeSource> Pipeline<S> { fn a(&self) {} }\n\
+             impl<K, F: Fn(usize) -> K> Default for Maker<K, F> { fn default() -> Self { todo() } }\n\
+             impl Trait for &mut Wrapped<u64> { fn b(&self) {} }\n",
+        );
+        let types: Vec<Option<&str>> = p.fns.iter().map(|f| f.self_type.as_deref()).collect();
+        assert_eq!(
+            types,
+            vec![Some("Pipeline"), Some("Maker"), Some("Wrapped")]
+        );
+    }
+
+    #[test]
+    fn nested_fns_and_shift_generics_do_not_derail_scanning() {
+        let p = parse(
+            "pub fn outer() {\n\
+                 fn inner() {}\n\
+                 inner();\n\
+             }\n\
+             impl Holder<Box<Vec<u64>>> { fn tail(&self) {} }\n",
+        );
+        let names: Vec<&str> = p.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner", "tail"]);
+        assert_eq!(p.fns[2].self_type.as_deref(), Some("Holder"));
+    }
+
+    #[test]
+    fn pub_crate_and_qualifier_chains_count_as_pub() {
+        let p = parse(
+            "pub(crate) fn a() {}\n\
+             pub const unsafe fn b() {}\n\
+             const fn c() {}\n",
+        );
+        let vis: Vec<bool> = p.fns.iter().map(|f| f.is_pub).collect();
+        assert_eq!(vis, vec![true, true, false]);
+    }
+
+    #[test]
+    fn test_regions_are_marked() {
+        let p = parse(
+            "pub fn shipped() {}\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 fn helper() {}\n\
+             }\n",
+        );
+        assert!(!p.fns[0].is_test);
+        assert!(p.fns[1].is_test);
+    }
+
+    #[test]
+    fn use_trees_flatten_to_full_paths() {
+        let p = parse(
+            "use kron_sparse::addressable;\n\
+             use kron_core::{CoreError, validate::{compare_measured, FieldCheck}};\n\
+             use crate::writer::le_u64 as read_u64;\n\
+             use std::collections::*;\n",
+        );
+        assert_eq!(
+            p.imports,
+            vec![
+                vec!["kron_sparse".to_string(), "addressable".to_string()],
+                vec!["kron_core".to_string(), "CoreError".to_string()],
+                vec![
+                    "kron_core".to_string(),
+                    "validate".to_string(),
+                    "compare_measured".to_string()
+                ],
+                vec![
+                    "kron_core".to_string(),
+                    "validate".to_string(),
+                    "FieldCheck".to_string()
+                ],
+                vec![
+                    "crate".to_string(),
+                    "writer".to_string(),
+                    "read_u64".to_string()
+                ],
+                vec!["std".to_string(), "collections".to_string()],
+            ]
+        );
+    }
+
+    #[test]
+    fn crate_of_maps_paths() {
+        assert_eq!(crate_of("crates/sparse/src/reduce.rs"), "sparse");
+        assert_eq!(crate_of("src/lib.rs"), "facade");
+        assert_eq!(crate_of("build.rs"), "root");
+    }
+
+    #[test]
+    fn body_spans_cover_the_braces() {
+        let src = "fn a() { b(); }\nfn c();\n";
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.tokens);
+        let p = parse_file("crates/gen/src/demo.rs", &lexed, &mask);
+        let (s, e) = p.fns[0].body;
+        assert!(lexed.tokens[s].is_punct('{'));
+        assert!(lexed.tokens[e - 1].is_punct('}'));
+        let (s2, e2) = p.fns[1].body;
+        assert_eq!(s2, e2, "trait declaration has an empty body span");
+    }
+}

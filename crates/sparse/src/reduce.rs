@@ -135,6 +135,7 @@ impl DegreeAccumulator {
     /// # Panics
     /// Panics if the row dimension does not fit in addressable memory.
     pub fn rows_only(nrows: u64, ncols: u64) -> Self {
+        // lint:allow(panic-reachability) -- the documented `# Panics` contract: callers size nrows from the design, which already fit in memory
         let rows = crate::addressable(nrows, "row count vector must fit in memory");
         DegreeAccumulator {
             ncols,
@@ -170,7 +171,9 @@ impl DegreeAccumulator {
         match self.col_counts.as_mut() {
             Some(col_counts) => {
                 for &(row, col) in edges {
+                    // lint:allow(panic-reachability) -- documented `# Panics` contract; generated indices are < the declared dims by construction
                     self.row_counts[crate::addressable(row, "row index addressable")] += 1;
+                    // lint:allow(panic-reachability) -- documented `# Panics` contract; generated indices are < the declared dims by construction
                     col_counts[crate::addressable(col, "column index addressable")] += 1;
                     self.self_loops += u64::from(row == col);
                 }
@@ -178,6 +181,7 @@ impl DegreeAccumulator {
             None => {
                 for &(row, col) in edges {
                     assert!(col < self.ncols, "column index out of bounds");
+                    // lint:allow(panic-reachability) -- documented `# Panics` contract; generated indices are < the declared dims by construction
                     self.row_counts[crate::addressable(row, "row index addressable")] += 1;
                     self.self_loops += u64::from(row == col);
                 }
@@ -301,6 +305,7 @@ impl SharedDegreeAccumulator {
     /// # Panics
     /// Panics if the row dimension does not fit in addressable memory.
     pub fn rows_only(nrows: u64, ncols: u64) -> Self {
+        // lint:allow(panic-reachability) -- the documented `# Panics` contract: callers size nrows from the design, which already fit in memory
         let rows = crate::addressable(nrows, "row count vector must fit in memory");
         let mut row_counts = Vec::with_capacity(rows);
         row_counts.resize_with(rows, || AtomicU64::new(0));
@@ -331,21 +336,27 @@ impl SharedDegreeAccumulator {
         let mut loops = 0u64;
         for &(row, col) in edges {
             assert!(col < self.ncols, "column index out of bounds");
+            // lint:allow(panic-reachability) -- documented `# Panics` contract; generated indices are < the declared dims by construction
             self.row_counts[crate::addressable(row, "row index addressable")]
+                // ordering: Relaxed — independent counter increments; totals are read only after the recording workers are joined
                 .fetch_add(1, Ordering::Relaxed);
             loops += u64::from(row == col);
         }
+        // ordering: Relaxed — tally increment with no ordering dependence; folded after worker join
         self.self_loops.fetch_add(loops, Ordering::Relaxed);
+        // ordering: Relaxed — tally increment with no ordering dependence; folded after worker join
         self.edges.fetch_add(edges.len() as u64, Ordering::Relaxed);
     }
 
     /// Total number of edges recorded so far.
     pub fn edge_count(&self) -> u64 {
+        // ordering: Relaxed — monotone counter read; exact only after workers are joined, which callers guarantee
         self.edges.load(Ordering::Relaxed)
     }
 
     /// Number of diagonal (self-loop) edges recorded so far.
     pub fn self_loop_count(&self) -> u64 {
+        // ordering: Relaxed — monotone counter read; exact only after workers are joined, which callers guarantee
         self.self_loops.load(Ordering::Relaxed)
     }
 
@@ -356,6 +367,7 @@ impl SharedDegreeAccumulator {
     pub fn row_histogram(&self) -> BTreeMap<u64, u64> {
         let mut hist = BTreeMap::new();
         for count in &self.row_counts {
+            // ordering: Relaxed — per-slot read after the recording workers are joined (join is the synchronisation point)
             *hist.entry(count.load(Ordering::Relaxed)).or_insert(0) += 1;
         }
         hist
@@ -367,6 +379,7 @@ impl SharedDegreeAccumulator {
     pub fn max_row_degree(&self) -> u64 {
         self.row_counts
             .iter()
+            // ordering: Relaxed — per-slot read after the recording workers are joined (join is the synchronisation point)
             .map(|count| count.load(Ordering::Relaxed))
             .max()
             .unwrap_or(0)
