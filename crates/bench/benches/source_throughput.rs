@@ -19,6 +19,7 @@
 
 use std::time::{Duration, Instant};
 
+use kron_bench::provenance;
 use kron_core::{KroneckerDesign, SelfLoop};
 use kron_gen::{Pipeline, ReplaySource};
 use kron_rmat::{RmatParams, RmatSource};
@@ -170,13 +171,14 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"source_throughput\",\n  \"kronecker\": {{\"points\": {:?}, \"split_index\": {}, \"edges\": {}}},\n  \"rmat\": {{\"scale\": {}, \"edge_factor\": 16, \"samples\": {}}},\n  \"samples\": {},\n  \"results\": [\n{}\n  ],\n  \"kronecker_vs_rmat_w4\": {:.3},\n  \"kronecker_permute_slowdown_w4\": {:.3},\n  \"rmat_permute_slowdown_w4\": {:.3},\n  \"replay_slowdown_w4\": {:.3}\n}}\n",
+        "{{\n  \"bench\": \"source_throughput\",\n  \"kronecker\": {{\"points\": {:?}, \"split_index\": {}, \"edges\": {}}},\n  \"rmat\": {{\"scale\": {}, \"edge_factor\": 16, \"samples\": {}}},\n  \"samples\": {},\n  {},\n  \"results\": [\n{}\n  ],\n  \"kronecker_vs_rmat_w4\": {:.3},\n  \"kronecker_permute_slowdown_w4\": {:.3},\n  \"rmat_permute_slowdown_w4\": {:.3},\n  \"replay_slowdown_w4\": {:.3}\n}}\n",
         KRON_POINTS,
         KRON_SPLIT,
         kron_edges,
         RMAT_SCALE,
         rmat_edges,
         SAMPLES,
+        provenance::json_fields(),
         json_entries.join(",\n"),
         kron_vs_rmat_w4,
         kron_permute_cost,

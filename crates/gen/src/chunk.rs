@@ -86,6 +86,19 @@ impl EdgeChunk {
         );
     }
 
+    /// Append `count` edges by handing `fill` a slice of spare capacity to
+    /// write into — the bulk entry point for sources whose samplers fill
+    /// whole buffers (the batched R-MAT walk), replacing `count` per-edge
+    /// `push`/`is_full` round trips with one resize and one kernel call.
+    /// The caller sizes the run to [`EdgeChunk::remaining`].
+    #[inline]
+    pub fn fill_spare(&mut self, count: usize, fill: impl FnOnce(&mut [(u64, u64)])) {
+        debug_assert!(count <= self.remaining(), "run exceeds chunk capacity");
+        let start = self.edges.len();
+        self.edges.resize(start + count, (0, 0));
+        fill(&mut self.edges[start..]);
+    }
+
     /// The buffered edges.
     pub fn as_slice(&self) -> &[(u64, u64)] {
         &self.edges

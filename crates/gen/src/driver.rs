@@ -13,6 +13,7 @@
 //! | `ShardDriver::run_coo(d, s)` | `Pipeline::for_design(d).split_index(s).collect_coo()` |
 //! | `ShardDriver::run_tsv(d, s, dir)` | `Pipeline::for_design(d).split_index(s).write_tsv(dir)` |
 //! | `ShardDriver::run_binary(d, s, dir)` | `Pipeline::for_design(d).split_index(s).write_binary(dir)` |
+//! | `ShardDriver::run_compressed(d, s, dir)` | `Pipeline::for_design(d).split_index(s).write_compressed(dir)` |
 //! | `ShardDriver::run(d, s, factory)` | `Pipeline::for_design(d).split_index(s).into_sinks(factory)` |
 //!
 //! The sink types themselves moved to the public [`crate::sink`] module and
@@ -68,6 +69,32 @@ impl DriverConfig {
     pub const DEFAULT_MAX_B_EDGES: u64 = 1 << 24;
     /// Default streaming-histogram budget, in bytes (1 GiB).
     pub const DEFAULT_MAX_HISTOGRAM_BYTES: u64 = 1 << 30;
+
+    /// [`DriverConfig::DEFAULT_WORKERS`] clamped to the host's available
+    /// parallelism, with a warning when the clamp engaged.
+    ///
+    /// Oversubscribing a small host costs real throughput (the Figure-3
+    /// sweep measured 8 workers *slower* than 4 on a 4-thread machine), so
+    /// a pipeline whose worker count was never chosen by the caller runs at
+    /// most `available` workers.  Only the *default* is clamped: an explicit
+    /// worker count — `Pipeline::workers`, a populated [`DriverConfig`], or
+    /// a resume matching its journal — is always honoured, because the
+    /// worker count is part of a run's deterministic configuration (shard
+    /// layout and journal compatibility depend on it).
+    pub fn clamped_default_workers(available: usize) -> (usize, Option<String>) {
+        if available == 0 || available >= Self::DEFAULT_WORKERS {
+            (Self::DEFAULT_WORKERS, None)
+        } else {
+            (
+                available,
+                Some(format!(
+                    "default worker count {} exceeds the host's available parallelism; \
+                     running {available} worker(s) — set workers explicitly to override",
+                    Self::DEFAULT_WORKERS
+                )),
+            )
+        }
+    }
 }
 
 impl Default for DriverConfig {
@@ -241,6 +268,26 @@ impl ShardDriver {
         let files = report.files.clone().expect("file terminal produces files");
         Ok((ShardRun::from_report(report), files))
     }
+
+    /// Run with one compressed (delta/varint v4) shard per worker under
+    /// `directory`, each written through a double-buffered writer thread.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use kron_gen::Pipeline::for_design(..).split_index(..).write_compressed(dir)"
+    )]
+    pub fn run_compressed(
+        &self,
+        design: &KroneckerDesign,
+        split_index: usize,
+        directory: &Path,
+    ) -> Result<(ShardRun<PathBuf>, BlockFileSet), CoreError> {
+        let report = self
+            .pipeline(design, split_index)
+            .write_compressed(directory)?;
+        // lint:allow(no-expect) -- the driver configured a file terminal above, so the report carries files
+        let files = report.files.clone().expect("file terminal produces files");
+        Ok((ShardRun::from_report(report), files))
+    }
 }
 
 #[cfg(test)]
@@ -395,6 +442,40 @@ mod tests {
         expected.sort();
         assert_eq!(from_disk, expected);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compressed_shards_round_trip_through_disk() {
+        let design = KroneckerDesign::from_star_points(&[3, 4, 5], SelfLoop::Centre).unwrap();
+        let dir = temp_dir("compressed_shards");
+        let (run, files) = driver(3).run_compressed(&design, 1, &dir).unwrap();
+        assert!(run.validate().is_exact_match());
+        assert_eq!(files.format, BlockFormat::Compressed);
+
+        let mut from_disk = files.read_assembled().unwrap();
+        let mut expected = design.realize(1_000_000).unwrap();
+        from_disk.sort();
+        expected.sort();
+        assert_eq!(from_disk, expected);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn default_workers_clamp_only_below_the_default() {
+        // At or above the default (or an unknown parallelism, reported as
+        // 0): the default stands, no warning.
+        for available in [0usize, DriverConfig::DEFAULT_WORKERS, 64] {
+            let (workers, note) = DriverConfig::clamped_default_workers(available);
+            assert_eq!(workers, DriverConfig::DEFAULT_WORKERS);
+            assert!(note.is_none(), "no clamp expected at available={available}");
+        }
+        // Below it: clamp to the host and say so.
+        for available in 1..DriverConfig::DEFAULT_WORKERS {
+            let (workers, note) = DriverConfig::clamped_default_workers(available);
+            assert_eq!(workers, available);
+            let note = note.expect("clamping must warn");
+            assert!(note.contains("available parallelism"), "{note}");
+        }
     }
 
     #[test]

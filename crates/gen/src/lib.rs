@@ -56,6 +56,7 @@
 
 pub mod block;
 pub mod chunk;
+pub mod codec;
 pub mod driver;
 pub mod fault;
 pub mod generator;

@@ -95,7 +95,7 @@ pub struct RunManifest {
     /// Self-loop policy of the run (`"remove_designed"` or `"keep_raw"`).
     pub self_loop_policy: String,
     /// The terminal sink kind (`"counting"`, `"coo"`, `"tsv"`, `"binary"`,
-    /// `"custom"`).
+    /// `"compressed"`, `"custom"`).
     pub sink: String,
     /// Output directory of a file-writing run, if any.
     pub directory: Option<String>,
@@ -259,7 +259,7 @@ pub struct JournalHeader {
     pub workers: usize,
     /// Designed vertex count, as a decimal string.
     pub vertices: String,
-    /// The file sink kind (`"tsv"` or `"binary"`).
+    /// The file sink kind (`"tsv"`, `"binary"`, or `"compressed"`).
     pub sink: String,
 }
 

@@ -61,7 +61,10 @@ use crate::manifest::{
 use crate::metrics::{would_share, MetricSuite, MetricsEngine, MetricsReport, StreamingMetric};
 use crate::permute::FeistelPermutation;
 use crate::replay::{stream_binary_shard, stream_tsv_shard};
-use crate::sink::{BinaryShardSink, CooSink, CountingSink, EdgeSink, TsvShardSink};
+use crate::sink::{
+    BinaryShardSink, CompressedShardSink, CooSink, CountingSink, DoubleBufferedSink, EdgeSink,
+    TsvShardSink,
+};
 use crate::source::{EdgeSource, KroneckerSource, SourceRun};
 use crate::split::SplitPlan;
 use crate::stats::GenerationStats;
@@ -163,12 +166,32 @@ pub struct Pipeline<S> {
     metrics: MetricSuite,
     retry: RetryPolicy,
     quarantine: bool,
+    /// Set when the worker count is still the clamped default
+    /// ([`DriverConfig::clamped_default_workers`]): the warning the run
+    /// reports, cleared by an explicit [`Pipeline::workers`].
+    default_worker_note: Option<String>,
+}
+
+/// The host's available parallelism, for clamping the *default* worker
+/// count.  Host-dependent by design — it only ever selects how many workers
+/// share the stream, never what the stream contains (the edge multiset is
+/// identical for every worker count).
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(DriverConfig::DEFAULT_WORKERS)
 }
 
 impl<'d> Pipeline<KroneckerSource<'d>> {
-    /// Start a pipeline over `design` with default configuration.
+    /// Start a pipeline over `design` with default configuration.  The
+    /// default worker count is clamped to the host's available parallelism
+    /// (with a run warning); set [`Pipeline::workers`] to override.
     pub fn for_design(design: &'d KroneckerDesign) -> Self {
-        Pipeline::from_config(design, &DriverConfig::default())
+        let mut pipeline = Pipeline::from_config(design, &DriverConfig::default());
+        let (workers, note) = DriverConfig::clamped_default_workers(host_parallelism());
+        pipeline.workers = workers;
+        pipeline.default_worker_note = note;
+        pipeline
     }
 
     /// Start a pipeline with every knob taken from a [`DriverConfig`].
@@ -182,6 +205,7 @@ impl<'d> Pipeline<KroneckerSource<'d>> {
             metrics: MetricSuite::new(),
             retry: RetryPolicy::none(),
             quarantine: false,
+            default_worker_note: None,
         }
     }
 
@@ -230,21 +254,26 @@ impl<S: EdgeSource> Pipeline<S> {
     /// ```
     pub fn for_source(source: S) -> Self {
         let defaults = DriverConfig::default();
+        let (workers, note) = DriverConfig::clamped_default_workers(host_parallelism());
         Pipeline {
             source,
-            workers: defaults.workers,
+            workers,
             chunk_capacity: defaults.chunk_capacity,
             max_histogram_bytes: defaults.max_histogram_bytes,
             permutation_seed: None,
             metrics: MetricSuite::new(),
             retry: RetryPolicy::none(),
             quarantine: false,
+            default_worker_note: note,
         }
     }
 
     /// Set the number of workers (rayon tasks; the paper's "processors").
+    /// An explicit count is never clamped — it is part of the run's
+    /// deterministic configuration.
     pub fn workers(mut self, workers: usize) -> Self {
         self.workers = workers;
+        self.default_worker_note = None;
         self
     }
 
@@ -343,6 +372,24 @@ impl<S: EdgeSource> Pipeline<S> {
         })
     }
 
+    /// Generate into one compressed (v4 delta/varint) shard per worker
+    /// under `directory`, and write the run's `manifest.json` next to the
+    /// shards.  Each worker's sink runs double-buffered: encoding and
+    /// writing happen on a dedicated writer thread, overlapped with
+    /// generation, behind a bounded two-chunk queue.
+    pub fn write_compressed(self, directory: &Path) -> Result<RunReport<PathBuf>, CoreError> {
+        let vertices = self.source.vertices()?;
+        let files = prepare_directory(directory, self.workers, "kbkz")?;
+        let spec = SinkSpec::files("compressed", directory, &files, BlockFormat::Compressed);
+        self.run(spec, |worker| {
+            Ok(DoubleBufferedSink::new(CompressedShardSink::create(
+                &files[worker],
+                vertices,
+                vertices,
+            )?))
+        })
+    }
+
     /// Generate into custom sinks: `make_sink(worker)` creates the sink each
     /// worker streams into.  This is the extension point every new backend
     /// (sockets, compressed files, columnar stores) plugs into.
@@ -397,11 +444,12 @@ impl<S: EdgeSource> Pipeline<S> {
         let (format, extension, label) = match header.sink.as_str() {
             "tsv" => (BlockFormat::Tsv, "tsv", "tsv"),
             "binary" => (BlockFormat::Binary, "kbk", "binary"),
+            "compressed" => (BlockFormat::Compressed, "kbkz", "compressed"),
             other => {
                 return Err(CoreError::InvalidConfig {
                     message: format!(
-                        "cannot resume a '{other}' run: only tsv and binary file runs \
-                         journal their progress"
+                        "cannot resume a '{other}' run: only tsv, binary, and compressed \
+                         file runs journal their progress"
                     ),
                 })
             }
@@ -477,6 +525,17 @@ impl<S: EdgeSource> Pipeline<S> {
                 |worker| BinaryShardSink::create(&files[worker], vertices, vertices),
                 skips,
             ),
+            BlockFormat::Compressed => self.run_with(
+                spec,
+                |worker| {
+                    Ok(DoubleBufferedSink::new(CompressedShardSink::create(
+                        &files[worker],
+                        vertices,
+                        vertices,
+                    )?))
+                },
+                skips,
+            ),
         }
     }
 
@@ -514,6 +573,9 @@ impl<S: EdgeSource> Pipeline<S> {
         }
         let vertices = self.source.vertices()?;
         let (source_run, mut warnings) = self.source.prepare(self.workers)?;
+        if let Some(note) = &self.default_worker_note {
+            warnings.push(note.clone());
+        }
         let descriptor = source_run.descriptor();
         if let Some(expect) = &spec.expect {
             if descriptor.kind != expect.source {
@@ -617,7 +679,7 @@ impl<S: EdgeSource> Pipeline<S> {
                             &mut chunk,
                             &mut observe,
                         ),
-                        BlockFormat::Binary => {
+                        BlockFormat::Binary | BlockFormat::Compressed => {
                             stream_binary_shard(&skip.path, vertices, &mut chunk, &mut observe)
                         }
                     }
@@ -677,10 +739,12 @@ impl<S: EdgeSource> Pipeline<S> {
                                 return Err(CoreError::Sparse(e));
                             }
                         };
-                        // Read the running checksum before finish() consumes
-                        // the sink; the journal record carries it.
-                        let checksum = sink.payload_checksum();
-                        let output = sink.finish().map_err(CoreError::Sparse)?;
+                        // finish_with_checksum() seals trailing sink state
+                        // (a partial compression frame, a patched header)
+                        // before reporting the checksum, so the journal
+                        // record always matches the finished bytes on disk.
+                        let (output, checksum) =
+                            sink.finish_with_checksum().map_err(CoreError::Sparse)?;
                         metrics.finish();
                         Ok((output, delivered, checksum))
                     };
@@ -1044,6 +1108,41 @@ mod tests {
             .join(name);
         let _ = std::fs::remove_dir_all(&dir);
         dir
+    }
+
+    #[test]
+    fn default_worker_count_is_clamped_to_the_host() {
+        let design = KroneckerDesign::from_star_points(&[3, 4, 5], SelfLoop::None).unwrap();
+        let available = host_parallelism();
+        let expected = DriverConfig::DEFAULT_WORKERS.min(available.max(1));
+
+        let report = Pipeline::for_design(&design).count().unwrap();
+        assert_eq!(report.stats.workers, expected);
+        let clamp_warned = report
+            .stats
+            .warnings
+            .iter()
+            .any(|w| w.contains("available parallelism"));
+        assert_eq!(
+            clamp_warned,
+            expected < DriverConfig::DEFAULT_WORKERS,
+            "the clamp warning must appear exactly when the clamp engaged: {:?}",
+            report.stats.warnings
+        );
+
+        // An explicit worker count is never clamped, however oversubscribed,
+        // and never warns.
+        let oversubscribed = DriverConfig::DEFAULT_WORKERS + 3;
+        let report = Pipeline::for_design(&design)
+            .workers(oversubscribed)
+            .count()
+            .unwrap();
+        assert_eq!(report.stats.workers, oversubscribed);
+        assert!(!report
+            .stats
+            .warnings
+            .iter()
+            .any(|w| w.contains("available parallelism")));
     }
 
     #[test]

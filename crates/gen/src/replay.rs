@@ -40,12 +40,14 @@ use kron_core::{CoreError, GraphProperties};
 use kron_sparse::SparseError;
 
 use crate::chunk::EdgeChunk;
+use crate::codec;
 use crate::manifest::{RunManifest, MANIFEST_FILE_NAME};
 use crate::partition::Partition;
 use crate::source::{EdgeSource, SourceDescriptor, SourceRun};
 use crate::split::SplitPlan;
 use crate::writer::{
     le_u64, read_block_header, BlockFileSet, BlockFormat, Fnv1a, BLOCK_HEADER_LEN, BLOCK_VERSION,
+    BLOCK_VERSION_COMPRESSED,
 };
 
 /// An [`EdgeSource`] that streams an existing shard set back through the
@@ -78,6 +80,7 @@ impl ReplaySource {
         let format = match manifest.sink.as_str() {
             "tsv" => BlockFormat::Tsv,
             "binary" => BlockFormat::Binary,
+            "compressed" => BlockFormat::Compressed,
             other => {
                 return Err(CoreError::InvalidConfig {
                     message: format!(
@@ -237,7 +240,7 @@ impl SourceRun for ReplayRun {
                     chunk,
                     &mut sink,
                 ),
-                BlockFormat::Binary => {
+                BlockFormat::Binary | BlockFormat::Compressed => {
                     stream_binary_shard(file, self.source.vertices, chunk, &mut sink)
                 }
             }?;
@@ -412,12 +415,14 @@ where
     Ok(delivered)
 }
 
-/// Stream one binary shard through the chunk in bounded buffers: v2/v3
-/// interleaved pairs slab by slab, v1 split arrays through two cursors
-/// walking the row and column segments in lockstep.  v3 shards carry their
-/// payload checksum in the header; it is verified as the shard streams, and
-/// a mismatch fails with [`SparseError::ChecksumMismatch`] naming the
-/// shard.
+/// Stream one binary shard through the chunk in bounded buffers: v4
+/// delta/varint frames one bounded slab at a time, v2/v3 interleaved pairs
+/// slab by slab, v1 split arrays through two cursors walking the row and
+/// column segments in lockstep.  v3/v4 shards carry their payload checksum
+/// in the header; it is verified as the shard streams, and a mismatch fails
+/// with [`SparseError::ChecksumMismatch`] naming the shard — including when
+/// the corruption first surfaces as an undecodable frame or an
+/// out-of-bounds edge mid-stream.
 pub(crate) fn stream_binary_shard<E, F>(
     path: &Path,
     vertices: u64,
@@ -440,7 +445,116 @@ where
     let header = read_block_header(file_len, &mut reader).map_err(|e| shard_error(path, e))?;
     let (version, nnz) = (header.version, header.nnz);
 
-    if version != BLOCK_VERSION {
+    if version == BLOCK_VERSION_COMPRESSED {
+        // Delta/varint frames, one bounded slab per frame: read each
+        // frame's 8-byte header, then its body (at most ~1.3 MiB for a
+        // full frame of worst-case varints), hashing everything so the
+        // header checksum is verified once the payload is exhausted.
+        let mut hasher = Fnv1a::new();
+        let mut body = Vec::new();
+        let mut frame = Vec::new();
+        let mut decoded = 0u64;
+        let mut remaining = header
+            .payload_len
+            // lint:allow(no-expect) -- read_block_header always sets payload_len for v4
+            .expect("v4 header carries a payload length");
+        while remaining > 0 {
+            let mut frame_head = [0u8; codec::FRAME_HEADER_LEN];
+            if remaining < codec::FRAME_HEADER_LEN as u64 {
+                return Err(shard_error(
+                    path,
+                    SparseError::Parse {
+                        line: 0,
+                        message: "compressed shard payload ends mid frame header".into(),
+                    },
+                ));
+            }
+            reader
+                .read_exact(&mut frame_head)
+                .map_err(|e| shard_error(path, e.into()))?;
+            hasher.update(&frame_head);
+            remaining -= codec::FRAME_HEADER_LEN as u64;
+            let (count, byte_len) = codec::frame_header(&frame_head);
+            if u64::from(byte_len) > remaining {
+                return Err(shard_error(
+                    path,
+                    SparseError::Parse {
+                        line: 0,
+                        message: format!(
+                            "compressed shard frame declares {byte_len} bytes but only {remaining} remain"
+                        ),
+                    },
+                ));
+            }
+            body.resize(byte_len as usize, 0);
+            reader
+                .read_exact(&mut body)
+                .map_err(|e| shard_error(path, e.into()))?;
+            hasher.update(&body);
+            remaining -= u64::from(byte_len);
+            let mut failure: Option<E> = None;
+            match codec::decode_frame(count, &body, &mut frame) {
+                Err(e) => failure = Some(E::from(shard_error(path, e))),
+                Ok(()) => {
+                    decoded += u64::from(count);
+                    for &(row, col) in &frame {
+                        if let Err(e) = push_edge(path, vertices, chunk, sink, row, col) {
+                            failure = Some(e);
+                            break;
+                        }
+                    }
+                }
+            }
+            if let Some(err) = failure {
+                // A corrupt varint decodes to garbage — an undecodable
+                // frame or a wildly out-of-range edge — long before the
+                // end-of-payload checksum would run.  Prefer reporting the
+                // cause over the symptom: hash the unread remainder and, if
+                // the stored checksum disagrees, the shard is corrupt.
+                // When the checksum *does* match (a genuine downstream
+                // failure over an intact shard), the original error stands.
+                if let Some(expected) = header.checksum {
+                    let mut drain = vec![0u8; 1 << 16];
+                    while remaining > 0 {
+                        let take = remaining.min(drain.len() as u64) as usize;
+                        if reader.read_exact(&mut drain[..take]).is_err() {
+                            break;
+                        }
+                        hasher.update(&drain[..take]);
+                        remaining -= take as u64;
+                    }
+                    let actual = hasher.finish();
+                    if remaining == 0 && actual != expected {
+                        return Err(E::from(shard_error(
+                            path,
+                            SparseError::ChecksumMismatch { expected, actual },
+                        )));
+                    }
+                }
+                return Err(err);
+            }
+        }
+        if let Some(expected) = header.checksum {
+            let actual = hasher.finish();
+            if actual != expected {
+                return Err(shard_error(
+                    path,
+                    SparseError::ChecksumMismatch { expected, actual },
+                ));
+            }
+        }
+        if decoded != nnz {
+            return Err(shard_error(
+                path,
+                SparseError::Parse {
+                    line: 0,
+                    message: format!(
+                        "compressed shard declares {nnz} entries but its frames decode {decoded}"
+                    ),
+                },
+            ));
+        }
+    } else if version != BLOCK_VERSION {
         // Interleaved (row, col) pairs: 4096 at a time.
         let mut buffer = [0u8; 16 * 4096];
         let mut remaining = nnz;
@@ -538,6 +652,12 @@ mod tests {
                 .max_c_edges(100_000)
                 .write_binary(dir)
                 .unwrap(),
+            BlockFormat::Compressed => Pipeline::for_design(&design)
+                .workers(3)
+                .split_index(1)
+                .max_c_edges(100_000)
+                .write_compressed(dir)
+                .unwrap(),
         };
         let mut edges: Vec<(u64, u64)> = report
             .files
@@ -553,7 +673,11 @@ mod tests {
 
     #[test]
     fn replay_streams_the_exact_stored_edge_set() {
-        for format in [BlockFormat::Tsv, BlockFormat::Binary] {
+        for format in [
+            BlockFormat::Tsv,
+            BlockFormat::Binary,
+            BlockFormat::Compressed,
+        ] {
             let dir = temp_dir(&format!("stream_{format:?}"));
             let expected = written_run(&dir, format);
             let source = ReplaySource::from_directory(&dir).unwrap();

@@ -16,12 +16,16 @@
 //!   and small graphs).
 //! * [`TsvShardSink`] / [`BinaryShardSink`] — one buffered TSV or
 //!   interleaved-binary shard per worker.
+//! * [`CompressedShardSink`] — one delta/varint-compressed (v4) shard per
+//!   worker, ~3x smaller than the raw binary layout.
 //! * [`DegreeOnlySink`] — accumulates the worker's exact degree counts and
 //!   writes nothing: measured-equals-predicted validation with zero output.
 //!
 //! Combinators:
 //!
 //! * [`TeeSink`] — fan one stream out to two sinks.
+//! * [`DoubleBufferedSink`] — move any sink onto its own writer thread,
+//!   overlapping encode+write with generation behind a bounded queue.
 //! * [`FilterMapSink`] — transform or drop edges before an inner sink sees
 //!   them.
 //! * [`PermuteSink`] — relabel both endpoints through a seeded
@@ -34,9 +38,11 @@ use std::path::{Path, PathBuf};
 use kron_sparse::reduce::DegreeAccumulator;
 use kron_sparse::{CooMatrix, SparseError};
 
+use crate::codec::{encode_frame, FRAME_EDGES};
 use crate::permute::FeistelPermutation;
 use crate::writer::{
     write_tsv_edges, Fnv1a, BLOCK_HEADER_LEN, BLOCK_MAGIC, BLOCK_VERSION_CHECKSUM,
+    BLOCK_VERSION_COMPRESSED,
 };
 
 /// A per-worker consumer of generated edge chunks.
@@ -76,6 +82,25 @@ pub trait EdgeSink {
     /// return `None`.
     fn payload_checksum(&self) -> Option<u64> {
         None
+    }
+
+    /// Finalise the sink and return its output together with the payload
+    /// checksum of the *finished* artefact.
+    ///
+    /// The default reads [`EdgeSink::payload_checksum`] and then finishes —
+    /// correct for sinks whose byte stream is complete before `finish()`.
+    /// Sinks that seal trailing state during finalisation (a partial
+    /// compression frame, a footer) override this so the checksum covers
+    /// every payload byte; sinks that hand their state to another thread
+    /// (double buffering) override it because the checksum only exists
+    /// where the inner sink lives.
+    #[must_use = "finish flushes buffers and returns the sink's output; dropping the result loses both"]
+    fn finish_with_checksum(self) -> Result<(Self::Output, Option<u64>), SparseError>
+    where
+        Self: Sized,
+    {
+        let checksum = self.payload_checksum();
+        Ok((self.finish()?, checksum))
     }
 }
 
@@ -372,6 +397,319 @@ impl Drop for BinaryShardSink {
                 self.path.display(),
                 self.tmp.display()
             );
+        }
+    }
+}
+
+/// An [`EdgeSink`] writing the compressed block layout
+/// ([`crate::writer::BLOCK_VERSION_COMPRESSED`]):
+/// the v4 header with zeroed count/length/checksum fields, then
+/// delta/varint frames (see [`crate::codec`]) appended as edges stream;
+/// `finish` seals the final partial frame and patches the true entry
+/// count, payload length, and payload FNV-1a checksum into the header.
+/// Several times smaller than [`BinaryShardSink`] on generated streams
+/// (see `compression_ratio` in `BENCH_shard_driver.json`).
+///
+/// Edges accumulate in an internal buffer and are encoded in frames of
+/// exactly [`codec::FRAME_EDGES`](crate::codec::FRAME_EDGES) (plus one
+/// final short frame), so the bytes on disk depend only on the edge
+/// stream — never on the chunk size the pipeline happened to use.  That
+/// invariant is what lets a resumed run reproduce a shard bit-identically.
+///
+/// Like the other shard sinks, bytes stage at `<path>.tmp` and `finish()`
+/// fsyncs and atomically renames, so the final name only ever holds a
+/// complete, checksummed shard.
+pub struct CompressedShardSink {
+    writer: Option<BufWriter<std::fs::File>>,
+    path: PathBuf,
+    tmp: PathBuf,
+    pending: Vec<(u64, u64)>,
+    written: u64,
+    payload_len: u64,
+    hasher: Fnv1a,
+    scratch: Vec<u8>,
+    finished: bool,
+}
+
+impl CompressedShardSink {
+    /// Create the shard for a `nrows × ncols` graph, staging bytes at
+    /// `<path>.tmp` until `finish()`.
+    pub fn create(path: &Path, nrows: u64, ncols: u64) -> Result<Self, SparseError> {
+        let tmp = tmp_shard_path(path);
+        let file =
+            std::fs::File::create(&tmp).map_err(|e| SparseError::with_path(&tmp, e.into()))?;
+        let mut writer = BufWriter::with_capacity(1 << 18, file);
+        writer.write_all(&BLOCK_MAGIC)?;
+        writer.write_all(&BLOCK_VERSION_COMPRESSED.to_le_bytes())?;
+        writer.write_all(&nrows.to_le_bytes())?;
+        writer.write_all(&ncols.to_le_bytes())?;
+        writer.write_all(&0u64.to_le_bytes())?; // entry count, patched by finish()
+        writer.write_all(&0u64.to_le_bytes())?; // payload length, patched by finish()
+        writer.write_all(&0u64.to_le_bytes())?; // checksum, patched by finish()
+        Ok(CompressedShardSink {
+            writer: Some(writer),
+            path: path.to_path_buf(),
+            tmp,
+            pending: Vec::with_capacity(FRAME_EDGES),
+            written: 0,
+            payload_len: 0,
+            hasher: Fnv1a::new(),
+            scratch: Vec::new(),
+            finished: false,
+        })
+    }
+
+    /// Encode and write the pending edges as one frame.
+    fn flush_frame(&mut self) -> Result<(), SparseError> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        self.scratch.clear();
+        encode_frame(&self.pending, &mut self.scratch);
+        self.hasher.update(&self.scratch);
+        self.writer
+            .as_mut()
+            // lint:allow(no-expect) -- the writer is Some until finish(); use-after-finish is a caller contract violation documented on the type
+            .expect("sink used after finish")
+            .write_all(&self.scratch)?;
+        self.payload_len += self.scratch.len() as u64;
+        self.written += self.pending.len() as u64;
+        self.pending.clear();
+        Ok(())
+    }
+}
+
+impl EdgeSink for CompressedShardSink {
+    type Output = PathBuf;
+
+    fn consume(&mut self, mut edges: &[(u64, u64)]) -> Result<(), SparseError> {
+        while !edges.is_empty() {
+            let take = (FRAME_EDGES - self.pending.len()).min(edges.len());
+            self.pending.extend_from_slice(&edges[..take]);
+            edges = &edges[take..];
+            if self.pending.len() == FRAME_EDGES {
+                self.flush_frame()?;
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(mut self) -> Result<PathBuf, SparseError> {
+        self.flush_frame()?;
+        self.finished = true;
+        // lint:allow(no-expect) -- the finished flag checked above guarantees the writer has not been taken yet
+        let mut writer = self.writer.take().expect("finish called once");
+        writer.flush()?;
+        let mut file = writer
+            .into_inner()
+            .map_err(|e| SparseError::Io(e.to_string()))?;
+        // Patch the three fields finish() owns: count at 24, payload length
+        // at 32, checksum at 40.
+        file.seek(SeekFrom::Start(BLOCK_HEADER_LEN - 8))?;
+        file.write_all(&self.written.to_le_bytes())?;
+        file.write_all(&self.payload_len.to_le_bytes())?;
+        file.write_all(&self.hasher.finish().to_le_bytes())?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&self.tmp, &self.path)
+            .map_err(|e| SparseError::with_path(&self.path, e.into()))?;
+        sync_parent_dir(&self.path);
+        Ok(self.path.clone())
+    }
+
+    fn abandon(mut self) {
+        self.finished = true;
+        self.writer.take();
+        let _ = std::fs::remove_file(&self.tmp);
+    }
+
+    // payload_checksum() keeps the default `None` on purpose: edges still
+    // sitting in the pending frame have not been encoded yet, so no
+    // mid-stream hash can match the finished file.  The journal checksum
+    // comes from finish_with_checksum(), which seals the last frame first.
+
+    fn finish_with_checksum(mut self) -> Result<(PathBuf, Option<u64>), SparseError> {
+        self.flush_frame()?;
+        let checksum = self.hasher.finish();
+        Ok((self.finish()?, Some(checksum)))
+    }
+}
+
+impl Drop for CompressedShardSink {
+    fn drop(&mut self) {
+        if !self.finished && !std::thread::panicking() {
+            eprintln!(
+                "warning: compressed shard sink for {} dropped without finish(); \
+                 the partial shard stays at {}",
+                self.path.display(),
+                self.tmp.display()
+            );
+        }
+    }
+}
+
+/// How many encoded chunks may sit between the generating worker and the
+/// writer thread of a [`DoubleBufferedSink`] before the generator blocks.
+/// Two is the classic double buffer: one chunk being written, one ready.
+const QUEUE_DEPTH: usize = 2;
+
+/// An [`EdgeSink`] combinator that moves an inner sink onto its own writer
+/// thread, overlapping encode+write with generation: the generating worker
+/// hands each chunk over a bounded channel and immediately goes back to
+/// producing edges while the writer thread serialises the previous chunk.
+///
+/// Buffers are recycled through a return channel, so the steady state
+/// allocates nothing; the bounded queue (`QUEUE_DEPTH`) keeps memory use
+/// flat when generation outruns the disk.  If the inner sink fails, the
+/// writer thread keeps draining (so the sender never blocks on a dead
+/// consumer), abandons the inner sink, and the error surfaces on the next
+/// `consume()` or at `finish()`.
+pub struct DoubleBufferedSink<S: EdgeSink> {
+    sender: Option<std::sync::mpsc::SyncSender<Vec<(u64, u64)>>>,
+    recycle: std::sync::mpsc::Receiver<Vec<(u64, u64)>>,
+    handle: Option<std::thread::JoinHandle<WriterVerdict<S>>>,
+    failed: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    abandoned: std::sync::Arc<std::sync::atomic::AtomicBool>,
+}
+
+/// The writer thread's tri-state verdict: `Ok(Some((output, checksum)))`
+/// after a clean finish, `Ok(None)` when the front half abandoned the run,
+/// `Err` when the inner sink failed.
+type WriterVerdict<S> = Result<Option<(<S as EdgeSink>::Output, Option<u64>)>, SparseError>;
+
+impl<S> DoubleBufferedSink<S>
+where
+    S: EdgeSink + Send + 'static,
+    S::Output: Send + 'static,
+{
+    /// Move `inner` onto a writer thread and return the front half.
+    pub fn new(inner: S) -> Self {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let (sender, receiver) = std::sync::mpsc::sync_channel::<Vec<(u64, u64)>>(QUEUE_DEPTH);
+        let (recycle_tx, recycle) = std::sync::mpsc::channel::<Vec<(u64, u64)>>();
+        let failed = std::sync::Arc::new(AtomicBool::new(false));
+        let abandoned = std::sync::Arc::new(AtomicBool::new(false));
+        let thread_failed = std::sync::Arc::clone(&failed);
+        let thread_abandoned = std::sync::Arc::clone(&abandoned);
+        let handle = std::thread::spawn(move || {
+            let mut sink = Some(inner);
+            let mut error = None;
+            for buffer in receiver {
+                if error.is_none() {
+                    // lint:allow(no-expect) -- the sink is taken exactly once, on the first error
+                    if let Err(e) = sink.as_mut().expect("sink present").consume(&buffer) {
+                        // ordering: Release — pairs with the Acquire load in consume(); a front half that observes `failed` must also observe the draining state this thread is in
+                        thread_failed.store(true, Ordering::Release);
+                        // lint:allow(no-expect) -- error.is_none() guarantees the sink has not been taken
+                        sink.take().expect("sink present").abandon();
+                        error = Some(e);
+                    }
+                }
+                // Hand the buffer back; the front half may already be gone,
+                // which is fine — the buffer just drops.
+                let _ = recycle_tx.send(buffer);
+            }
+            if let Some(e) = error {
+                return Err(e);
+            }
+            // lint:allow(no-expect) -- error was None on every chunk, so the sink was never taken
+            let sink = sink.take().expect("sink present");
+            // ordering: Acquire — pairs with the Release store in abandon(); the flag was set before the channel closed, so the drain loop above happened-after it
+            if thread_abandoned.load(Ordering::Acquire) {
+                sink.abandon();
+                return Ok(None);
+            }
+            sink.finish_with_checksum().map(Some)
+        });
+        DoubleBufferedSink {
+            sender: Some(sender),
+            recycle,
+            handle: Some(handle),
+            failed,
+            abandoned,
+        }
+    }
+
+    /// Close the channel, join the writer thread, and return its verdict.
+    fn join(&mut self) -> WriterVerdict<S> {
+        drop(self.sender.take());
+        match self.handle.take() {
+            Some(handle) => handle
+                .join()
+                .map_err(|_| SparseError::Io("shard writer thread panicked".into()))?,
+            None => Err(SparseError::Io("shard writer thread already joined".into())),
+        }
+    }
+
+    /// Join after a failure and surface the inner sink's error.
+    fn join_error(&mut self) -> SparseError {
+        match self.join() {
+            Err(e) => e,
+            Ok(_) => SparseError::Io("shard writer thread stopped without an error".into()),
+        }
+    }
+}
+
+impl<S> EdgeSink for DoubleBufferedSink<S>
+where
+    S: EdgeSink + Send + 'static,
+    S::Output: Send + 'static,
+{
+    type Output = S::Output;
+
+    fn consume(&mut self, edges: &[(u64, u64)]) -> Result<(), SparseError> {
+        use std::sync::atomic::Ordering;
+        // ordering: Acquire — pairs with the writer thread's Release store; observing the flag means the thread is draining, so join() cannot block
+        if self.failed.load(Ordering::Acquire) {
+            return Err(self.join_error());
+        }
+        let mut buffer = self.recycle.try_recv().unwrap_or_default();
+        buffer.clear();
+        buffer.extend_from_slice(edges);
+        let sender = match self.sender.as_ref() {
+            Some(sender) => sender,
+            None => return Err(SparseError::Io("shard writer channel closed".into())),
+        };
+        if sender.send(buffer).is_err() {
+            return Err(self.join_error());
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Result<S::Output, SparseError> {
+        self.finish_with_checksum().map(|(output, _)| output)
+    }
+
+    fn abandon(mut self) {
+        use std::sync::atomic::Ordering;
+        // ordering: Release — pairs with the writer thread's Acquire load after the channel closes; the thread must observe the flag once the drain loop ends, or it would finish (and publish) an abandoned shard
+        self.abandoned.store(true, Ordering::Release);
+        let _ = self.join();
+    }
+
+    fn finish_with_checksum(mut self) -> Result<(S::Output, Option<u64>), SparseError> {
+        match self.join()? {
+            Some(pair) => Ok(pair),
+            None => Err(SparseError::Io(
+                "shard writer thread abandoned the sink".into(),
+            )),
+        }
+    }
+}
+
+impl<S: EdgeSink> Drop for DoubleBufferedSink<S> {
+    fn drop(&mut self) {
+        use std::sync::atomic::Ordering;
+        // A front half dropped without finish()/abandon() must not let the
+        // writer thread seal a shard nobody asked to complete: flag the
+        // abandon, close the channel, and wait the thread out.
+        if self.handle.is_some() {
+            // ordering: Release — same pairing as abandon(): the writer thread's post-drain Acquire load must observe the flag
+            self.abandoned.store(true, Ordering::Release);
+            drop(self.sender.take());
+            if let Some(handle) = self.handle.take() {
+                let _ = handle.join();
+            }
         }
     }
 }
@@ -697,6 +1035,177 @@ mod tests {
         let bytes = std::fs::read(&kbk).unwrap();
         let stored = u64::from_le_bytes(bytes[32..40].try_into().unwrap());
         assert_eq!(stored, reported);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compressed_sink_stages_atomically_and_checksums_its_payload() {
+        use crate::writer::{read_block_bin, shard_checksum, BlockFormat};
+        let dir = temp_dir("compressed_atomic");
+        let kbkz = dir.join("shard.kbkz");
+        let mut sink = CompressedShardSink::create(&kbkz, 4, 4).unwrap();
+        sink.consume(EDGES).unwrap();
+        assert!(!kbkz.exists(), "the final name must not exist mid-stream");
+        assert!(tmp_shard_path(&kbkz).exists());
+        // The trailing partial frame is not encoded yet, so the trait
+        // reports no mid-stream checksum — finish_with_checksum is the one
+        // that seals and reports.
+        assert_eq!(sink.payload_checksum(), None);
+        let (out, checksum) = sink.finish_with_checksum().unwrap();
+        assert_eq!(out, kbkz);
+        assert!(kbkz.exists());
+        assert!(!tmp_shard_path(&kbkz).exists());
+        let checksum = checksum.expect("compressed shards are checksummed");
+        assert_eq!(
+            checksum,
+            shard_checksum(&kbkz, BlockFormat::Compressed).unwrap()
+        );
+        // …and the header stores the same checksum (offset 40 in the v4
+        // layout), over a payload that decodes back to the exact edges.
+        let bytes = std::fs::read(&kbkz).unwrap();
+        let stored = u64::from_le_bytes(bytes[40..48].try_into().unwrap());
+        assert_eq!(stored, checksum);
+        let block = read_block_bin(&kbkz).unwrap();
+        let decoded: Vec<(u64, u64)> = block.iter().map(|(r, c, _)| (r, c)).collect();
+        assert_eq!(decoded, EDGES);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compressed_shard_bytes_are_independent_of_consume_granularity() {
+        let dir = temp_dir("compressed_granularity");
+        let edges: Vec<(u64, u64)> = (0..1000u64).map(|i| (i % 64, (i * 7) % 64)).collect();
+
+        let whole = dir.join("whole.kbkz");
+        let mut sink = CompressedShardSink::create(&whole, 64, 64).unwrap();
+        sink.consume(&edges).unwrap();
+        sink.finish().unwrap();
+
+        let pieces = dir.join("pieces.kbkz");
+        let mut sink = CompressedShardSink::create(&pieces, 64, 64).unwrap();
+        for piece in edges.chunks(7) {
+            sink.consume(piece).unwrap();
+        }
+        sink.finish().unwrap();
+
+        assert_eq!(
+            std::fs::read(&whole).unwrap(),
+            std::fs::read(&pieces).unwrap(),
+            "shard bytes must depend only on the edge stream, never its chunking"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compressed_sink_abandon_and_drop_leave_no_complete_shard() {
+        let dir = temp_dir("compressed_abandon");
+        let kbkz = dir.join("shard.kbkz");
+        let mut sink = CompressedShardSink::create(&kbkz, 4, 4).unwrap();
+        sink.consume(EDGES).unwrap();
+        sink.abandon();
+        assert!(!kbkz.exists());
+        assert!(!tmp_shard_path(&kbkz).exists());
+
+        let mut sink = CompressedShardSink::create(&kbkz, 4, 4).unwrap();
+        sink.consume(EDGES).unwrap();
+        drop(sink); // a dying worker: partial stays, final name never appears
+        assert!(!kbkz.exists());
+        assert!(tmp_shard_path(&kbkz).exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A sink that fails on the `n`-th consume, for exercising the
+    /// double-buffered writer thread's error path.
+    struct FailAfter {
+        remaining: usize,
+    }
+
+    impl EdgeSink for FailAfter {
+        type Output = ();
+
+        fn consume(&mut self, _edges: &[(u64, u64)]) -> Result<(), SparseError> {
+            if self.remaining == 0 {
+                return Err(SparseError::Parse {
+                    line: 0,
+                    message: "injected sink failure".into(),
+                });
+            }
+            self.remaining -= 1;
+            Ok(())
+        }
+
+        fn finish(self) -> Result<(), SparseError> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn double_buffered_sink_delegates_and_matches_the_plain_sink() {
+        let dir = temp_dir("double_buffered");
+        let plain = dir.join("plain.kbkz");
+        let mut sink = CompressedShardSink::create(&plain, 64, 64).unwrap();
+        let edges: Vec<(u64, u64)> = (0..500u64).map(|i| (i % 64, (i * 3) % 64)).collect();
+        for piece in edges.chunks(33) {
+            sink.consume(piece).unwrap();
+        }
+        let (_, plain_checksum) = sink.finish_with_checksum().unwrap();
+
+        let buffered = dir.join("buffered.kbkz");
+        let mut sink =
+            DoubleBufferedSink::new(CompressedShardSink::create(&buffered, 64, 64).unwrap());
+        for piece in edges.chunks(33) {
+            sink.consume(piece).unwrap();
+        }
+        let (out, checksum) = sink.finish_with_checksum().unwrap();
+        assert_eq!(out, buffered);
+        assert_eq!(checksum, plain_checksum);
+        assert_eq!(
+            std::fs::read(&plain).unwrap(),
+            std::fs::read(&buffered).unwrap(),
+            "the writer thread must not change the bytes"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn double_buffered_sink_surfaces_the_writer_threads_error() {
+        let mut sink = DoubleBufferedSink::new(FailAfter { remaining: 1 });
+        sink.consume(EDGES).unwrap(); // accepted by the inner sink
+                                      // The failure lands on the writer thread; it must reach the caller
+                                      // on a later consume or at finish, never panic or hang.
+        let mut failed = false;
+        for _ in 0..100 {
+            if sink.consume(EDGES).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        if !failed {
+            let err = sink.finish().unwrap_err();
+            assert!(err.to_string().contains("injected sink failure"), "{err}");
+        }
+    }
+
+    #[test]
+    fn double_buffered_sink_abandon_and_drop_remove_the_partial() {
+        let dir = temp_dir("double_buffered_abandon");
+        let kbkz = dir.join("abandoned.kbkz");
+        let mut sink = DoubleBufferedSink::new(CompressedShardSink::create(&kbkz, 4, 4).unwrap());
+        sink.consume(EDGES).unwrap();
+        sink.abandon();
+        assert!(!kbkz.exists());
+        assert!(!tmp_shard_path(&kbkz).exists());
+
+        // Dropping without finish must abandon, not seal a truncated shard.
+        let dropped = dir.join("dropped.kbkz");
+        let mut sink =
+            DoubleBufferedSink::new(CompressedShardSink::create(&dropped, 4, 4).unwrap());
+        sink.consume(EDGES).unwrap();
+        drop(sink);
+        assert!(
+            !dropped.exists(),
+            "drop must never produce a complete shard"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -48,6 +48,15 @@ pub const BLOCK_VERSION_PAIRS: u32 = 2;
 /// caught before the shard is trusted (see
 /// [`crate::sink::BinaryShardSink`]).
 pub const BLOCK_VERSION_CHECKSUM: u32 = 3;
+/// Version of the binary block layout with a delta/varint-compressed
+/// payload: the edges arrive in [`crate::codec`] frames (each up to
+/// [`crate::codec::FRAME_EDGES`] edges, zigzag-encoded deltas between
+/// consecutive endpoints), so a generated stream with locality costs a few
+/// bytes per edge instead of 16.  The header keeps the v3 fields and adds
+/// the payload byte length — with variable-width frames the edge count no
+/// longer determines the file size, so truncation detection needs the
+/// length spelled out (see [`crate::sink::CompressedShardSink`]).
+pub const BLOCK_VERSION_COMPRESSED: u32 = 4;
 /// Size in bytes of the binary block header (magic, version, dimensions,
 /// entry count) shared by the v1/v2 layout versions.
 pub const BLOCK_HEADER_LEN: u64 = 4 + 4 + 8 + 8 + 8;
@@ -56,6 +65,12 @@ pub const BLOCK_HEADER_LEN: u64 = 4 + 4 + 8 + 8 + 8;
 /// *after* the entry count so the count stays at the same offset in every
 /// version.
 pub const BLOCK_HEADER_CHECKSUM_LEN: u64 = BLOCK_HEADER_LEN + 8;
+/// Size in bytes of the v4 ([`BLOCK_VERSION_COMPRESSED`]) header: the
+/// shared fields, then the payload byte length, then the payload checksum —
+/// count and checksum keep their meaning from v3, and the payload length is
+/// inserted before the checksum so every fixed-width field sits at a
+/// version-independent offset from either end of the header.
+pub const BLOCK_HEADER_COMPRESSED_LEN: u64 = BLOCK_HEADER_LEN + 8 + 8;
 
 /// Streaming 64-bit FNV-1a hasher — the checksum every shard carries.
 ///
@@ -111,6 +126,9 @@ pub enum BlockFormat {
     Tsv,
     /// The compact binary layout (see [`write_block_bin`]).
     Binary,
+    /// The delta/varint-compressed binary layout
+    /// ([`BLOCK_VERSION_COMPRESSED`]).
+    Compressed,
 }
 
 /// The files produced by one of the block writers.
@@ -137,7 +155,9 @@ impl BlockFileSet {
         for file in &self.files {
             let block = match self.format {
                 BlockFormat::Tsv => read_tsv_file(self.vertices, self.vertices, file),
-                BlockFormat::Binary => read_block_bin(file),
+                // Both binary layouts carry their version in the header, so
+                // one reader serves them; the format only picks the writer.
+                BlockFormat::Binary | BlockFormat::Compressed => read_block_bin(file),
             }
             .map_err(|e| SparseError::with_path(file, e))?;
             all.append(&block)
@@ -333,6 +353,10 @@ pub(crate) struct BlockHeader {
     pub ncols: u64,
     /// Declared number of stored entries.
     pub nnz: u64,
+    /// Declared payload byte length — present only for
+    /// [`BLOCK_VERSION_COMPRESSED`] files, whose body size is not a
+    /// function of the entry count.
+    pub payload_len: Option<u64>,
     /// FNV-1a checksum of the payload — present from
     /// [`BLOCK_VERSION_CHECKSUM`] on; `None` for v1/v2 files.
     pub checksum: Option<u64>,
@@ -362,6 +386,7 @@ pub(crate) fn read_block_header(
     if version != BLOCK_VERSION
         && version != BLOCK_VERSION_PAIRS
         && version != BLOCK_VERSION_CHECKSUM
+        && version != BLOCK_VERSION_COMPRESSED
     {
         return Err(SparseError::Parse {
             line: 0,
@@ -376,25 +401,42 @@ pub(crate) fn read_block_header(
     let ncols = le_u64(&header[8..16]);
     // lint:allow(panic-reachability) -- le_u64's 8-byte contract holds: fixed slices of the 24-byte header
     let nnz = le_u64(&header[16..24]);
-    let checksum = if version == BLOCK_VERSION_CHECKSUM {
+    let payload_len = if version == BLOCK_VERSION_COMPRESSED {
+        let mut len = [0u8; 8];
+        reader.read_exact(&mut len)?;
+        Some(u64::from_le_bytes(len))
+    } else {
+        None
+    };
+    let checksum = if version == BLOCK_VERSION_CHECKSUM || version == BLOCK_VERSION_COMPRESSED {
         let mut sum = [0u8; 8];
         reader.read_exact(&mut sum)?;
         Some(u64::from_le_bytes(sum))
     } else {
         None
     };
-    let header_len = if checksum.is_some() {
-        BLOCK_HEADER_CHECKSUM_LEN
+    let expected_len = if let Some(payload) = payload_len {
+        // A compressed body's size is its declared byte length, not a
+        // function of the entry count.
+        payload
+            .checked_add(BLOCK_HEADER_COMPRESSED_LEN)
+            .ok_or(SparseError::TooLarge {
+                what: "compressed block payload length",
+                requested: payload as u128,
+            })?
     } else {
-        BLOCK_HEADER_LEN
+        let header_len = if checksum.is_some() {
+            BLOCK_HEADER_CHECKSUM_LEN
+        } else {
+            BLOCK_HEADER_LEN
+        };
+        nnz.checked_mul(16)
+            .and_then(|body| body.checked_add(header_len))
+            .ok_or(SparseError::TooLarge {
+                what: "binary block entry count",
+                requested: nnz as u128,
+            })?
     };
-    let expected_len = nnz
-        .checked_mul(16)
-        .and_then(|body| body.checked_add(header_len))
-        .ok_or(SparseError::TooLarge {
-            what: "binary block entry count",
-            requested: nnz as u128,
-        })?;
     if expected_len != file_len {
         return Err(SparseError::Parse {
             line: 0,
@@ -408,6 +450,7 @@ pub(crate) fn read_block_header(
         nrows,
         ncols,
         nnz,
+        payload_len,
         checksum,
     })
 }
@@ -441,6 +484,7 @@ pub fn read_block_bin(path: &Path) -> Result<CooMatrix<u64>, SparseError> {
         nrows,
         ncols,
         nnz,
+        payload_len,
         checksum,
     } = read_block_header(file_len, &mut reader)?;
     let nnz = usize::try_from(nnz).map_err(|_| SparseError::TooLarge {
@@ -448,7 +492,11 @@ pub fn read_block_bin(path: &Path) -> Result<CooMatrix<u64>, SparseError> {
         requested: nnz as u128,
     })?;
 
-    let (rows, cols) = if version == BLOCK_VERSION {
+    let (rows, cols) = if version == BLOCK_VERSION_COMPRESSED {
+        // lint:allow(no-expect) -- read_block_header always sets payload_len for v4
+        let payload_len = payload_len.expect("v4 header carries a payload length");
+        read_compressed_body(&mut reader, nnz, payload_len, checksum)?
+    } else if version == BLOCK_VERSION {
         let rows = read_u64_array(&mut reader, nnz)?;
         let cols = read_u64_array(&mut reader, nnz)?;
         (rows, cols)
@@ -500,6 +548,85 @@ pub fn read_block_bin(path: &Path) -> Result<CooMatrix<u64>, SparseError> {
     Ok(m)
 }
 
+/// Decode a v4 compressed block body: a sequence of delta/varint frames
+/// (see [`crate::codec`]), FNV-hashed as read and verified against the
+/// header checksum before the decoded indices are returned.
+///
+/// The payload is read whole (it is the *compressed* size — a few bytes
+/// per edge), then decoded frame by frame so a truncated or overlapping
+/// frame fails as a parse error rather than a silent short count.
+fn read_compressed_body(
+    reader: &mut impl Read,
+    nnz: usize,
+    payload_len: u64,
+    checksum: Option<u64>,
+) -> Result<(Vec<u64>, Vec<u64>), SparseError> {
+    let payload_len = usize::try_from(payload_len).map_err(|_| SparseError::TooLarge {
+        what: "compressed block payload length",
+        requested: payload_len as u128,
+    })?;
+    let mut payload = vec![0u8; payload_len];
+    reader.read_exact(&mut payload)?;
+    // Verify before the frames are trusted: a flipped byte must fail as
+    // corruption, not as a confusing varint or out-of-bounds index error.
+    if let Some(expected) = checksum {
+        let mut hasher = Fnv1a::new();
+        hasher.update(&payload);
+        let actual = hasher.finish();
+        if actual != expected {
+            return Err(SparseError::ChecksumMismatch { expected, actual });
+        }
+    }
+    let mut rows = Vec::with_capacity(nnz);
+    let mut cols = Vec::with_capacity(nnz);
+    let mut frame = Vec::new();
+    let mut offset = 0usize;
+    let mut decoded = 0usize;
+    while offset < payload.len() {
+        let header: [u8; crate::codec::FRAME_HEADER_LEN] = payload[offset..]
+            .get(..crate::codec::FRAME_HEADER_LEN)
+            .and_then(|bytes| bytes.try_into().ok())
+            .ok_or(SparseError::Parse {
+                line: 0,
+                message: format!("compressed block frame header truncated at byte {offset}"),
+            })?;
+        let (count, byte_len) = crate::codec::frame_header(&header);
+        let (count, byte_len) = (count as usize, byte_len as usize);
+        offset += crate::codec::FRAME_HEADER_LEN;
+        let body = payload
+            .get(offset..offset + byte_len)
+            .ok_or(SparseError::Parse {
+                line: 0,
+                message: format!(
+                    "compressed block frame declares {byte_len} bytes at offset {offset} but the payload ends at {}",
+                    payload.len()
+                ),
+            })?;
+        crate::codec::decode_frame(count as u32, body, &mut frame)?;
+        offset += byte_len;
+        decoded += count;
+        if decoded > nnz {
+            return Err(SparseError::Parse {
+                line: 0,
+                message: format!("compressed block decodes more than the declared {nnz} entries"),
+            });
+        }
+        for &(r, c) in &frame {
+            rows.push(r);
+            cols.push(c);
+        }
+    }
+    if decoded != nnz {
+        return Err(SparseError::Parse {
+            line: 0,
+            message: format!(
+                "compressed block declares {nnz} entries but its frames decode {decoded}"
+            ),
+        });
+    }
+    Ok((rows, cols))
+}
+
 /// Recompute the checksum a shard *should* carry by streaming its bytes
 /// back from disk: for TSV shards the FNV-1a hash of the whole file, for
 /// binary shards the hash of the payload after the header (equal to the
@@ -512,7 +639,7 @@ pub fn shard_checksum(path: &Path, format: BlockFormat) -> Result<u64, SparseErr
         let file = std::fs::File::open(path)?;
         let file_len = file.metadata()?.len();
         let mut reader = std::io::BufReader::with_capacity(1 << 18, file);
-        if format == BlockFormat::Binary {
+        if matches!(format, BlockFormat::Binary | BlockFormat::Compressed) {
             // Position the reader past the (version-dependent) header; the
             // header itself is validated in passing.
             read_block_header(file_len, &mut reader)?;
@@ -673,6 +800,140 @@ mod tests {
         materialised.sort();
         assert_eq!(streamed, materialised);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Write a valid v4 compressed shard and return its path, for the
+    /// corruption tests to mutilate.  Offsets in the v4 layout: nnz at 24,
+    /// payload_len at 32, checksum at 40, payload (frames) at 48; a frame
+    /// is [count u32][byte_len u32][varint body].
+    fn compressed_fixture(name: &str) -> (PathBuf, Vec<(u64, u64)>) {
+        use crate::sink::{CompressedShardSink, EdgeSink};
+        let dir = temp_dir(name);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("block_00000.kbkz");
+        let edges: Vec<(u64, u64)> = (0..100u64).map(|i| (i % 64, (i * 7) % 64)).collect();
+        let mut sink = CompressedShardSink::create(&path, 64, 64).unwrap();
+        sink.consume(&edges).unwrap();
+        sink.finish().unwrap();
+        (path, edges)
+    }
+
+    fn patched(path: &Path, mutate: impl FnOnce(&mut Vec<u8>)) {
+        let mut bytes = std::fs::read(path).unwrap();
+        mutate(&mut bytes);
+        std::fs::write(path, &bytes).unwrap();
+    }
+
+    /// Re-seal a deliberately mutated payload so the corruption under test
+    /// is reached *past* the checksum gate.
+    fn refresh_v4_checksum(bytes: &mut [u8]) {
+        let sum = Fnv1a::hash(&bytes[BLOCK_HEADER_COMPRESSED_LEN as usize..]);
+        bytes[40..48].copy_from_slice(&sum.to_le_bytes());
+    }
+
+    #[test]
+    fn compressed_round_trip_and_header_fields() {
+        let (path, edges) = compressed_fixture("v4_round_trip");
+        let block = read_block_bin(&path).unwrap();
+        let decoded: Vec<(u64, u64)> = block.iter().map(|(r, c, _)| (r, c)).collect();
+        assert_eq!(decoded, edges);
+        let bytes = std::fs::read(&path).unwrap();
+        let file_len = bytes.len() as u64;
+        let header = read_block_header(file_len, &mut &bytes[..]).unwrap();
+        assert_eq!(header.version, BLOCK_VERSION_COMPRESSED);
+        assert_eq!(header.nnz, edges.len() as u64);
+        let payload_len = header.payload_len.unwrap();
+        assert_eq!(file_len, BLOCK_HEADER_COMPRESSED_LEN + payload_len);
+        assert!(
+            payload_len < 16 * edges.len() as u64,
+            "the fixture must actually compress"
+        );
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn compressed_flipped_payload_byte_fails_as_checksum_mismatch() {
+        let (path, _) = compressed_fixture("v4_flip");
+        patched(&path, |bytes| bytes[60] ^= 1);
+        match read_block_bin(&path) {
+            Err(SparseError::ChecksumMismatch { expected, actual }) => {
+                assert_ne!(expected, actual)
+            }
+            other => panic!("expected a checksum mismatch, got {other:?}"),
+        }
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn compressed_truncated_file_fails_the_length_check() {
+        let (path, _) = compressed_fixture("v4_truncate");
+        patched(&path, |bytes| {
+            bytes.pop();
+        });
+        let err = read_block_bin(&path).unwrap_err();
+        assert!(
+            err.to_string().contains("but the file is"),
+            "truncation must fail on declared vs actual length: {err}"
+        );
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn compressed_inflated_payload_len_fails_the_length_check() {
+        let (path, _) = compressed_fixture("v4_payload_len");
+        patched(&path, |bytes| {
+            let declared = u64::from_le_bytes(bytes[32..40].try_into().unwrap());
+            bytes[32..40].copy_from_slice(&(declared + 1).to_le_bytes());
+        });
+        let err = read_block_bin(&path).unwrap_err();
+        assert!(err.to_string().contains("but the file is"), "{err}");
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn compressed_frame_overrunning_the_payload_is_rejected() {
+        let (path, _) = compressed_fixture("v4_frame_overrun");
+        patched(&path, |bytes| {
+            // Inflate the first frame's byte_len (offset 52) past the
+            // payload's end, then re-seal so the checksum gate passes.
+            let byte_len = u32::from_le_bytes(bytes[52..56].try_into().unwrap());
+            bytes[52..56].copy_from_slice(&(byte_len + 8).to_le_bytes());
+            refresh_v4_checksum(bytes);
+        });
+        let err = read_block_bin(&path).unwrap_err();
+        assert!(err.to_string().contains("payload ends"), "{err}");
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn compressed_frame_count_disagreeing_with_nnz_is_rejected() {
+        // nnz inflated, payload untouched: the checksum still matches, the
+        // frames decode cleanly, and only the decoded-entry count can tell.
+        let (path, _) = compressed_fixture("v4_nnz");
+        patched(&path, |bytes| {
+            let nnz = u64::from_le_bytes(bytes[24..32].try_into().unwrap());
+            bytes[24..32].copy_from_slice(&(nnz + 1).to_le_bytes());
+        });
+        let err = read_block_bin(&path).unwrap_err();
+        assert!(err.to_string().contains("frames decode"), "{err}");
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn compressed_truncated_frame_header_is_rejected() {
+        let (path, _) = compressed_fixture("v4_frame_header");
+        patched(&path, |bytes| {
+            // Append 4 junk bytes (half a frame header), grow the declared
+            // payload to match, and re-seal: every outer gate passes and the
+            // frame loop must catch the dangling half-header itself.
+            bytes.extend_from_slice(&[0u8; 4]);
+            let declared = u64::from_le_bytes(bytes[32..40].try_into().unwrap());
+            bytes[32..40].copy_from_slice(&(declared + 4).to_le_bytes());
+            refresh_v4_checksum(bytes);
+        });
+        let err = read_block_bin(&path).unwrap_err();
+        assert!(err.to_string().contains("frame header truncated"), "{err}");
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
     }
 
     #[test]

@@ -42,6 +42,6 @@ pub use design_loop::{DesignLoopReport, TrialAndErrorDesigner, TrialTargets};
 pub use measure::{measure_edge_list, EdgeListStats};
 #[allow(deprecated)] // the legacy table API must keep compiling at its old address
 pub use permute::{random_permutation, relabel_edges};
-pub use rmat::{RmatGenerator, RmatParams};
+pub use rmat::{RmatBatchSampler, RmatGenerator, RmatParams, SAMPLE_BATCH};
 pub use source::{RmatRun, RmatSource};
 pub use stochastic::{Initiator, StochasticKronecker};

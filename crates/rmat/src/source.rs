@@ -118,12 +118,21 @@ impl SourceRun for RmatRun {
         chunk.try_flush(&mut sink)?;
         let range = self.sample_range(worker);
         let delivered = range.end - range.start;
-        for index in range {
-            let (row, col) = self.generator.edge_at(index);
-            chunk.push(row, col);
+        // Draw chunk-sized runs straight into the chunk's spare capacity
+        // through the batched quadrant walk (bit-identical to edge_at per
+        // index): the sampler touches each edge slot exactly once and the
+        // per-edge push/is_full round trip disappears.  Runs are sized by
+        // the chunk's remaining space, so worker count and chunk size still
+        // never change the stream or the flush boundaries.
+        let sampler = self.generator.batch_sampler();
+        let mut index = range.start;
+        while index < range.end {
+            let len = ((range.end - index) as usize).min(chunk.remaining());
+            chunk.fill_spare(len, |slots| sampler.fill(index, slots));
             if chunk.is_full() {
                 chunk.try_flush(&mut sink)?;
             }
+            index += len as u64;
         }
         chunk.try_flush(&mut sink)?;
         Ok(delivered)

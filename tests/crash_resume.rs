@@ -251,8 +251,61 @@ fn corrupt_shard_fails_replay_with_checksum_error_naming_the_shard() {
     assert!(message.contains("checksum mismatch"), "{message}");
     assert!(message.contains("block_00001.kbk"), "{message}");
 
+    // Compressed (v4): flip a byte past the 48-byte header — inside the
+    // delta/varint payload — and the streamed replay must fail the same way.
+    let kbkz_dir = temp_dir("corrupt_replay_kbkz");
+    let _ = pipeline(&design, 2).write_compressed(&kbkz_dir).unwrap();
+    let shard = kbkz_dir.join("block_00000.kbkz");
+    let mut bytes = std::fs::read(&shard).unwrap();
+    bytes[60] ^= 1;
+    std::fs::write(&shard, &bytes).unwrap();
+    let err = Pipeline::for_source(ReplaySource::from_directory(&kbkz_dir).unwrap())
+        .workers(2)
+        .count()
+        .unwrap_err();
+    let message = err.to_string();
+    assert!(message.contains("checksum mismatch"), "{message}");
+    assert!(message.contains("block_00000.kbkz"), "{message}");
+
     std::fs::remove_dir_all(&tsv_dir).ok();
     std::fs::remove_dir_all(&bin_dir).ok();
+    std::fs::remove_dir_all(&kbkz_dir).ok();
+}
+
+#[test]
+fn corrupt_compressed_shard_is_detected_on_resume_and_regenerated() {
+    let design = design();
+    let workers = 3;
+
+    let clean_dir = temp_dir("corrupt_resume_kbkz_clean");
+    let _ = pipeline(&design, workers)
+        .write_compressed(&clean_dir)
+        .unwrap();
+
+    let dir = temp_dir("corrupt_resume_kbkz");
+    let _ = pipeline(&design, workers).write_compressed(&dir).unwrap();
+    // Flip a payload byte past the 48-byte v4 header: the frames still
+    // decode, so only the checksum can tell.
+    let shard = dir.join("block_00001.kbkz");
+    let mut bytes = std::fs::read(&shard).unwrap();
+    bytes[60] ^= 1;
+    std::fs::write(&shard, &bytes).unwrap();
+
+    let resumed = pipeline(&design, workers).resume(&dir).unwrap();
+    assert!(resumed.is_valid());
+    assert!(
+        resumed
+            .stats
+            .warnings
+            .iter()
+            .any(|w| w.contains("block_00001.kbkz") && w.contains("checksum")),
+        "the corrupt shard must be named: {:?}",
+        resumed.stats.warnings
+    );
+    assert_eq!(shard_bytes(&dir, "kbkz"), shard_bytes(&clean_dir, "kbkz"));
+
+    std::fs::remove_dir_all(&clean_dir).ok();
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
@@ -305,7 +358,7 @@ mod seeded_faults {
         #[test]
         fn resume_after_a_fault_is_bit_identical(
             workers in 1usize..5,
-            binary in any::<bool>(),
+            format in 0usize..3,
             permute in any::<bool>(),
             fault_worker in 0usize..5,
             after_edges in 0u64..200,
@@ -314,7 +367,7 @@ mod seeded_faults {
             let design = design();
             let seed = 0xFEEDu64;
             let name = format!(
-                "prop_{workers}_{binary}_{permute}_{fault_worker}_{after_edges}"
+                "prop_{workers}_{format}_{permute}_{fault_worker}_{after_edges}"
             );
 
             let clean_dir = temp_dir(&format!("{name}_clean"));
@@ -322,10 +375,10 @@ mod seeded_faults {
             if permute {
                 clean_pipe = clean_pipe.permute_vertices(seed);
             }
-            let clean = if binary {
-                clean_pipe.write_binary(&clean_dir).unwrap()
-            } else {
-                clean_pipe.write_tsv(&clean_dir).unwrap()
+            let clean = match format {
+                0 => clean_pipe.write_tsv(&clean_dir).unwrap(),
+                1 => clean_pipe.write_binary(&clean_dir).unwrap(),
+                _ => clean_pipe.write_compressed(&clean_dir).unwrap(),
             };
 
             let crash_dir = temp_dir(&format!("{name}_crash"));
@@ -335,10 +388,10 @@ mod seeded_faults {
             if permute {
                 crash_pipe = crash_pipe.permute_vertices(seed);
             }
-            let crashed = if binary {
-                crash_pipe.write_binary(&crash_dir).unwrap()
-            } else {
-                crash_pipe.write_tsv(&crash_dir).unwrap()
+            let crashed = match format {
+                0 => crash_pipe.write_tsv(&crash_dir).unwrap(),
+                1 => crash_pipe.write_binary(&crash_dir).unwrap(),
+                _ => crash_pipe.write_compressed(&crash_dir).unwrap(),
             };
             prop_assert_eq!(crashed.failures.len(), 1);
 
@@ -349,7 +402,7 @@ mod seeded_faults {
             let resumed = resume_pipe.resume(&crash_dir).unwrap();
             prop_assert!(resumed.is_complete());
             prop_assert!(resumed.is_valid());
-            let extension = if binary { "kbk" } else { "tsv" };
+            let extension = ["tsv", "kbk", "kbkz"][format];
             prop_assert_eq!(
                 shard_bytes(&crash_dir, extension),
                 shard_bytes(&clean_dir, extension)
